@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the simulator's hot components: how fast each
+//! substrate runs, which bounds how much simulated time the figure
+//! harness can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cachesim::cache::Cache;
+use cachesim::lru::LruStack;
+use cpusim::branch::BranchPredictor;
+use cpusim::core::Core;
+use cpusim::l3iface::{FixedLatencyL3, LastLevel};
+use nuca_core::engine::AdaptiveParams;
+use nuca_core::l3::AdaptiveL3;
+use simcore::config::{BranchConfig, CacheGeometry, MachineConfig};
+use simcore::rng::SimRng;
+use simcore::types::{Address, CoreId, Cycle};
+use tracegen::spec::SpecApp;
+use tracegen::TraceGenerator;
+
+fn bench_lru_stack(c: &mut Criterion) {
+    c.bench_function("lru_stack_touch_16way", |b| {
+        let mut s = LruStack::with_ways(16);
+        let mut i = 0u8;
+        b.iter(|| {
+            i = (i + 7) % 16;
+            s.touch(black_box(i));
+        });
+    });
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    c.bench_function("l1d_access_hit", |b| {
+        let geom = CacheGeometry::new(64 * 1024, 2, 64, 3).unwrap();
+        let mut cache = Cache::new(geom);
+        let core = CoreId::from_index(0);
+        cache.fill(Address::new(0x1000), false, core);
+        b.iter(|| cache.access(black_box(Address::new(0x1000)), false, core));
+    });
+    c.bench_function("l2_access_random_mix", |b| {
+        let geom = CacheGeometry::new(256 * 1024, 4, 64, 9).unwrap();
+        let mut cache = Cache::new(geom);
+        let core = CoreId::from_index(0);
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let a = Address::new(rng.below(1 << 20));
+            if !cache.access(a, false, core).is_hit() {
+                cache.fill(a, false, core);
+            }
+        });
+    });
+}
+
+fn bench_branch_predictor(c: &mut Criterion) {
+    c.bench_function("combined_predictor_access", |b| {
+        let mut bp = BranchPredictor::new(BranchConfig::default());
+        let mut rng = SimRng::seed_from(2);
+        b.iter(|| {
+            let pc = Address::new(0x40_0000 + rng.below(256) * 4);
+            bp.access(black_box(pc), rng.chance(0.7))
+        });
+    });
+}
+
+fn bench_trace_generator(c: &mut Criterion) {
+    c.bench_function("tracegen_next_op", |b| {
+        let mut gen = TraceGenerator::new(SpecApp::Gzip.profile(), SimRng::seed_from(3));
+        b.iter(|| black_box(gen.next_op()));
+    });
+}
+
+fn bench_adaptive_l3(c: &mut Criterion) {
+    c.bench_function("adaptive_l3_access", |b| {
+        let cfg = MachineConfig::baseline();
+        let mut l3 = AdaptiveL3::new(&cfg, AdaptiveParams::default());
+        let mut rng = SimRng::seed_from(4);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            let core = CoreId::from_index(rng.below(4) as u8);
+            let a = Address::new(rng.below(1 << 24)).with_asid(core.asid());
+            l3.access(core, a, false, Cycle::new(now))
+        });
+    });
+}
+
+fn bench_core_cycle(c: &mut Criterion) {
+    c.bench_function("core_step_cycle", |b| {
+        let cfg = MachineConfig::baseline();
+        b.iter_batched(
+            || {
+                let gen = TraceGenerator::new(SpecApp::Gzip.profile(), SimRng::seed_from(5));
+                (Core::new(CoreId::from_index(0), &cfg, gen), FixedLatencyL3::new(19))
+            },
+            |(mut core, mut l3)| {
+                for n in 0..1_000u64 {
+                    core.step(Cycle::new(n), &mut l3);
+                }
+                core.committed()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("core_warm_op", |b| {
+        let cfg = MachineConfig::baseline();
+        let gen = TraceGenerator::new(SpecApp::Gzip.profile(), SimRng::seed_from(6));
+        let mut core = Core::new(CoreId::from_index(0), &cfg, gen);
+        let mut l3 = FixedLatencyL3::new(19);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            core.warm_op(Cycle::new(now), &mut l3);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lru_stack,
+    bench_cache_access,
+    bench_branch_predictor,
+    bench_trace_generator,
+    bench_adaptive_l3,
+    bench_core_cycle
+);
+criterion_main!(benches);

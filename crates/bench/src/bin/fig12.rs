@@ -1,0 +1,22 @@
+//! Figure 12: adaptive vs cooperative caching over all applications.
+
+use nuca_bench::figures::fig12;
+use nuca_bench::report::{f4, pct, Table};
+use simcore::config::MachineConfig;
+use simcore::stats::arithmetic_mean;
+
+fn main() {
+    let machine = MachineConfig::baseline();
+    let exp = nuca_bench::experiment_config();
+    let rows = fig12(&machine, &exp, nuca_bench::mix_count()).expect("figure 12 experiment");
+    let mut t = Table::new(
+        "Figure 12 — adaptive vs \"random replacement\", mixes from all applications",
+        &["mix", "adaptive", "cooperative", "relative"],
+    );
+    for r in &rows {
+        t.row(&[&r.label, &f4(r.adaptive), &f4(r.cooperative), &pct(r.relative)]);
+    }
+    t.print();
+    let mean = arithmetic_mean(&rows.iter().map(|r| r.relative).collect::<Vec<_>>());
+    println!("\nmean relative performance: {} (paper: advantage shrinks vs Figure 11)", pct(mean));
+}

@@ -1,0 +1,28 @@
+//! Figure 7: per-application speedup for the LLC-intensive applications.
+
+use nuca_bench::figures::fig7;
+use nuca_bench::report::{pct, Table};
+use simcore::config::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::baseline();
+    let exp = nuca_bench::experiment_config();
+    let rows = fig7(&machine, &exp, nuca_bench::mix_count()).expect("figure 7 experiment");
+    let mut t = Table::new(
+        "Figure 7 — adaptive speedup per intensive application",
+        &["app", "vs private", "vs shared", "vs 4x private", "n"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.app,
+            &pct(r.vs_private),
+            &pct(r.vs_shared),
+            &pct(r.vs_private4x),
+            &r.appearances.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Paper shape: ammp/art/twolf/vpr lose to the 4x-larger private cache");
+    println!("(they want more capacity) but beat plain private caches.");
+}

@@ -1,0 +1,24 @@
+//! Figure 8: speedup vs private caches for all applications.
+
+use nuca_bench::figures::fig8;
+use nuca_bench::report::{pct, Table};
+use simcore::config::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::baseline();
+    let exp = nuca_bench::experiment_config();
+    let rows = fig8(&machine, &exp, nuca_bench::mix_count()).expect("figure 8 experiment");
+    let mut t = Table::new(
+        "Figure 8 — adaptive speedup vs private, all applications",
+        &["app", "speedup", "class", "n"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.app,
+            &pct(r.speedup),
+            if r.intensive { "intensive" } else { "non-intensive" },
+            &r.appearances.to_string(),
+        ]);
+    }
+    t.print();
+}

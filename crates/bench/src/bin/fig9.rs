@@ -1,0 +1,28 @@
+//! Figure 9: the per-application comparison with an 8-MByte L3.
+
+use nuca_bench::figures::fig9;
+use nuca_bench::report::{pct, Table};
+use simcore::config::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::baseline();
+    let exp = nuca_bench::experiment_config();
+    let rows = fig9(&machine, &exp, nuca_bench::mix_count()).expect("figure 9 experiment");
+    let mut t = Table::new(
+        "Figure 9 — 8-MByte L3 (2 MB/core slices, same timing model)",
+        &["app", "vs private", "vs shared", "vs 4x private", "n"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.app,
+            &pct(r.vs_private),
+            &pct(r.vs_shared),
+            &pct(r.vs_private4x),
+            &r.appearances.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Paper shape: with ample capacity the adaptive scheme's constraints");
+    println!("stop paying off and can slightly degrade performance.");
+}

@@ -1,0 +1,538 @@
+//! Drivers for every table and figure of the paper's evaluation section.
+//!
+//! Each function runs the corresponding experiment at the requested scale
+//! and returns structured results; the `fig*` binaries print them as the
+//! paper's rows/series, and `EXPERIMENTS.md` records paper-vs-measured.
+
+use nuca_core::experiment::{
+    classify, compare_schemes, per_app_speedup, run_mix, sensitivity_sweep, Classification,
+    ExperimentConfig, MixResult, SensitivityPoint,
+};
+use nuca_core::l3::Organization;
+use simcore::config::MachineConfig;
+use simcore::error::Result;
+use simcore::stats::{arithmetic_mean, speedup};
+use tracegen::spec::SpecApp;
+use tracegen::workload::{Mix, WorkloadPool};
+
+/// The applications whose miss curves Figure 3 plots (the paper names
+/// `mcf` and `gzip`; the others are representative of its five curves).
+pub const FIG3_APPS: [SpecApp; 5] = [
+    SpecApp::Mcf,
+    SpecApp::Gzip,
+    SpecApp::Ammp,
+    SpecApp::Twolf,
+    SpecApp::Parser,
+];
+
+/// Blocks-per-set grid for the Figure 3 sweep.
+pub const FIG3_WAYS: [u32; 7] = [1, 2, 3, 4, 6, 8, 16];
+
+/// One Figure 3 series.
+#[derive(Debug, Clone)]
+pub struct Fig3Series {
+    /// The application.
+    pub app: SpecApp,
+    /// Misses per measured window at each blocks-per-set point.
+    pub points: Vec<SensitivityPoint>,
+}
+
+/// Figure 3: number of misses as a function of blocks per set.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig3(machine: &MachineConfig, exp: &ExperimentConfig) -> Result<Vec<Fig3Series>> {
+    FIG3_APPS
+        .into_iter()
+        .map(|app| {
+            Ok(Fig3Series {
+                app,
+                points: sensitivity_sweep(machine, app, &FIG3_WAYS, exp)?,
+            })
+        })
+        .collect()
+}
+
+/// Figure 5: classification of all 24 applications by last-level
+/// intensity (threshold: nine accesses per thousand cycles).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig5(machine: &MachineConfig, exp: &ExperimentConfig) -> Result<Vec<Classification>> {
+    classify(machine, exp)
+}
+
+/// One experiment (mix) of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// The mix label.
+    pub label: String,
+    /// Harmonic-mean IPC under private slices.
+    pub private: f64,
+    /// Harmonic-mean IPC under the shared cache.
+    pub shared: f64,
+    /// Harmonic-mean IPC under the adaptive scheme.
+    pub adaptive: f64,
+    /// Final adaptive quotas.
+    pub quotas: Vec<u32>,
+}
+
+/// Aggregate of a scheme against the private baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeSummary {
+    /// Mean of per-mix harmonic-IPC speedups.
+    pub hmean_speedup: f64,
+    /// Mean of per-mix arithmetic-IPC speedups.
+    pub amean_speedup: f64,
+}
+
+/// Figure 6 results: per-mix harmonic IPC for the three schemes, sorted
+/// by the adaptive scheme's speedup over private (as the paper sorts).
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Per-experiment rows, sorted ascending by adaptive/private.
+    pub rows: Vec<Fig6Row>,
+    /// Shared-cache aggregate vs private.
+    pub shared: SchemeSummary,
+    /// Adaptive aggregate vs private.
+    pub adaptive: SchemeSummary,
+}
+
+/// Figure 6: harmonic-mean IPC per experiment over LLC-intensive mixes.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig6(machine: &MachineConfig, exp: &ExperimentConfig, n_mixes: usize) -> Result<Fig6Result> {
+    let mixes = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let orgs = [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+    ];
+    let mut rows = Vec::new();
+    let mut sh_h = Vec::new();
+    let mut sh_a = Vec::new();
+    let mut ad_h = Vec::new();
+    let mut ad_a = Vec::new();
+    for mix in &mixes {
+        let rs = compare_schemes(machine, &orgs, mix, exp)?;
+        let (p, s, a) = (&rs[0].result, &rs[1].result, &rs[2].result);
+        sh_h.push(speedup(s.hmean_ipc, p.hmean_ipc));
+        sh_a.push(speedup(s.amean_ipc, p.amean_ipc));
+        ad_h.push(speedup(a.hmean_ipc, p.hmean_ipc));
+        ad_a.push(speedup(a.amean_ipc, p.amean_ipc));
+        rows.push(Fig6Row {
+            label: mix.label(),
+            private: p.hmean_ipc,
+            shared: s.hmean_ipc,
+            adaptive: a.hmean_ipc,
+            quotas: a.quotas.clone().unwrap_or_default(),
+        });
+    }
+    rows.sort_by(|x, y| {
+        let sx = speedup(x.adaptive, x.private);
+        let sy = speedup(y.adaptive, y.private);
+        sx.partial_cmp(&sy).expect("finite speedups")
+    });
+    Ok(Fig6Result {
+        rows,
+        shared: SchemeSummary {
+            hmean_speedup: arithmetic_mean(&sh_h),
+            amean_speedup: arithmetic_mean(&sh_a),
+        },
+        adaptive: SchemeSummary {
+            hmean_speedup: arithmetic_mean(&ad_h),
+            amean_speedup: arithmetic_mean(&ad_a),
+        },
+    })
+}
+
+/// Per-application speedups of the adaptive scheme against three
+/// yardsticks (Figure 7 and Figure 9).
+#[derive(Debug, Clone)]
+pub struct PerAppRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Adaptive IPC / private IPC, averaged over appearances.
+    pub vs_private: f64,
+    /// Adaptive IPC / shared IPC.
+    pub vs_shared: f64,
+    /// Adaptive IPC / 4x-size-private IPC.
+    pub vs_private4x: f64,
+    /// Number of appearances across the mixes.
+    pub appearances: usize,
+}
+
+fn per_app_rows(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    mixes: &[Mix],
+) -> Result<Vec<PerAppRow>> {
+    let mut adaptive = Vec::new();
+    let mut private = Vec::new();
+    let mut shared = Vec::new();
+    let mut private4 = Vec::new();
+    for mix in mixes {
+        adaptive.push(run_mix(machine, Organization::adaptive(), mix, exp)?);
+        private.push(run_mix(machine, Organization::Private, mix, exp)?);
+        shared.push(run_mix(machine, Organization::Shared, mix, exp)?);
+        private4.push(run_mix(machine, Organization::PrivateScaled { factor: 4 }, mix, exp)?);
+    }
+    let vs_p = per_app_speedup(&adaptive, &private);
+    let vs_s = per_app_speedup(&adaptive, &shared);
+    let vs_4 = per_app_speedup(&adaptive, &private4);
+    Ok(vs_p
+        .into_iter()
+        .map(|(app, sp, n)| {
+            let find = |v: &[(&'static str, f64, usize)]| {
+                v.iter().find(|(a, _, _)| *a == app).map(|(_, s, _)| *s).unwrap_or(0.0)
+            };
+            PerAppRow {
+                app,
+                vs_private: sp,
+                vs_shared: find(&vs_s),
+                vs_private4x: find(&vs_4),
+                appearances: n,
+            }
+        })
+        .collect())
+}
+
+/// Figure 7: per-application speedup of the adaptive scheme for the
+/// LLC-intensive applications, against private, shared and 4x private.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig7(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<Vec<PerAppRow>> {
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    per_app_rows(machine, exp, &mixes)
+}
+
+/// One Figure 8 row: an application's speedup under the adaptive scheme
+/// relative to private caches, over mixes drawn from all applications.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Adaptive IPC / private IPC.
+    pub speedup: f64,
+    /// Whether the application is LLC-intensive (Figure 5).
+    pub intensive: bool,
+    /// Appearances across the mixes.
+    pub appearances: usize,
+}
+
+/// Figure 8: speedup vs private caches for all applications (both
+/// categories), over mixes drawn from the full suite.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig8(machine: &MachineConfig, exp: &ExperimentConfig, n_mixes: usize) -> Result<Vec<Fig8Row>> {
+    let mixes = WorkloadPool::random_mixes(&SpecApp::ALL, machine.cores, n_mixes, exp.seed);
+    let mut adaptive = Vec::new();
+    let mut private = Vec::new();
+    for mix in &mixes {
+        adaptive.push(run_mix(machine, Organization::adaptive(), mix, exp)?);
+        private.push(run_mix(machine, Organization::Private, mix, exp)?);
+    }
+    Ok(per_app_speedup(&adaptive, &private)
+        .into_iter()
+        .map(|(app, sp, n)| Fig8Row {
+            app,
+            speedup: sp,
+            intensive: app
+                .parse::<SpecApp>()
+                .map(|a| a.is_llc_intensive())
+                .unwrap_or(false),
+            appearances: n,
+        })
+        .collect())
+}
+
+/// Figure 9: the Figure 7 experiment with an 8-MByte last-level cache
+/// (same timing model, as the paper notes).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig9(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<Vec<PerAppRow>> {
+    let big = machine.with_l3_scale(2)?;
+    let mixes = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), big.cores, n_mixes, exp.seed);
+    per_app_rows(&big, exp, &mixes)
+}
+
+/// Figure 10 result: aggregate speedups vs private for each scheme on
+/// the baseline and on the technology-scaled machine.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// (label, baseline hmean speedup, scaled hmean speedup) per scheme.
+    pub schemes: Vec<(&'static str, f64, f64)>,
+}
+
+/// Figure 10: impact of technology scaling (L2 9→11, L3 14/19→16/24,
+/// memory 258/260→330/338 cycles). The paper's claim: the new scheme's
+/// advantage grows as memory gets relatively slower.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig10(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<Fig10Result> {
+    let scaled = machine.technology_scaled();
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let orgs = [
+        ("shared", Organization::Shared),
+        ("cooperative", Organization::Cooperative { seed: exp.seed }),
+        ("adaptive", Organization::adaptive()),
+    ];
+    let mut out = Vec::new();
+    for (label, org) in orgs {
+        let mut base_sp = Vec::new();
+        let mut scaled_sp = Vec::new();
+        for mix in &mixes {
+            let pb = run_mix(machine, Organization::Private, mix, exp)?;
+            let ob = run_mix(machine, org, mix, exp)?;
+            base_sp.push(speedup(ob.result.hmean_ipc, pb.result.hmean_ipc));
+            let ps = run_mix(&scaled, Organization::Private, mix, exp)?;
+            let os = run_mix(&scaled, org, mix, exp)?;
+            scaled_sp.push(speedup(os.result.hmean_ipc, ps.result.hmean_ipc));
+        }
+        out.push((label, arithmetic_mean(&base_sp), arithmetic_mean(&scaled_sp)));
+    }
+    Ok(Fig10Result { schemes: out })
+}
+
+/// One row of Figures 11/12: the adaptive scheme relative to the
+/// cooperative ("random replacement") scheme for one mix.
+#[derive(Debug, Clone)]
+pub struct VsCooperativeRow {
+    /// Mix label.
+    pub label: String,
+    /// Harmonic-mean IPC, adaptive.
+    pub adaptive: f64,
+    /// Harmonic-mean IPC, cooperative.
+    pub cooperative: f64,
+    /// adaptive / cooperative.
+    pub relative: f64,
+}
+
+fn vs_cooperative(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    mixes: &[Mix],
+) -> Result<Vec<VsCooperativeRow>> {
+    let mut rows = Vec::new();
+    for mix in mixes {
+        let a = run_mix(machine, Organization::adaptive(), mix, exp)?;
+        let c = run_mix(machine, Organization::Cooperative { seed: exp.seed }, mix, exp)?;
+        rows.push(VsCooperativeRow {
+            label: mix.label(),
+            adaptive: a.result.hmean_ipc,
+            cooperative: c.result.hmean_ipc,
+            relative: speedup(a.result.hmean_ipc, c.result.hmean_ipc),
+        });
+    }
+    rows.sort_by(|x, y| x.relative.partial_cmp(&y.relative).expect("finite"));
+    Ok(rows)
+}
+
+/// Figure 11: adaptive vs cooperative over memory-intensive mixes.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig11(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<Vec<VsCooperativeRow>> {
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    vs_cooperative(machine, exp, &mixes)
+}
+
+/// Figure 12: adaptive vs cooperative over mixes from all applications —
+/// the advantage shrinks because many applications barely use the L3.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn fig12(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<Vec<VsCooperativeRow>> {
+    let mixes = WorkloadPool::random_mixes(&SpecApp::ALL, machine.cores, n_mixes, exp.seed);
+    vs_cooperative(machine, exp, &mixes)
+}
+
+/// Section 4.6 result: average/harmonic IPC with full shadow-tag
+/// coverage vs 1/16 lowest-index-set sampling.
+#[derive(Debug, Clone)]
+pub struct ShadowSamplingResult {
+    /// Mean per-mix arithmetic IPC, full coverage.
+    pub full_amean: f64,
+    /// Mean per-mix arithmetic IPC, sampled (1/16).
+    pub sampled_amean: f64,
+    /// Mean per-mix harmonic IPC, full coverage.
+    pub full_hmean: f64,
+    /// Mean per-mix harmonic IPC, sampled (1/16).
+    pub sampled_hmean: f64,
+}
+
+impl ShadowSamplingResult {
+    /// Relative change of the arithmetic mean when sampling.
+    pub fn amean_delta(&self) -> f64 {
+        speedup(self.sampled_amean, self.full_amean) - 1.0
+    }
+
+    /// Relative change of the harmonic mean when sampling.
+    pub fn hmean_delta(&self) -> f64 {
+        speedup(self.sampled_hmean, self.full_hmean) - 1.0
+    }
+}
+
+/// Section 4.6: reducing the number of shadow tags to 1/16 of the sets
+/// (lowest index). The paper reports ±0.1 % IPC deltas.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn shadow_sampling(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<ShadowSamplingResult> {
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let mut full_a = Vec::new();
+    let mut full_h = Vec::new();
+    let mut samp_a = Vec::new();
+    let mut samp_h = Vec::new();
+    for mix in &mixes {
+        let full = run_mix(machine, Organization::adaptive(), mix, exp)?;
+        let params = nuca_core::engine::AdaptiveParams {
+            shadow_sampling: cachesim::shadow::SetSampling::LowestIndex { shift: 4 },
+            ..nuca_core::engine::AdaptiveParams::default()
+        };
+        let samp = run_mix(machine, Organization::Adaptive(params), mix, exp)?;
+        full_a.push(full.result.amean_ipc);
+        full_h.push(full.result.hmean_ipc);
+        samp_a.push(samp.result.amean_ipc);
+        samp_h.push(samp.result.hmean_ipc);
+    }
+    Ok(ShadowSamplingResult {
+        full_amean: arithmetic_mean(&full_a),
+        sampled_amean: arithmetic_mean(&samp_a),
+        full_hmean: arithmetic_mean(&full_h),
+        sampled_hmean: arithmetic_mean(&samp_h),
+    })
+}
+
+/// An ablation point: one parameter value and its aggregate outcome.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Human-readable parameter value.
+    pub value: String,
+    /// Mean harmonic-IPC speedup vs the private baseline.
+    pub hmean_speedup: f64,
+    /// Total last-level misses across mixes (the quantity the scheme
+    /// minimizes).
+    pub total_misses: u64,
+}
+
+/// Runs an ablation over adaptive parameters on intensive mixes.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the experiment harness.
+pub fn ablate<P>(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+    points: &[(String, P)],
+    to_params: impl Fn(&P) -> nuca_core::engine::AdaptiveParams,
+) -> Result<Vec<AblationPoint>> {
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let baselines: Vec<MixResult> = mixes
+        .iter()
+        .map(|m| run_mix(machine, Organization::Private, m, exp))
+        .collect::<Result<_>>()?;
+    points
+        .iter()
+        .map(|(label, p)| {
+            let mut sp = Vec::new();
+            let mut misses = 0;
+            for (mix, base) in mixes.iter().zip(&baselines) {
+                let r = run_mix(machine, Organization::Adaptive(to_params(p)), mix, exp)?;
+                sp.push(speedup(r.result.hmean_ipc, base.result.hmean_ipc));
+                misses += r.result.total_l3_misses();
+            }
+            Ok(AblationPoint {
+                value: label.clone(),
+                hmean_speedup: arithmetic_mean(&sp),
+                total_misses: misses,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_exp() -> ExperimentConfig {
+        ExperimentConfig::quick()
+    }
+
+    #[test]
+    fn fig6_rows_are_sorted_by_adaptive_speedup() {
+        let machine = MachineConfig::baseline();
+        let r = fig6(&machine, &tiny_exp(), 3).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        for w in r.rows.windows(2) {
+            let a = speedup(w[0].adaptive, w[0].private);
+            let b = speedup(w[1].adaptive, w[1].private);
+            assert!(a <= b + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig8_covers_both_categories() {
+        let machine = MachineConfig::baseline();
+        let rows = fig8(&machine, &tiny_exp(), 6).unwrap();
+        assert!(rows.iter().any(|r| r.intensive));
+        assert!(rows.iter().any(|r| !r.intensive));
+        for r in &rows {
+            assert!(r.speedup > 0.0, "{} speedup must be positive", r.app);
+        }
+    }
+
+    #[test]
+    fn fig11_relative_column_is_consistent() {
+        let machine = MachineConfig::baseline();
+        let rows = fig11(&machine, &tiny_exp(), 2).unwrap();
+        for r in rows {
+            assert!((r.relative - r.adaptive / r.cooperative).abs() < 1e-9);
+        }
+    }
+}

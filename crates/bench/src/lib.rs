@@ -1,0 +1,59 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! Each figure has a driver function in [`figures`] returning structured
+//! results and a binary (`fig3`, `fig5`, …, `fig12`, `table1`,
+//! `shadow_sampling`, `cost_model`, plus the ablations) that prints the
+//! same rows/series the paper plots. The drivers are also exercised at
+//! reduced scale by the Criterion benches so `cargo bench` touches every
+//! figure path.
+//!
+//! # Scaling
+//!
+//! The paper simulates 200 M cycles per experiment on a farm; the
+//! defaults here run each figure in minutes on a laptop. Two environment
+//! variables trade fidelity for wall-clock time:
+//!
+//! - `NUCA_BENCH_SCALE` — percentage applied to every simulation phase
+//!   (default 100; e.g. `25` runs quarter-length windows).
+//! - `NUCA_BENCH_MIXES` — number of random 4-app mixes per figure
+//!   (default 10).
+
+pub mod figures;
+pub mod report;
+
+use nuca_core::experiment::ExperimentConfig;
+
+/// Reads the experiment configuration honoring `NUCA_BENCH_SCALE`.
+pub fn experiment_config() -> ExperimentConfig {
+    let base = ExperimentConfig::default();
+    match std::env::var("NUCA_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(pct) if pct > 0 && pct != 100 => base.scaled(pct, 100),
+        _ => base,
+    }
+}
+
+/// Reads the per-figure mix count honoring `NUCA_BENCH_MIXES`.
+pub fn mix_count() -> usize {
+    std::env::var("NUCA_BENCH_MIXES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_full_scale() {
+        // The env var is not set under `cargo test`.
+        let exp = experiment_config();
+        assert!(exp.measure_cycles >= 1_000_000);
+        assert!(mix_count() >= 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! A generic set-associative, write-back/write-allocate cache.
+//!
+//! [`Cache`] models the conventional levels of Table 1 (L1I, L1D, L2) and
+//! the plain last-level organizations the paper compares against (private
+//! slices, one shared LRU cache, and the slices of the cooperative
+//! scheme). The adaptive organization has its own bespoke set structure in
+//! the `nuca-core` crate, built from the same [`LruStack`] primitive.
+//!
+//! Timing is handled by the callers; this type answers *what happened*
+//! (hit, miss, eviction), not *when*.
+
+use simcore::config::CacheGeometry;
+use simcore::stats::HitMiss;
+use simcore::types::{Address, BlockAddr, CoreId};
+
+use crate::lru::LruStack;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The block was present. `was_lru` reports whether it sat in the LRU
+    /// position before the access — the event the paper's "hits in the LRU
+    /// blocks" counter (Figure 4c) observes.
+    Hit {
+        /// Whether the block was the set's LRU block before this access.
+        was_lru: bool,
+    },
+    /// The block was absent.
+    Miss,
+}
+
+impl Lookup {
+    /// Whether the lookup hit.
+    #[inline]
+    pub const fn is_hit(self) -> bool {
+        matches!(self, Lookup::Hit { .. })
+    }
+}
+
+/// A block pushed out of the cache by a fill or invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedBlock {
+    /// Block address of the victim.
+    pub addr: BlockAddr,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+    /// The core that originally fetched the victim.
+    pub owner: CoreId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Block {
+    valid: bool,
+    /// Full block address; comparing whole block numbers per set is exact
+    /// and sidesteps tag-width bookkeeping.
+    addr: BlockAddr,
+    dirty: bool,
+    owner: CoreId,
+}
+
+impl Block {
+    const INVALID: Block = Block {
+        valid: false,
+        addr: BlockAddr::new(0),
+        dirty: false,
+        owner: CoreId::from_index(0),
+    };
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    blocks: Vec<Block>,
+    lru: LruStack,
+}
+
+/// A set-associative, write-back/write-allocate cache with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::cache::{Cache, Lookup};
+/// use simcore::config::CacheGeometry;
+/// use simcore::types::{Address, CoreId};
+///
+/// let mut c = Cache::new(CacheGeometry::new(4096, 2, 64, 1).unwrap());
+/// let core = CoreId::from_index(0);
+/// let a = Address::new(0x80);
+/// assert_eq!(c.access(a, true, core), Lookup::Miss);
+/// c.fill(a, true, core);                        // write-allocate, dirty
+/// let evicted = c.fill(Address::new(0x80 + 4096), false, core);
+/// assert!(evicted.is_none());                   // other way still free
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: Vec<CacheSet>,
+    stats: HitMiss,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let ways = geom.total_ways() as usize;
+        let sets = (0..geom.sets())
+            .map(|_| CacheSet {
+                blocks: vec![Block::INVALID; ways],
+                lru: LruStack::new(),
+            })
+            .collect();
+        Cache {
+            geom,
+            sets,
+            stats: HitMiss::new(),
+            writebacks: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// The set index for an address.
+    #[inline]
+    pub fn set_index(&self, addr: Address) -> usize {
+        addr.block(self.geom.offset_bits())
+            .index_bits(0, self.geom.index_bits()) as usize
+    }
+
+    /// Accesses the cache: on a hit the block is promoted to MRU (and
+    /// marked dirty for writes); on a miss nothing changes — callers decide
+    /// whether and when to [`fill`](Self::fill).
+    pub fn access(&mut self, addr: Address, write: bool, _core: CoreId) -> Lookup {
+        let blk = addr.block(self.geom.offset_bits());
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        for (w, b) in set.blocks.iter_mut().enumerate() {
+            if b.valid && b.addr == blk {
+                let was_lru = set.lru.is_lru(w as u8);
+                set.lru.touch(w as u8);
+                if write {
+                    b.dirty = true;
+                }
+                self.stats.hits += 1;
+                return Lookup::Hit { was_lru };
+            }
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Probes for a block without updating recency or statistics.
+    pub fn probe(&self, addr: Address) -> bool {
+        let blk = addr.block(self.geom.offset_bits());
+        let set = &self.sets[self.set_index(addr)];
+        set.blocks.iter().any(|b| b.valid && b.addr == blk)
+    }
+
+    /// Installs a block as MRU, evicting the LRU block if the set is full.
+    ///
+    /// Returns the evicted block, if any. Filling a block that is already
+    /// present just promotes it (and merges the dirty bit).
+    pub fn fill(&mut self, addr: Address, dirty: bool, owner: CoreId) -> Option<EvictedBlock> {
+        let blk = addr.block(self.geom.offset_bits());
+        let set_idx = self.set_index(addr);
+        let ways = self.geom.total_ways() as usize;
+        let set = &mut self.sets[set_idx];
+
+        // Already present: refresh.
+        for (w, b) in set.blocks.iter_mut().enumerate() {
+            if b.valid && b.addr == blk {
+                b.dirty |= dirty;
+                set.lru.touch(w as u8);
+                return None;
+            }
+        }
+        // Free way?
+        if let Some(w) = set.blocks.iter().position(|b| !b.valid) {
+            set.blocks[w] = Block {
+                valid: true,
+                addr: blk,
+                dirty,
+                owner,
+            };
+            set.lru.push_mru(w as u8);
+            debug_assert!(set.lru.len() <= ways);
+            return None;
+        }
+        // Evict LRU.
+        let victim_way = set.lru.pop_lru().expect("full set has an LRU way") as usize;
+        let victim = set.blocks[victim_way];
+        if victim.dirty {
+            self.writebacks += 1;
+        }
+        set.blocks[victim_way] = Block {
+            valid: true,
+            addr: blk,
+            dirty,
+            owner,
+        };
+        set.lru.push_mru(victim_way as u8);
+        Some(EvictedBlock {
+            addr: victim.addr,
+            dirty: victim.dirty,
+            owner: victim.owner,
+        })
+    }
+
+    /// Removes a block if present, returning its metadata (used when an
+    /// organization migrates a block to another slice).
+    pub fn invalidate(&mut self, addr: Address) -> Option<EvictedBlock> {
+        let blk = addr.block(self.geom.offset_bits());
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        for (w, b) in set.blocks.iter_mut().enumerate() {
+            if b.valid && b.addr == blk {
+                let out = EvictedBlock {
+                    addr: b.addr,
+                    dirty: b.dirty,
+                    owner: b.owner,
+                };
+                *b = Block::INVALID;
+                set.lru.remove(w as u8);
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// The owner recorded for a resident block.
+    pub fn owner_of(&self, addr: Address) -> Option<CoreId> {
+        let blk = addr.block(self.geom.offset_bits());
+        let set = &self.sets[self.set_index(addr)];
+        set.blocks
+            .iter()
+            .find(|b| b.valid && b.addr == blk)
+            .map(|b| b.owner)
+    }
+
+    /// Number of valid blocks in the set containing `addr` owned by `core`.
+    pub fn owned_in_set(&self, addr: Address, core: CoreId) -> usize {
+        let set = &self.sets[self.set_index(addr)];
+        set.blocks
+            .iter()
+            .filter(|b| b.valid && b.owner == core)
+            .count()
+    }
+
+    /// Hit/miss statistics since the last reset.
+    #[inline]
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Number of dirty evictions since the last reset.
+    #[inline]
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Clears statistics (contents are kept — used at the warm-up
+    /// boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = HitMiss::new();
+        self.writebacks = 0;
+    }
+
+    /// Total valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.blocks.iter().filter(|b| b.valid).count())
+            .sum()
+    }
+
+    /// Checks internal invariants (every set's LRU stack is a permutation
+    /// of its valid ways; no duplicate block addresses in a set). Intended
+    /// for tests.
+    pub fn check_invariants(&self) -> bool {
+        for set in &self.sets {
+            let valid: Vec<u8> = set
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.valid)
+                .map(|(w, _)| w as u8)
+                .collect();
+            if set.lru.len() != valid.len() {
+                return false;
+            }
+            for w in &valid {
+                if !set.lru.contains(*w) {
+                    return false;
+                }
+            }
+            for i in 0..valid.len() {
+                for j in (i + 1)..valid.len() {
+                    if set.blocks[valid[i] as usize].addr == set.blocks[valid[j] as usize].addr {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B
+        Cache::new(CacheGeometry::new(512, 2, 64, 1).unwrap())
+    }
+
+    fn c0() -> CoreId {
+        CoreId::from_index(0)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        let a = Address::new(0x40);
+        assert_eq!(c.access(a, false, c0()), Lookup::Miss);
+        assert!(c.fill(a, false, c0()).is_none());
+        assert!(c.access(a, false, c0()).is_hit());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_set_conflict_evicts_lru() {
+        let mut c = small();
+        // 4 sets => stride 4*64 = 256 maps to the same set.
+        let a = Address::new(0x00);
+        let b = Address::new(0x100);
+        let d = Address::new(0x200);
+        c.fill(a, false, c0());
+        c.fill(b, false, c0());
+        let ev = c.fill(d, false, c0()).expect("two-way set overflows");
+        assert_eq!(ev.addr, a.block(6));
+        assert!(c.probe(b) && c.probe(d) && !c.probe(a));
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn access_promotes_to_mru() {
+        let mut c = small();
+        let a = Address::new(0x00);
+        let b = Address::new(0x100);
+        c.fill(a, false, c0());
+        c.fill(b, false, c0());
+        c.access(a, false, c0()); // a now MRU; b is LRU
+        let ev = c.fill(Address::new(0x200), false, c0()).unwrap();
+        assert_eq!(ev.addr, b.block(6));
+    }
+
+    #[test]
+    fn lru_hit_is_flagged() {
+        let mut c = small();
+        let a = Address::new(0x00);
+        let b = Address::new(0x100);
+        c.fill(a, false, c0());
+        c.fill(b, false, c0()); // stack: b(MRU), a(LRU)
+        assert_eq!(c.access(a, false, c0()), Lookup::Hit { was_lru: true });
+        assert_eq!(c.access(a, false, c0()), Lookup::Hit { was_lru: false });
+    }
+
+    #[test]
+    fn write_sets_dirty_and_writeback_counted() {
+        let mut c = small();
+        let a = Address::new(0x00);
+        c.fill(a, false, c0());
+        c.access(a, true, c0()); // dirty now
+        c.fill(Address::new(0x100), false, c0());
+        assert!(c.fill(Address::new(0x200), false, c0()).unwrap().dirty);
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn refill_of_resident_block_merges_dirty() {
+        let mut c = small();
+        let a = Address::new(0x00);
+        c.fill(a, false, c0());
+        assert!(c.fill(a, true, c0()).is_none());
+        c.fill(Address::new(0x100), false, c0());
+        let ev = c.fill(Address::new(0x200), false, c0()).unwrap();
+        assert!(ev.dirty, "merged dirty bit must survive");
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = small();
+        let a = Address::new(0x40);
+        c.fill(a, true, c0());
+        let out = c.invalidate(a).unwrap();
+        assert_eq!(out.addr, a.block(6));
+        assert!(out.dirty);
+        assert!(!c.probe(a));
+        assert!(c.invalidate(a).is_none());
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn owner_tracking() {
+        let mut c = small();
+        let a = Address::new(0x40);
+        let owner = CoreId::from_index(2);
+        c.fill(a, false, owner);
+        assert_eq!(c.owner_of(a), Some(owner));
+        assert_eq!(c.owned_in_set(a, owner), 1);
+        assert_eq!(c.owned_in_set(a, c0()), 0);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = small();
+        let a = Address::new(0x00);
+        let b = Address::new(0x100);
+        c.fill(a, false, c0());
+        c.fill(b, false, c0());
+        assert!(c.probe(a));
+        // a must still be LRU (probe must not promote).
+        let ev = c.fill(Address::new(0x200), false, c0()).unwrap();
+        assert_eq!(ev.addr, a.block(6));
+        assert_eq!(c.stats().accesses(), 0, "probe leaves stats untouched");
+    }
+
+    #[test]
+    fn resident_block_count() {
+        let mut c = small();
+        assert_eq!(c.resident_blocks(), 0);
+        c.fill(Address::new(0x00), false, c0());
+        c.fill(Address::new(0x40), false, c0());
+        assert_eq!(c.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn invariants_hold_under_random_workload() {
+        use simcore::rng::SimRng;
+        let mut rng = SimRng::seed_from(99);
+        let mut c = Cache::new(CacheGeometry::new(4096, 4, 64, 1).unwrap());
+        for _ in 0..5_000 {
+            let a = Address::new(rng.below(1 << 14));
+            let write = rng.chance(0.3);
+            if !c.access(a, write, c0()).is_hit() {
+                c.fill(a, write, c0());
+            }
+        }
+        assert!(c.check_invariants());
+        assert!(c.stats().accesses() == 5_000);
+    }
+}

@@ -1,0 +1,206 @@
+//! An explicit least-recently-used stack over small way indices.
+//!
+//! The paper's mechanisms observe LRU *positions* directly: a hit in the
+//! LRU block increments the "loss" counter (Section 2.1), and Algorithm 1
+//! walks the shared partition's stack from the LRU end. [`LruStack`] keeps
+//! the recency order as an explicit sequence (MRU first) so those
+//! operations are natural and O(ways), which is tiny for the 2–16-way
+//! caches of Table 1.
+
+/// A recency ordering over way indices, most-recently-used first.
+///
+/// The stack does not have to contain every way of a set: the adaptive
+/// last-level cache keeps one stack per private partition and one for the
+/// shared partition, and ways migrate between them.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::lru::LruStack;
+/// let mut s = LruStack::new();
+/// s.push_mru(0);
+/// s.push_mru(1);          // order: 1, 0
+/// assert_eq!(s.lru(), Some(0));
+/// s.touch(0);             // order: 0, 1
+/// assert_eq!(s.lru(), Some(1));
+/// assert_eq!(s.pop_lru(), Some(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LruStack {
+    /// Way indices, index 0 = MRU, last = LRU.
+    order: Vec<u8>,
+}
+
+impl LruStack {
+    /// Creates an empty stack.
+    pub const fn new() -> Self {
+        LruStack { order: Vec::new() }
+    }
+
+    /// Creates a stack pre-populated with ways `0..ways`, way 0 as MRU.
+    pub fn with_ways(ways: usize) -> Self {
+        LruStack {
+            order: (0..ways as u8).collect(),
+        }
+    }
+
+    /// Number of ways currently tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the stack tracks no ways.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The most recently used way, if any.
+    #[inline]
+    pub fn mru(&self) -> Option<u8> {
+        self.order.first().copied()
+    }
+
+    /// The least recently used way, if any.
+    #[inline]
+    pub fn lru(&self) -> Option<u8> {
+        self.order.last().copied()
+    }
+
+    /// Whether `way` is currently in the stack.
+    pub fn contains(&self, way: u8) -> bool {
+        self.order.contains(&way)
+    }
+
+    /// The position of `way` from the MRU end (0 = MRU), if present.
+    pub fn position(&self, way: u8) -> Option<usize> {
+        self.order.iter().position(|&w| w == way)
+    }
+
+    /// Whether `way` currently sits in the LRU position.
+    pub fn is_lru(&self, way: u8) -> bool {
+        self.lru() == Some(way)
+    }
+
+    /// Moves `way` to the MRU position; inserts it if absent.
+    pub fn touch(&mut self, way: u8) {
+        if let Some(pos) = self.position(way) {
+            self.order[..=pos].rotate_right(1);
+        } else {
+            self.order.insert(0, way);
+        }
+    }
+
+    /// Inserts `way` at the MRU position.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `way` is already present (a set must never
+    /// track the same way twice).
+    pub fn push_mru(&mut self, way: u8) {
+        debug_assert!(!self.contains(way), "way {way} already tracked");
+        self.order.insert(0, way);
+    }
+
+    /// Inserts `way` at the LRU position (used when demoting a block).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `way` is already present.
+    pub fn push_lru(&mut self, way: u8) {
+        debug_assert!(!self.contains(way), "way {way} already tracked");
+        self.order.push(way);
+    }
+
+    /// Removes and returns the LRU way.
+    pub fn pop_lru(&mut self) -> Option<u8> {
+        self.order.pop()
+    }
+
+    /// Removes `way` from the stack; returns whether it was present.
+    pub fn remove(&mut self, way: u8) -> bool {
+        if let Some(pos) = self.position(way) {
+            self.order.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates from the LRU end towards the MRU end — the walk order of
+    /// Algorithm 1.
+    pub fn iter_from_lru(&self) -> impl Iterator<Item = u8> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// Iterates from the MRU end towards the LRU end.
+    pub fn iter_from_mru(&self) -> impl Iterator<Item = u8> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_ways_orders_zero_as_mru() {
+        let s = LruStack::with_ways(4);
+        assert_eq!(s.mru(), Some(0));
+        assert_eq!(s.lru(), Some(3));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn touch_promotes_to_mru_preserving_others() {
+        let mut s = LruStack::with_ways(4); // 0,1,2,3
+        s.touch(2); // 2,0,1,3
+        assert_eq!(s.iter_from_mru().collect::<Vec<_>>(), vec![2, 0, 1, 3]);
+        s.touch(3); // 3,2,0,1
+        assert_eq!(s.lru(), Some(1));
+    }
+
+    #[test]
+    fn touch_inserts_missing_way() {
+        let mut s = LruStack::new();
+        s.touch(5);
+        assert_eq!(s.mru(), Some(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn push_and_pop_lru() {
+        let mut s = LruStack::new();
+        s.push_mru(1);
+        s.push_lru(2);
+        assert_eq!(s.iter_from_mru().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(s.pop_lru(), Some(2));
+        assert_eq!(s.pop_lru(), Some(1));
+        assert_eq!(s.pop_lru(), None);
+    }
+
+    #[test]
+    fn remove_middle_way() {
+        let mut s = LruStack::with_ways(3); // 0,1,2
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.iter_from_mru().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn lru_walk_order_matches_algorithm_1() {
+        let mut s = LruStack::with_ways(4);
+        s.touch(3); // 3,0,1,2
+        assert_eq!(s.iter_from_lru().collect::<Vec<_>>(), vec![2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn is_lru_and_position() {
+        let s = LruStack::with_ways(2);
+        assert!(s.is_lru(1));
+        assert!(!s.is_lru(0));
+        assert_eq!(s.position(0), Some(0));
+        assert_eq!(s.position(7), None);
+    }
+}

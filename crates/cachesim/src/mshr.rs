@@ -1,0 +1,189 @@
+//! Miss status holding registers for the non-blocking cache hierarchy.
+//!
+//! Table 1's cores use non-blocking caches: a miss does not stall the
+//! pipeline; independent instructions keep executing while the fill is in
+//! flight. [`MshrFile`] tracks outstanding fills per cache, merging
+//! secondary misses to the same block onto the existing entry so a block
+//! is never fetched twice concurrently.
+
+use simcore::types::{BlockAddr, Cycle};
+
+/// Outcome of [`MshrFile::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must start the fill.
+    Allocated,
+    /// The block already has an outstanding fill completing at the given
+    /// cycle; this (secondary) miss merged onto it.
+    Merged(Cycle),
+    /// No free entry: the requester must stall and retry.
+    Full,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    addr: BlockAddr,
+    ready_at: Cycle,
+}
+
+/// A fixed-capacity miss status holding register file.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::mshr::{MshrFile, MshrOutcome};
+/// use simcore::types::{BlockAddr, Cycle};
+///
+/// let mut mshrs = MshrFile::new(2);
+/// let blk = BlockAddr::new(0x10);
+/// assert_eq!(mshrs.request(blk, Cycle::new(100)), MshrOutcome::Allocated);
+/// assert_eq!(mshrs.request(blk, Cycle::new(120)), MshrOutcome::Merged(Cycle::new(100)));
+/// let done = mshrs.drain_ready(Cycle::new(100));
+/// assert_eq!(done, vec![blk]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one register");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of outstanding fills.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no fill is outstanding.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every register is occupied.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// The completion time of an outstanding fill for `addr`, if any.
+    pub fn lookup(&self, addr: BlockAddr) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|e| e.addr == addr)
+            .map(|e| e.ready_at)
+    }
+
+    /// Registers a miss for `addr` whose fill completes at `ready_at`.
+    ///
+    /// Secondary misses merge (keeping the original completion time); a
+    /// full file reports [`MshrOutcome::Full`] and allocates nothing.
+    pub fn request(&mut self, addr: BlockAddr, ready_at: Cycle) -> MshrOutcome {
+        if let Some(existing) = self.lookup(addr) {
+            return MshrOutcome::Merged(existing);
+        }
+        if self.is_full() {
+            return MshrOutcome::Full;
+        }
+        self.entries.push(Entry { addr, ready_at });
+        MshrOutcome::Allocated
+    }
+
+    /// Extends the completion time of an outstanding fill (used when the
+    /// bus pushes an already-allocated fill later).
+    pub fn postpone(&mut self, addr: BlockAddr, ready_at: Cycle) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) {
+            e.ready_at = e.ready_at.max(ready_at);
+        }
+    }
+
+    /// Removes and returns the blocks whose fills have completed by `now`,
+    /// in completion order.
+    pub fn drain_ready(&mut self, now: Cycle) -> Vec<BlockAddr> {
+        let mut done: Vec<Entry> = Vec::new();
+        self.entries.retain(|e| {
+            if e.ready_at <= now {
+                done.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        done.sort_by_key(|e| e.ready_at);
+        done.into_iter().map(|e| e.addr).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_and_drain() {
+        let mut m = MshrFile::new(4);
+        let a = BlockAddr::new(1);
+        let b = BlockAddr::new(2);
+        assert_eq!(m.request(a, Cycle::new(50)), MshrOutcome::Allocated);
+        assert_eq!(m.request(b, Cycle::new(60)), MshrOutcome::Allocated);
+        assert_eq!(m.request(a, Cycle::new(70)), MshrOutcome::Merged(Cycle::new(50)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.drain_ready(Cycle::new(55)), vec![a]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.drain_ready(Cycle::new(100)), vec![b]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_file_rejects_new_allocations() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.request(BlockAddr::new(1), Cycle::new(10)), MshrOutcome::Allocated);
+        assert_eq!(m.request(BlockAddr::new(2), Cycle::new(10)), MshrOutcome::Full);
+        // But merging onto the existing entry still works.
+        assert_eq!(
+            m.request(BlockAddr::new(1), Cycle::new(10)),
+            MshrOutcome::Merged(Cycle::new(10))
+        );
+    }
+
+    #[test]
+    fn drain_returns_in_completion_order() {
+        let mut m = MshrFile::new(4);
+        m.request(BlockAddr::new(1), Cycle::new(30));
+        m.request(BlockAddr::new(2), Cycle::new(10));
+        m.request(BlockAddr::new(3), Cycle::new(20));
+        assert_eq!(
+            m.drain_ready(Cycle::new(30)),
+            vec![BlockAddr::new(2), BlockAddr::new(3), BlockAddr::new(1)]
+        );
+    }
+
+    #[test]
+    fn postpone_moves_completion_later_only() {
+        let mut m = MshrFile::new(2);
+        m.request(BlockAddr::new(1), Cycle::new(10));
+        m.postpone(BlockAddr::new(1), Cycle::new(25));
+        assert_eq!(m.lookup(BlockAddr::new(1)), Some(Cycle::new(25)));
+        m.postpone(BlockAddr::new(1), Cycle::new(5));
+        assert_eq!(m.lookup(BlockAddr::new(1)), Some(Cycle::new(25)));
+        assert!(m.drain_ready(Cycle::new(10)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

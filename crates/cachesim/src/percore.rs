@@ -1,0 +1,177 @@
+//! A fixed-size table with one slot per core.
+//!
+//! The paper's sharing engine keeps several per-core structures: the two
+//! global counters of Figure 4(c) and the partition parameters of
+//! Figure 4(d). [`PerCore`] wraps a `Vec` indexed by [`CoreId`] so that
+//! those tables cannot be indexed with a bare integer by accident.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use simcore::types::CoreId;
+
+/// A table with exactly one `T` per core.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::percore::PerCore;
+/// use simcore::types::CoreId;
+///
+/// let mut quotas: PerCore<u32> = PerCore::filled(4, 4);
+/// let c2 = CoreId::from_index(2);
+/// quotas[c2] += 1;
+/// assert_eq!(quotas[c2], 5);
+/// assert_eq!(quotas.iter().sum::<u32>(), 17);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerCore<T> {
+    slots: Vec<T>,
+}
+
+impl<T> PerCore<T> {
+    /// Creates a table from a closure invoked once per core.
+    pub fn from_fn(cores: usize, mut f: impl FnMut(CoreId) -> T) -> Self {
+        PerCore {
+            slots: CoreId::all(cores).map(&mut f).collect(),
+        }
+    }
+
+    /// Number of cores.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over the values in core order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter()
+    }
+
+    /// Iterates mutably over the values in core order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut()
+    }
+
+    /// Iterates over `(CoreId, &T)` pairs.
+    pub fn enumerate(&self) -> impl Iterator<Item = (CoreId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (CoreId::from_index(i as u8), t))
+    }
+
+    /// The core whose value maximizes `key`, with its value.
+    pub fn max_by_key<K: PartialOrd>(&self, mut key: impl FnMut(&T) -> K) -> Option<(CoreId, &T)> {
+        let mut best: Option<(CoreId, &T, K)> = None;
+        for (c, t) in self.enumerate() {
+            let k = key(t);
+            match &best {
+                Some((_, _, bk)) if *bk >= k => {}
+                _ => best = Some((c, t, k)),
+            }
+        }
+        best.map(|(c, t, _)| (c, t))
+    }
+
+    /// The core whose value minimizes `key`, with its value.
+    pub fn min_by_key<K: PartialOrd>(&self, mut key: impl FnMut(&T) -> K) -> Option<(CoreId, &T)> {
+        let mut best: Option<(CoreId, &T, K)> = None;
+        for (c, t) in self.enumerate() {
+            let k = key(t);
+            match &best {
+                Some((_, _, bk)) if *bk <= k => {}
+                _ => best = Some((c, t, k)),
+            }
+        }
+        best.map(|(c, t, _)| (c, t))
+    }
+}
+
+impl<T: Clone> PerCore<T> {
+    /// Creates a table with every slot set to `value`.
+    pub fn filled(cores: usize, value: T) -> Self {
+        PerCore {
+            slots: vec![value; cores],
+        }
+    }
+}
+
+impl<T: Default> PerCore<T> {
+    /// Creates a table of defaults.
+    pub fn new(cores: usize) -> Self {
+        PerCore::from_fn(cores, |_| T::default())
+    }
+}
+
+impl<T> Index<CoreId> for PerCore<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, core: CoreId) -> &T {
+        &self.slots[core.index()]
+    }
+}
+
+impl<T> IndexMut<CoreId> for PerCore<T> {
+    #[inline]
+    fn index_mut(&mut self, core: CoreId) -> &mut T {
+        &mut self.slots[core.index()]
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for PerCore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "core{i}: {t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_indexing() {
+        let mut t: PerCore<u64> = PerCore::filled(4, 7);
+        assert_eq!(t.cores(), 4);
+        t[CoreId::from_index(3)] = 9;
+        assert_eq!(t[CoreId::from_index(3)], 9);
+        assert_eq!(t[CoreId::from_index(0)], 7);
+    }
+
+    #[test]
+    fn from_fn_receives_core_ids() {
+        let t = PerCore::from_fn(3, |c| c.index() * 10);
+        assert_eq!(t[CoreId::from_index(2)], 20);
+    }
+
+    #[test]
+    fn max_and_min_by_key() {
+        let t = PerCore {
+            slots: vec![5u64, 2, 9, 9],
+        };
+        let (max_core, &max) = t.max_by_key(|v| *v).unwrap();
+        assert_eq!((max_core.index(), max), (2, 9), "first max wins");
+        let (min_core, &min) = t.min_by_key(|v| *v).unwrap();
+        assert_eq!((min_core.index(), min), (1, 2));
+    }
+
+    #[test]
+    fn enumerate_pairs() {
+        let t: PerCore<u8> = PerCore::new(2);
+        let ids: Vec<usize> = t.enumerate().map(|(c, _)| c.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let t: PerCore<u8> = PerCore::filled(2, 1);
+        assert_eq!(format!("{t}"), "[core0: 1, core1: 1]");
+    }
+}

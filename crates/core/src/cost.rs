@@ -1,0 +1,139 @@
+//! The implementation-cost model of Section 2.7.
+//!
+//! The extra storage of the adaptive scheme is
+//! `0.06 * s * p * t  +  log2(p) * b  +  p * 3 * w` bits, where `s` is the
+//! number of sets, `p` the number of cores, `t` the tag width, `b` the
+//! number of cache blocks and `w` the width of the counters/registers.
+//! For the baseline (4-MByte, 4096-set, 16-way L3, four cores, 24-bit
+//! tags, shadow tags in 1/16 of the sets, 16-bit counters) the paper
+//! reports 152 Kbits — 16 % shadow tags, 84 % core IDs — an overhead of
+//! about 0.5 % of the cache's storage.
+
+use simcore::config::MachineConfig;
+
+/// Storage-cost model for the adaptive scheme's extra state.
+///
+/// # Example
+///
+/// ```
+/// use nuca_core::cost::CostModel;
+/// use simcore::config::MachineConfig;
+///
+/// let cost = CostModel::for_machine(&MachineConfig::baseline());
+/// assert_eq!(cost.total_kbits().round() as u64, 152);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Number of last-level sets (`s`).
+    pub sets: u64,
+    /// Number of cores (`p`).
+    pub cores: u64,
+    /// Tag width in bits (`t`).
+    pub tag_bits: u64,
+    /// Number of cache blocks (`b`).
+    pub blocks: u64,
+    /// Counter/register width in bits (`w`).
+    pub counter_bits: u64,
+    /// Shadow tags monitor `sets >> shadow_shift` sets (4 = the paper's
+    /// 1/16 ≈ 6 %).
+    pub shadow_shift: u32,
+}
+
+impl CostModel {
+    /// The cost model for a machine, with the paper's 24-bit tags,
+    /// 16-bit counters and 1/16 shadow-tag sampling.
+    pub fn for_machine(cfg: &MachineConfig) -> Self {
+        let geom = cfg.l3.shared;
+        CostModel {
+            sets: geom.sets(),
+            cores: cfg.cores as u64,
+            tag_bits: 24,
+            blocks: geom.size_bytes() / geom.block_bytes() as u64,
+            counter_bits: 16,
+            shadow_shift: 4,
+        }
+    }
+
+    /// Shadow-tag storage: one `t`-bit register per monitored set per
+    /// core.
+    pub fn shadow_tag_bits(&self) -> u64 {
+        (self.sets >> self.shadow_shift) * self.cores * self.tag_bits
+    }
+
+    /// Core-ID storage: `log2(p)` bits per cache block (Figure 4a).
+    pub fn core_id_bits(&self) -> u64 {
+        (self.cores.max(2)).ilog2() as u64 * self.blocks
+    }
+
+    /// The two counters and one quota register per core (Figures 4c, 4d).
+    pub fn counter_total_bits(&self) -> u64 {
+        self.cores * 3 * self.counter_bits
+    }
+
+    /// Total extra storage in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.shadow_tag_bits() + self.core_id_bits() + self.counter_total_bits()
+    }
+
+    /// Total in Kbits (1 Kbit = 1024 bits).
+    pub fn total_kbits(&self) -> f64 {
+        self.total_bits() as f64 / 1024.0
+    }
+
+    /// Fraction of the L3's data+nothing storage this overhead adds,
+    /// for a cache of `cache_bytes` bytes.
+    pub fn overhead_fraction(&self, cache_bytes: u64) -> f64 {
+        self.total_bits() as f64 / (cache_bytes as f64 * 8.0)
+    }
+
+    /// Fraction of the overhead spent on shadow tags.
+    pub fn shadow_fraction(&self) -> f64 {
+        self.shadow_tag_bits() as f64 / self.total_bits() as f64
+    }
+
+    /// Fraction of the overhead spent on per-block core IDs.
+    pub fn core_id_fraction(&self) -> f64 {
+        self.core_id_bits() as f64 / self.total_bits() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> CostModel {
+        CostModel::for_machine(&MachineConfig::baseline())
+    }
+
+    #[test]
+    fn baseline_matches_papers_152_kbits() {
+        let c = baseline();
+        // 256 sets x 4 cores x 24 bits + 2 bits x 65536 blocks + 192.
+        assert_eq!(c.shadow_tag_bits(), 24_576);
+        assert_eq!(c.core_id_bits(), 131_072);
+        assert_eq!(c.counter_total_bits(), 192);
+        assert_eq!(c.total_bits(), 155_840);
+        assert_eq!(c.total_kbits().round() as u64, 152);
+    }
+
+    #[test]
+    fn split_is_16_percent_shadow_84_percent_core_ids() {
+        let c = baseline();
+        assert!((c.shadow_fraction() - 0.16).abs() < 0.01);
+        assert!((c.core_id_fraction() - 0.84).abs() < 0.01);
+    }
+
+    #[test]
+    fn overhead_is_about_half_a_percent() {
+        let c = baseline();
+        let frac = c.overhead_fraction(4 * 1024 * 1024);
+        assert!((0.004..0.006).contains(&frac), "overhead {frac}");
+    }
+
+    #[test]
+    fn monitoring_all_sets_costs_16x_more_shadow() {
+        let mut c = baseline();
+        c.shadow_shift = 0;
+        assert_eq!(c.shadow_tag_bits(), 24_576 * 16);
+    }
+}

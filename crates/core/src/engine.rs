@@ -1,0 +1,429 @@
+//! The sharing engine (Section 2.1): gain/loss estimation and periodic
+//! re-evaluation of the per-core partition quotas.
+//!
+//! The engine owns the structures of Figure 4:
+//!
+//! - (b) the shadow-tag table — one evicted-tag register per (set, core),
+//!   optionally sampled over the lowest-index sets (§4.6);
+//! - (c) the two global counters per core — *hits in the LRU blocks*
+//!   (the cost of shrinking by one block/set, after Suh et al.) and
+//!   *hits in the shadow tags* (the benefit of growing by one block/set);
+//! - (d) the partition parameters — *max. no. of blocks in set* per core.
+//!
+//! Every `reeval_period` last-level misses (2000 in the paper) the core
+//! with the highest gain is compared against the core with the lowest
+//! loss; if the gain is higher, one block per set moves from the loser's
+//! quota to the gainer's. Counters are reset each period.
+
+use cachesim::percore::PerCore;
+use cachesim::shadow::{SetSampling, ShadowTags};
+use simcore::types::{BlockAddr, CoreId};
+
+/// Tunables of the adaptive scheme; defaults are the paper's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveParams {
+    /// Last-level misses between quota re-evaluations (paper: 2000).
+    pub reeval_period: u64,
+    /// Which sets carry shadow-tag registers (§4.6). The default
+    /// monitors every set; the paper's production configuration is
+    /// `SetSampling::LowestIndex { shift: 4 }` (1/16 of the sets), and
+    /// random / prime-stride subsets are available for the §4.6
+    /// strategy comparison.
+    pub shadow_sampling: SetSampling,
+    /// Use Algorithm 1 (evict over-quota owners first) for the shared
+    /// partition. `false` degrades to plain global LRU — an ablation.
+    pub use_algorithm1: bool,
+    /// How many of a core's quota blocks are contributed to the shared
+    /// partition rather than held privately. The paper's initial
+    /// partitioning is 75 % private / 25 % shared, i.e. a reserve of 1 on
+    /// a 4-way slice; 0 starts fully private, larger values start more
+    /// shared. The paper guarantees at least one shared block per core.
+    pub shared_reserve: u32,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            reeval_period: 2000,
+            shadow_sampling: SetSampling::ALL,
+            use_algorithm1: true,
+            shared_reserve: 1,
+        }
+    }
+}
+
+/// The outcome of one re-evaluation period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repartition {
+    /// Core whose quota grew by one block per set.
+    pub gainer: CoreId,
+    /// Core whose quota shrank by one block per set.
+    pub loser: CoreId,
+    /// Normalized shadow-tag hits of the gainer this period.
+    pub gain: u64,
+    /// LRU-block hits of the loser this period.
+    pub loss: u64,
+}
+
+/// The sharing engine: quota state plus gain/loss estimators.
+///
+/// # Example
+///
+/// ```
+/// use nuca_core::engine::{AdaptiveParams, SharingEngine};
+/// use simcore::types::{BlockAddr, CoreId};
+///
+/// let mut eng = SharingEngine::new(64, 4, 16, 4, AdaptiveParams::default());
+/// let c0 = CoreId::from_index(0);
+/// assert_eq!(eng.quota(c0), 4);            // 75% private start: 3 + 1 shared
+/// assert_eq!(eng.private_capacity(c0), 3);
+/// eng.record_eviction(0, c0, BlockAddr::new(0xabc));
+/// eng.observe_miss(0, c0, BlockAddr::new(0xabc));
+/// assert_eq!(eng.shadow_hits(c0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharingEngine {
+    params: AdaptiveParams,
+    cores: usize,
+    total_ways: u32,
+    local_assoc: u32,
+    quotas: PerCore<u32>,
+    lru_hits: PerCore<u64>,
+    shadow: ShadowTags,
+    misses_since_reeval: u64,
+    repartitions: Vec<Repartition>,
+    frozen: bool,
+}
+
+impl SharingEngine {
+    /// Creates an engine for a cache of `sets` sets and `total_ways` ways
+    /// shared by `cores` cores whose local slices are `local_assoc`-way.
+    ///
+    /// The initial partitioning is the paper's 75 %/25 % split: every
+    /// core's quota starts at `local_assoc` blocks per set, of which
+    /// `local_assoc - 1` are private and one is its guaranteed share of
+    /// the shared partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent
+    /// (`cores * local_assoc != total_ways`) or any dimension is zero.
+    pub fn new(
+        sets: usize,
+        cores: usize,
+        total_ways: u32,
+        local_assoc: u32,
+        params: AdaptiveParams,
+    ) -> Self {
+        assert!(cores > 0 && total_ways > 0 && local_assoc > 0, "geometry must be nonzero");
+        assert_eq!(
+            cores as u32 * local_assoc,
+            total_ways,
+            "local slices must tile the aggregate ways"
+        );
+        SharingEngine {
+            params,
+            cores,
+            total_ways,
+            local_assoc,
+            quotas: PerCore::filled(cores, local_assoc),
+            lru_hits: PerCore::filled(cores, 0),
+            shadow: ShadowTags::with_sampling(sets, cores, params.shadow_sampling),
+            misses_since_reeval: 0,
+            repartitions: Vec::new(),
+            frozen: false,
+        }
+    }
+
+    /// Freezes or unfreezes quota re-evaluation. While frozen the
+    /// estimator counters still accumulate but quotas never change —
+    /// used so functional warm-up (which paces all cores equally and
+    /// would therefore mis-weigh the per-wall-clock counters) leaves the
+    /// measured phase to adapt from the paper's initial 75 %/25 %
+    /// partitioning.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// The engine's tunables.
+    pub fn params(&self) -> &AdaptiveParams {
+        &self.params
+    }
+
+    /// Current quota (max blocks per set, Figure 4d) for `core`.
+    #[inline]
+    pub fn quota(&self, core: CoreId) -> u32 {
+        self.quotas[core]
+    }
+
+    /// All quotas in core order.
+    pub fn quotas(&self) -> Vec<u32> {
+        self.quotas.iter().copied().collect()
+    }
+
+    /// Capacity of `core`'s private partition in blocks per set: the
+    /// quota minus the guaranteed shared block, capped by the local
+    /// slice's associativity.
+    #[inline]
+    pub fn private_capacity(&self, core: CoreId) -> u32 {
+        self.quotas[core]
+            .saturating_sub(self.params.shared_reserve)
+            .min(self.local_assoc)
+    }
+
+    /// Records a hit in `core`'s private-LRU block (the loss estimator).
+    #[inline]
+    pub fn record_lru_hit(&mut self, core: CoreId) {
+        self.lru_hits[core] += 1;
+    }
+
+    /// Records the eviction of a block fetched by `owner` from `set`
+    /// (stores the tag in the owner's shadow register).
+    #[inline]
+    pub fn record_eviction(&mut self, set: usize, owner: CoreId, addr: BlockAddr) {
+        self.shadow.record_eviction(set, owner, addr);
+    }
+
+    /// Observes a last-level miss: checks the requester's shadow tag (the
+    /// gain estimator) and advances the re-evaluation period, possibly
+    /// repartitioning. Returns the repartition if one happened.
+    pub fn observe_miss(
+        &mut self,
+        set: usize,
+        requester: CoreId,
+        addr: BlockAddr,
+    ) -> Option<Repartition> {
+        self.shadow.check_miss(set, requester, addr);
+        self.misses_since_reeval += 1;
+        if self.misses_since_reeval >= self.params.reeval_period {
+            self.misses_since_reeval = 0;
+            if self.frozen {
+                // Discard the distorted warm-phase estimates.
+                self.shadow.reset_counters();
+                for h in self.lru_hits.iter_mut() {
+                    *h = 0;
+                }
+                return None;
+            }
+            return self.reevaluate();
+        }
+        None
+    }
+
+    /// Raw shadow-tag hits this period for `core`.
+    pub fn shadow_hits(&self, core: CoreId) -> u64 {
+        self.shadow.hits(core)
+    }
+
+    /// LRU-block hits this period for `core`.
+    pub fn lru_hits(&self, core: CoreId) -> u64 {
+        self.lru_hits[core]
+    }
+
+    /// Whether `set` is monitored by shadow tags.
+    pub fn monitors_set(&self, set: usize) -> bool {
+        self.shadow.monitors(set)
+    }
+
+    /// Whether Algorithm 1 victim search is enabled.
+    #[inline]
+    pub fn use_algorithm1(&self) -> bool {
+        self.params.use_algorithm1
+    }
+
+    /// History of quota transfers so far.
+    pub fn repartitions(&self) -> &[Repartition] {
+        &self.repartitions
+    }
+
+    /// Upper quota bound: every other core keeps at least one block/set.
+    fn max_quota(&self) -> u32 {
+        self.total_ways - (self.cores as u32 - 1)
+    }
+
+    fn reevaluate(&mut self) -> Option<Repartition> {
+        // Gainer: highest normalized shadow-tag hits among cores that can
+        // still grow.
+        let max_quota = self.max_quota();
+        let gainer = CoreId::all(self.cores)
+            .filter(|c| self.quotas[*c] < max_quota)
+            .max_by_key(|c| (self.shadow.normalized_hits(*c), std::cmp::Reverse(c.index())));
+        // Loser: lowest LRU-block hits among the remaining cores that can
+        // still shrink (quota > 1: one shared block is always guaranteed).
+        let result = gainer.and_then(|g| {
+            let loser = CoreId::all(self.cores)
+                .filter(|c| *c != g && self.quotas[*c] > 1)
+                .min_by_key(|c| (self.lru_hits[*c], c.index()))?;
+            let gain = self.shadow.normalized_hits(g);
+            let loss = self.lru_hits[loser];
+            if gain > loss {
+                self.quotas[g] += 1;
+                self.quotas[loser] -= 1;
+                let r = Repartition {
+                    gainer: g,
+                    loser,
+                    gain,
+                    loss,
+                };
+                self.repartitions.push(r);
+                Some(r)
+            } else {
+                None
+            }
+        });
+        // "The counters are reset after each re-evaluation period."
+        self.shadow.reset_counters();
+        for h in self.lru_hits.iter_mut() {
+            *h = 0;
+        }
+        result
+    }
+
+    /// Checks the quota invariant: quotas sum to the total ways and each
+    /// lies in `[1, total_ways - cores + 1]`. Intended for tests.
+    pub fn check_invariants(&self) -> bool {
+        let sum: u32 = self.quotas.iter().sum();
+        sum == self.total_ways
+            && self
+                .quotas
+                .iter()
+                .all(|&q| (1..=self.max_quota()).contains(&q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u8) -> CoreId {
+        CoreId::from_index(i)
+    }
+
+    fn engine(period: u64) -> SharingEngine {
+        SharingEngine::new(
+            64,
+            4,
+            16,
+            4,
+            AdaptiveParams {
+                reeval_period: period,
+                ..AdaptiveParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn initial_partitioning_is_75_percent_private() {
+        let eng = engine(2000);
+        for i in 0..4 {
+            assert_eq!(eng.quota(c(i)), 4);
+            assert_eq!(eng.private_capacity(c(i)), 3);
+        }
+        assert!(eng.check_invariants());
+    }
+
+    #[test]
+    fn gain_exceeding_loss_transfers_one_block() {
+        let mut eng = engine(4);
+        // Core 0 would gain a lot: give it shadow hits.
+        for i in 0..3u64 {
+            eng.record_eviction(0, c(0), BlockAddr::new(i));
+            eng.observe_miss(0, c(0), BlockAddr::new(i));
+        }
+        // Core 3 has no LRU hits -> cheapest loser.
+        eng.record_lru_hit(c(1));
+        eng.record_lru_hit(c(2));
+        // Fourth miss triggers re-evaluation.
+        let r = eng.observe_miss(1, c(1), BlockAddr::new(99)).expect("repartition");
+        assert_eq!(r.gainer, c(0));
+        assert_eq!(r.loser, c(3));
+        assert_eq!(eng.quota(c(0)), 5);
+        assert_eq!(eng.quota(c(3)), 3);
+        assert!(eng.check_invariants());
+    }
+
+    #[test]
+    fn no_transfer_when_loss_dominates() {
+        let mut eng = engine(2);
+        // Everyone has many LRU hits, nobody has shadow hits.
+        for i in 0..4 {
+            for _ in 0..10 {
+                eng.record_lru_hit(c(i));
+            }
+        }
+        assert!(eng.observe_miss(0, c(0), BlockAddr::new(1)).is_none());
+        assert!(eng.observe_miss(0, c(0), BlockAddr::new(2)).is_none());
+        assert_eq!(eng.quotas(), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn counters_reset_each_period() {
+        let mut eng = engine(2);
+        eng.record_lru_hit(c(0));
+        eng.record_eviction(0, c(1), BlockAddr::new(5));
+        eng.observe_miss(0, c(1), BlockAddr::new(5));
+        assert_eq!(eng.shadow_hits(c(1)), 1);
+        // Period boundary.
+        eng.observe_miss(0, c(2), BlockAddr::new(77));
+        assert_eq!(eng.shadow_hits(c(1)), 0);
+        assert_eq!(eng.lru_hits(c(0)), 0);
+    }
+
+    #[test]
+    fn quota_never_drops_below_one() {
+        let mut eng = engine(1);
+        // Persistently favor core 0: every miss hits core 0's shadow tag.
+        for round in 0..100u64 {
+            eng.record_eviction(0, c(0), BlockAddr::new(round));
+            eng.observe_miss(0, c(0), BlockAddr::new(round));
+        }
+        assert!(eng.check_invariants());
+        for i in 1..4 {
+            assert!(eng.quota(c(i)) >= 1);
+        }
+        assert_eq!(eng.quota(c(0)), 13, "core 0 absorbs all slack");
+    }
+
+    #[test]
+    fn private_capacity_caps_at_local_assoc() {
+        let mut eng = engine(1);
+        for round in 0..100u64 {
+            eng.record_eviction(0, c(0), BlockAddr::new(round));
+            eng.observe_miss(0, c(0), BlockAddr::new(round));
+        }
+        assert_eq!(eng.quota(c(0)), 13);
+        assert_eq!(eng.private_capacity(c(0)), 4, "private part never exceeds the local slice");
+        assert_eq!(eng.private_capacity(c(3)), 0, "quota 1 = shared-only");
+    }
+
+    #[test]
+    fn sampling_shift_reduces_monitored_sets() {
+        let eng = SharingEngine::new(
+            64,
+            4,
+            16,
+            4,
+            AdaptiveParams {
+                shadow_sampling: SetSampling::LowestIndex { shift: 2 },
+                ..AdaptiveParams::default()
+            },
+        );
+        assert!(eng.monitors_set(0));
+        assert!(!eng.monitors_set(16));
+    }
+
+    #[test]
+    fn repartition_history_is_recorded() {
+        let mut eng = engine(1);
+        eng.record_eviction(0, c(2), BlockAddr::new(9));
+        eng.observe_miss(0, c(2), BlockAddr::new(9));
+        assert_eq!(eng.repartitions().len(), 1);
+        assert_eq!(eng.repartitions()[0].gainer, c(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn inconsistent_geometry_panics() {
+        let _ = SharingEngine::new(64, 4, 16, 3, AdaptiveParams::default());
+    }
+}

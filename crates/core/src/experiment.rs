@@ -1,0 +1,319 @@
+//! The evaluation harness: runs the paper's experiments end to end.
+//!
+//! Section 3's methodology — four randomly picked applications, random
+//! fast-forward, warm-up, a fixed measured window — is captured by
+//! [`ExperimentConfig`] and [`run_mix`]. On top of that sit the
+//! per-figure drivers: [`classify`] (Figure 5), [`sensitivity_sweep`]
+//! (Figure 3) and [`compare_schemes`] (Figures 6–12 share it).
+
+use simcore::config::{CacheGeometry, MachineConfig, MachineConfigBuilder};
+use simcore::error::Result;
+use simcore::types::CoreId;
+use tracegen::spec::SpecApp;
+use tracegen::workload::{Mix, WorkloadPool};
+
+use crate::cmp::{Cmp, CmpResult};
+use crate::l3::Organization;
+
+/// How long to warm up and measure each experiment.
+///
+/// The paper fast-forwards 0.5–1.5 G instructions and measures 200 M
+/// cycles on a simulation farm; the defaults here are scaled down to
+/// laptop time while keeping the relative orderings stable. Both knobs
+/// are public so benches can sweep them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Instructions per core warmed *functionally* (state updates without
+    /// pipeline timing) before the timed phase — the cheap equivalent of
+    /// the paper's fast-forward, enough to populate megabyte working
+    /// sets.
+    pub warm_instructions: u64,
+    /// Timed cycles simulated before statistics reset (settles the
+    /// pipeline, bus and MSHR state).
+    pub warmup_cycles: u64,
+    /// Cycles measured after warm-up.
+    pub measure_cycles: u64,
+    /// Master seed (workload construction and per-core streams).
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            warm_instructions: 3_000_000,
+            warmup_cycles: 1_000_000,
+            measure_cycles: 1_500_000,
+            seed: 2007,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            warm_instructions: 400_000,
+            warmup_cycles: 20_000,
+            measure_cycles: 150_000,
+            seed: 2007,
+        }
+    }
+
+    /// Scales every phase by `num/den` (used by benches to trade
+    /// precision for wall-clock time via the command line).
+    #[must_use]
+    pub fn scaled(&self, num: u64, den: u64) -> Self {
+        ExperimentConfig {
+            warm_instructions: (self.warm_instructions * num / den).max(1),
+            warmup_cycles: (self.warmup_cycles * num / den).max(1),
+            measure_cycles: (self.measure_cycles * num / den).max(1),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Result of running one mix under one organization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixResult {
+    /// Which applications ran.
+    pub mix: Mix,
+    /// Organization label.
+    pub organization: &'static str,
+    /// The measured window.
+    pub result: CmpResult,
+}
+
+/// Runs one mix under one organization: warm-up, reset, measure.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Cmp::new`].
+pub fn run_mix(
+    machine: &MachineConfig,
+    org: Organization,
+    mix: &Mix,
+    exp: &ExperimentConfig,
+) -> Result<MixResult> {
+    let mut cmp = Cmp::new(machine, org, mix, exp.seed)?;
+    cmp.warm(exp.warm_instructions);
+    cmp.run(exp.warmup_cycles);
+    cmp.reset_stats();
+    cmp.run(exp.measure_cycles);
+    Ok(MixResult {
+        mix: mix.clone(),
+        organization: org.label(),
+        result: cmp.snapshot(),
+    })
+}
+
+/// Runs the same mix under several organizations (the Figure 6–12
+/// pattern). Results are in the same order as `orgs`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Cmp::new`].
+pub fn compare_schemes(
+    machine: &MachineConfig,
+    orgs: &[Organization],
+    mix: &Mix,
+    exp: &ExperimentConfig,
+) -> Result<Vec<MixResult>> {
+    orgs.iter().map(|org| run_mix(machine, *org, mix, exp)).collect()
+}
+
+/// One row of the Figure 5 classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// The application.
+    pub app: SpecApp,
+    /// Measured last-level accesses per thousand cycles.
+    pub accesses_per_kilocycle: f64,
+    /// Measured IPC (private organization).
+    pub ipc: f64,
+    /// Whether it crosses the paper's nine-per-thousand threshold.
+    pub intensive: bool,
+}
+
+/// Figure 5: classifies every application by last-level intensity,
+/// running each alone (replicated on all cores) over private slices.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Cmp::new`].
+/// Derives a single-core machine with one private slice of the original
+/// machine's per-core L3 — the paper characterizes applications
+/// individually (Figures 3 and 5), without neighbors contending for the
+/// off-chip bus.
+fn characterization_machine(machine: &MachineConfig) -> Result<MachineConfig> {
+    MachineConfigBuilder::new()
+        .cores(1)
+        .pipeline(machine.pipeline)
+        .branch(machine.branch)
+        .tlb(machine.tlb)
+        .memory(machine.memory)
+        .l2_size(machine.l2.size_bytes())
+        .l3_capacity(machine.l3.private.size_bytes())
+        .l3_private_latency(machine.l3.private.latency())
+        .l3_shared_latency(machine.l3.shared.latency())
+        .l3_neighbor_latency(machine.l3.neighbor_latency)
+        .build()
+}
+
+pub fn classify(machine: &MachineConfig, exp: &ExperimentConfig) -> Result<Vec<Classification>> {
+    let single = characterization_machine(machine)?;
+    SpecApp::ALL
+        .into_iter()
+        .map(|app| {
+            let mix = WorkloadPool::homogeneous(app, single.cores, exp.seed);
+            let r = run_mix(&single, Organization::Private, &mix, exp)?;
+            let stats = r.result.per_core[0].1;
+            let apkc = stats.l3_accesses_per_kilocycle();
+            Ok(Classification {
+                app,
+                accesses_per_kilocycle: apkc,
+                ipc: stats.ipc(),
+                intensive: apkc > 9.0,
+            })
+        })
+        .collect()
+}
+
+/// One point of the Figure 3 sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityPoint {
+    /// Blocks per set (associativity with the set count fixed).
+    pub blocks_per_set: u32,
+    /// Last-level misses observed in the measured window (core 0).
+    pub misses: u64,
+    /// Last-level accesses in the window (core 0).
+    pub accesses: u64,
+}
+
+/// Figure 3: misses as a function of blocks per set, with the set count
+/// fixed at the baseline's 4096. Each point runs `app` alone over private
+/// slices of the requested associativity.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sensitivity_sweep(
+    machine: &MachineConfig,
+    app: SpecApp,
+    ways: &[u32],
+    exp: &ExperimentConfig,
+) -> Result<Vec<SensitivityPoint>> {
+    let single = characterization_machine(machine)?;
+    let sets = machine.l3.private.sets();
+    let block = machine.l3.private.block_bytes();
+    let latency = machine.l3.private.latency();
+    ways.iter()
+        .map(|&w| {
+            let geometry =
+                CacheGeometry::new(sets * w as u64 * block as u64, w, block, latency)?;
+            let mix = WorkloadPool::homogeneous(app, single.cores, exp.seed);
+            let r = run_mix(&single, Organization::PrivateCustom { geometry }, &mix, exp)?;
+            let stats = r.result.per_core[0].1;
+            Ok(SensitivityPoint {
+                blocks_per_set: w,
+                misses: stats.l3_misses,
+                accesses: stats.l3_accesses,
+            })
+        })
+        .collect()
+}
+
+/// Per-application speedup aggregation used by Figures 7, 8, 9 and 10:
+/// for every application, the mean over all its appearances of
+/// (its IPC under `new`) / (its IPC under `baseline`).
+pub fn per_app_speedup(
+    new: &[MixResult],
+    baseline: &[MixResult],
+) -> Vec<(&'static str, f64, usize)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
+    for (n, b) in new.iter().zip(baseline) {
+        debug_assert_eq!(n.mix.apps, b.mix.apps, "mixes must align");
+        for i in 0..n.result.per_core.len() {
+            let app = n.result.per_core[i].0;
+            let s_new = n.result.ipc[i];
+            let s_base = b.result.ipc[i];
+            if s_base > 0.0 {
+                let e = acc.entry(app).or_insert((0.0, 0));
+                e.0 += s_new / s_base;
+                e.1 += 1;
+            }
+        }
+    }
+    acc.into_iter()
+        .map(|(app, (sum, n))| (app, sum / n as f64, n))
+        .collect()
+}
+
+/// Convenience: which core ran which app in a result (used by reports).
+pub fn core_apps(result: &MixResult) -> Vec<(CoreId, &'static str)> {
+    result
+        .result
+        .per_core
+        .iter()
+        .enumerate()
+        .map(|(i, (app, _))| (CoreId::from_index(i as u8), *app))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_mix_measures_requested_window() {
+        let machine = MachineConfig::baseline();
+        let exp = ExperimentConfig::quick();
+        let mix = WorkloadPool::homogeneous(SpecApp::Gzip, 4, 1);
+        let r = run_mix(&machine, Organization::Private, &mix, &exp).unwrap();
+        assert_eq!(r.result.per_core[0].1.cycles, exp.measure_cycles);
+        assert_eq!(r.organization, "private");
+    }
+
+    #[test]
+    fn compare_schemes_aligns_mixes() {
+        let machine = MachineConfig::baseline();
+        let exp = ExperimentConfig::quick();
+        let mix = WorkloadPool::homogeneous(SpecApp::Parser, 4, 2);
+        let rs = compare_schemes(
+            &machine,
+            &[Organization::Private, Organization::Shared],
+            &mix,
+            &exp,
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].mix, rs[1].mix);
+    }
+
+    #[test]
+    fn per_app_speedup_averages_appearances() {
+        let machine = MachineConfig::baseline();
+        let exp = ExperimentConfig::quick();
+        let mix = WorkloadPool::homogeneous(SpecApp::Gzip, 4, 3);
+        let a = vec![run_mix(&machine, Organization::Private, &mix, &exp).unwrap()];
+        let b = a.clone();
+        let speedups = per_app_speedup(&a, &b);
+        assert_eq!(speedups.len(), 1);
+        let (app, s, n) = speedups[0];
+        assert_eq!(app, "gzip");
+        assert!((s - 1.0).abs() < 1e-12, "self-speedup is 1.0");
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn sensitivity_sweep_is_monotone_enough() {
+        // More blocks per set can only help (within noise): the last
+        // point must not have more misses than the first.
+        let machine = MachineConfig::baseline();
+        let exp = ExperimentConfig::quick();
+        let points =
+            sensitivity_sweep(&machine, SpecApp::Gzip, &[1, 4, 8], &exp).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[2].misses <= points[0].misses);
+    }
+}

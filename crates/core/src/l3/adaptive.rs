@@ -1,0 +1,735 @@
+//! The paper's contribution: the adaptive shared/private NUCA last-level
+//! cache (Section 2).
+//!
+//! Every set of the aggregate 16-way cache is divided into per-core
+//! **private partitions** (each at most the 4 ways of the core's local
+//! slice) and one **shared partition** holding everything else. The
+//! division is *logical*: partitions are LRU stacks over way indices, and
+//! "moving" a block between partitions re-labels its way rather than
+//! copying data — the paper's lazy repartitioning.
+//!
+//! Key events (Section 2.3):
+//!
+//! - **Private hit** (14 cycles): the block moves to the top of its
+//!   private LRU stack. A hit in the LRU position feeds the loss
+//!   estimator.
+//! - **Shared/neighbor hit** (19 cycles): the block is swapped into the
+//!   requester's private partition — the private-LRU block takes its
+//!   place in the shared partition as shared-MRU.
+//! - **Miss**: the line is fetched from memory and installed private-MRU.
+//!   The private-LRU block is demoted to the shared partition; the shared
+//!   victim is chosen by Algorithm 1 (first over-quota owner from the LRU
+//!   end, else the global LRU block). The victim's tag is recorded in its
+//!   owner's shadow register, feeding the gain estimator; every 2000
+//!   misses the sharing engine re-evaluates the quotas.
+
+use cachesim::lru::LruStack;
+use cachesim::percore::PerCore;
+use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
+use memsim::{MainMemory, MemoryStats};
+use simcore::config::MachineConfig;
+use simcore::types::{Address, BlockAddr, CoreId, Cycle};
+
+use crate::engine::{AdaptiveParams, SharingEngine};
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    valid: bool,
+    addr: BlockAddr,
+    dirty: bool,
+    owner: CoreId,
+}
+
+impl Block {
+    const INVALID: Block = Block {
+        valid: false,
+        addr: BlockAddr::new(0),
+        dirty: false,
+        owner: CoreId::from_index(0),
+    };
+}
+
+#[derive(Debug, Clone)]
+struct AdaptiveSet {
+    blocks: Vec<Block>,
+    private: Vec<LruStack>,
+    shared: LruStack,
+}
+
+impl AdaptiveSet {
+    fn new(ways: usize, cores: usize) -> Self {
+        AdaptiveSet {
+            blocks: vec![Block::INVALID; ways],
+            private: vec![LruStack::new(); cores],
+            shared: LruStack::new(),
+        }
+    }
+
+    fn find(&self, addr: BlockAddr) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|b| b.valid && b.addr == addr)
+    }
+
+    fn owned_count(&self, owner: CoreId) -> u32 {
+        self.blocks
+            .iter()
+            .filter(|b| b.valid && b.owner == owner)
+            .count() as u32
+    }
+}
+
+/// Aggregate statistics of the adaptive organization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Hits served from the requester's private partition (14 cycles).
+    pub private_hits: u64,
+    /// Hits served from the shared partition (19 cycles).
+    pub shared_hits: u64,
+    /// Misses served by main memory.
+    pub misses: u64,
+    /// Blocks evicted from the chip.
+    pub evictions: u64,
+    /// Evictions where Algorithm 1 found an over-quota victim (rather
+    /// than falling back to the global LRU block).
+    pub over_quota_evictions: u64,
+    /// Private-to-shared demotions.
+    pub demotions: u64,
+    /// Quota transfers performed by the sharing engine.
+    pub repartitions: u64,
+}
+
+/// Per-core residency measured by [`AdaptiveL3::occupancy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyRow {
+    /// The owning core.
+    pub core: CoreId,
+    /// Blocks resident in the core's private partitions.
+    pub private_blocks: u64,
+    /// Blocks owned by the core resident in the shared partition.
+    pub shared_blocks: u64,
+}
+
+impl OccupancyRow {
+    /// Total blocks owned by the core.
+    pub fn total(&self) -> u64 {
+        self.private_blocks + self.shared_blocks
+    }
+}
+
+/// The adaptive shared/private NUCA last-level cache.
+///
+/// # Example
+///
+/// ```
+/// use nuca_core::engine::AdaptiveParams;
+/// use nuca_core::l3::AdaptiveL3;
+/// use cpusim::l3iface::LastLevel;
+/// use simcore::config::MachineConfig;
+/// use simcore::types::{Address, CoreId, Cycle};
+///
+/// let cfg = MachineConfig::baseline();
+/// let mut l3 = AdaptiveL3::new(&cfg, AdaptiveParams::default());
+/// let c0 = CoreId::from_index(0);
+/// l3.access(c0, Address::new(0x1000), false, Cycle::new(0));   // miss
+/// let out = l3.access(c0, Address::new(0x1000), false, Cycle::new(500));
+/// assert_eq!(out.data_ready.raw(), 514);                        // private hit
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveL3 {
+    sets: Vec<AdaptiveSet>,
+    engine: SharingEngine,
+    memory: MainMemory,
+    cores: usize,
+    offset_bits: u32,
+    index_bits: u32,
+    private_latency: u64,
+    shared_latency: u64,
+    stats: AdaptiveStats,
+    victims_by_owner: PerCore<u64>,
+    lru_fallback_victims_by_owner: PerCore<u64>,
+}
+
+impl AdaptiveL3 {
+    /// Builds the adaptive organization for the given machine.
+    pub fn new(cfg: &MachineConfig, params: AdaptiveParams) -> Self {
+        let geom = cfg.l3.shared;
+        let sets = geom.sets() as usize;
+        let ways = geom.total_ways() as usize;
+        AdaptiveL3 {
+            sets: (0..sets).map(|_| AdaptiveSet::new(ways, cfg.cores)).collect(),
+            engine: SharingEngine::new(
+                sets,
+                cfg.cores,
+                geom.total_ways(),
+                cfg.l3.private.total_ways(),
+                params,
+            ),
+            memory: MainMemory::new(cfg.memory, geom.block_bytes()),
+            cores: cfg.cores,
+            offset_bits: geom.offset_bits(),
+            index_bits: geom.index_bits(),
+            private_latency: cfg.l3.private.latency(),
+            shared_latency: cfg.l3.neighbor_latency,
+            stats: AdaptiveStats::default(),
+            victims_by_owner: PerCore::filled(cfg.cores, 0),
+            lru_fallback_victims_by_owner: PerCore::filled(cfg.cores, 0),
+        }
+    }
+
+    /// How many blocks each core has had evicted from the shared
+    /// partition (diagnostics), and how many of those came from the
+    /// global-LRU fallback rather than the over-quota rule.
+    pub fn eviction_breakdown(&self) -> (Vec<u64>, Vec<u64>) {
+        (
+            self.victims_by_owner.iter().copied().collect(),
+            self.lru_fallback_victims_by_owner.iter().copied().collect(),
+        )
+    }
+
+    /// Freezes or unfreezes quota adaptation (see
+    /// [`SharingEngine::set_frozen`]).
+    pub fn set_adaptation_frozen(&mut self, frozen: bool) {
+        self.engine.set_frozen(frozen);
+    }
+
+    /// The sharing engine (quotas, counters, repartition history).
+    pub fn engine(&self) -> &SharingEngine {
+        &self.engine
+    }
+
+    /// Current per-core quotas (max blocks per set, Figure 4d).
+    pub fn quotas(&self) -> Vec<u32> {
+        self.engine.quotas()
+    }
+
+    /// Organization-level statistics.
+    pub fn stats(&self) -> AdaptiveStats {
+        let mut s = self.stats;
+        s.repartitions = self.engine.repartitions().len() as u64;
+        s
+    }
+
+    /// Declares the memory bus idle (warm/timed boundary).
+    pub fn quiesce(&mut self, now: Cycle) {
+        self.memory.quiesce(now);
+    }
+
+    /// Memory-channel statistics.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.memory.stats()
+    }
+
+    /// Resets counters at the warm-up boundary (cache contents, quotas
+    /// and learned state are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = AdaptiveStats::default();
+        self.memory.reset_stats();
+    }
+
+    #[inline]
+    fn set_index(&self, blk: BlockAddr) -> usize {
+        blk.index_bits(0, self.index_bits) as usize
+    }
+
+    /// Demotes `core`'s private-LRU blocks to the shared partition until
+    /// its private stack fits within `capacity`.
+    fn trim_private(set: &mut AdaptiveSet, core: CoreId, capacity: u32, demotions: &mut u64) {
+        while set.private[core.index()].len() > capacity as usize {
+            let way = set.private[core.index()]
+                .pop_lru()
+                .expect("nonempty stack has an LRU way");
+            set.shared.push_mru(way);
+            *demotions += 1;
+        }
+    }
+
+    /// Algorithm 1: walk the shared partition from the LRU end and evict
+    /// the first block whose owner is over quota; fall back to the global
+    /// LRU block (step 8). The block being installed for `requester` is
+    /// counted towards the requester's occupancy, so a core already at
+    /// quota evicts its own LRU-most block rather than an innocent
+    /// neighbor's.
+    fn find_victim(&mut self, set_idx: usize, requester: CoreId) -> (usize, bool) {
+        let set = &self.sets[set_idx];
+        if self.engine.use_algorithm1() {
+            for way in set.shared.iter_from_lru() {
+                let owner = set.blocks[way as usize].owner;
+                let incoming = u32::from(owner == requester);
+                if set.owned_count(owner) + incoming > self.engine.quota(owner) {
+                    return (way as usize, true);
+                }
+            }
+        }
+        (
+            set.shared.lru().expect("shared partition is nonempty") as usize,
+            false,
+        )
+    }
+
+    /// Ensures the shared partition is nonempty by demoting from the most
+    /// over-subscribed private partition. Needed only in the transient
+    /// after quota shrinks (lazy repartitioning can leave every way
+    /// privately labeled).
+    fn ensure_shared_nonempty(&mut self, set_idx: usize) {
+        if !self.sets[set_idx].shared.is_empty() {
+            return;
+        }
+        let (core, _) = (0..self.cores)
+            .map(|i| {
+                let c = CoreId::from_index(i as u8);
+                let over = self.sets[set_idx].private[i].len() as i64
+                    - self.engine.private_capacity(c) as i64;
+                (c, over)
+            })
+            .max_by_key(|(_, over)| *over)
+            .expect("at least one core");
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.private[core.index()].pop_lru() {
+            set.shared.push_mru(way);
+            self.stats.demotions += 1;
+        }
+    }
+
+    fn install(&mut self, set_idx: usize, way: usize, blk: BlockAddr, dirty: bool, core: CoreId) {
+        let capacity = self.engine.private_capacity(core);
+        let set = &mut self.sets[set_idx];
+        set.blocks[way] = Block {
+            valid: true,
+            addr: blk,
+            dirty,
+            owner: core,
+        };
+        if capacity == 0 {
+            // Quota-1 cores live entirely in the shared partition but are
+            // still guaranteed this one block (Section 2.4).
+            set.shared.push_mru(way as u8);
+        } else {
+            set.private[core.index()].push_mru(way as u8);
+            Self::trim_private(set, core, capacity, &mut self.stats.demotions);
+        }
+    }
+
+    /// Measures how many blocks each core currently holds across the
+    /// whole cache, split into private-partition and shared-partition
+    /// residency — the physical realization of the quotas.
+    pub fn occupancy(&self) -> Vec<OccupancyRow> {
+        let mut rows: Vec<OccupancyRow> = (0..self.cores)
+            .map(|i| OccupancyRow {
+                core: CoreId::from_index(i as u8),
+                private_blocks: 0,
+                shared_blocks: 0,
+            })
+            .collect();
+        for set in &self.sets {
+            for (c, stack) in set.private.iter().enumerate() {
+                rows[c].private_blocks += stack.len() as u64;
+            }
+            for way in set.shared.iter_from_mru() {
+                let owner = set.blocks[way as usize].owner;
+                rows[owner.index()].shared_blocks += 1;
+            }
+        }
+        rows
+    }
+
+    /// Checks structural invariants (every valid block in exactly one
+    /// stack, no duplicate tags, private stacks within the local slice
+    /// associativity). Intended for tests.
+    pub fn check_invariants(&self) -> bool {
+        if !self.engine.check_invariants() {
+            return false;
+        }
+        for set in &self.sets {
+            let mut seen = vec![0u32; set.blocks.len()];
+            for stack in set.private.iter().chain(std::iter::once(&set.shared)) {
+                for w in stack.iter_from_mru() {
+                    seen[w as usize] += 1;
+                }
+            }
+            for (w, b) in set.blocks.iter().enumerate() {
+                let expected = u32::from(b.valid);
+                if seen[w] != expected {
+                    return false;
+                }
+            }
+            for i in 0..set.blocks.len() {
+                for j in (i + 1)..set.blocks.len() {
+                    if set.blocks[i].valid
+                        && set.blocks[j].valid
+                        && set.blocks[i].addr == set.blocks[j].addr
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl LastLevel for AdaptiveL3 {
+    fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
+        let blk = addr.block(self.offset_bits);
+        let set_idx = self.set_index(blk);
+
+        if let Some(way) = self.sets[set_idx].find(blk) {
+            let set = &mut self.sets[set_idx];
+            set.blocks[way].dirty |= write;
+            let way8 = way as u8;
+            if set.private[core.index()].contains(way8) {
+                // Phase-1 tag match: fast private hit.
+                if set.private[core.index()].is_lru(way8) {
+                    self.engine.record_lru_hit(core);
+                }
+                set.private[core.index()].touch(way8);
+                self.stats.private_hits += 1;
+                return L3Outcome {
+                    data_ready: now + self.private_latency,
+                    source: L3Source::LocalHit,
+                };
+            }
+            // Phase-2 match: the block sits outside the requester's
+            // private partition. With parallel (read-shared) workloads it
+            // may live in *another core's* private partition — §2.3: "to
+            // locate a block in the cache, the partitioning does not
+            // matter" — in which case it is served at the neighbor
+            // latency and left where it is (the owner keeps its
+            // protection).
+            if !set.shared.contains(way8) {
+                self.stats.shared_hits += 1;
+                return L3Outcome {
+                    data_ready: now + self.shared_latency,
+                    source: L3Source::RemoteHit,
+                };
+            }
+            // Otherwise it is in the shared partition (possibly
+            // physically in a neighbor's slice): swap it into the
+            // requester's private partition, demoting the private-LRU
+            // block.
+            let capacity = self.engine.private_capacity(core);
+            if capacity > 0 {
+                set.shared.remove(way8);
+                set.private[core.index()].push_mru(way8);
+                Self::trim_private(set, core, capacity, &mut self.stats.demotions);
+            } else {
+                set.shared.touch(way8);
+            }
+            self.stats.shared_hits += 1;
+            return L3Outcome {
+                data_ready: now + self.shared_latency,
+                source: L3Source::RemoteHit,
+            };
+        }
+
+        // Miss: gain estimation, re-evaluation tick, fetch and install.
+        self.engine.observe_miss(set_idx, core, blk);
+        self.stats.misses += 1;
+        let resp = self.memory.request(now, false);
+
+        let victim_way = if let Some(w) = self.sets[set_idx].blocks.iter().position(|b| !b.valid) {
+            w
+        } else {
+            self.ensure_shared_nonempty(set_idx);
+            let (way, over_quota) = self.find_victim(set_idx, core);
+            let victim = self.sets[set_idx].blocks[way];
+            self.engine.record_eviction(set_idx, victim.owner, victim.addr);
+            if victim.dirty {
+                self.memory.writeback(now);
+            }
+            self.sets[set_idx].shared.remove(way as u8);
+            self.stats.evictions += 1;
+            self.victims_by_owner[victim.owner] += 1;
+            if over_quota {
+                self.stats.over_quota_evictions += 1;
+            } else {
+                self.lru_fallback_victims_by_owner[victim.owner] += 1;
+            }
+            way
+        };
+
+        self.install(set_idx, victim_way, blk, write, core);
+        L3Outcome {
+            data_ready: resp.data_ready,
+            source: L3Source::Memory,
+        }
+    }
+
+    fn writeback(&mut self, _core: CoreId, addr: Address, now: Cycle) {
+        let blk = addr.block(self.offset_bits);
+        let set_idx = self.set_index(blk);
+        if let Some(way) = self.sets[set_idx].find(blk) {
+            self.sets[set_idx].blocks[way].dirty = true;
+        } else {
+            self.memory.writeback(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::config::MachineConfigBuilder;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::baseline()
+    }
+
+    /// A machine with a tiny L3 (16 sets) so sets overflow quickly.
+    fn tiny_machine() -> MachineConfig {
+        MachineConfigBuilder::new()
+            .l3_capacity(16 * 16 * 64) // 16 sets x 16 ways x 64 B
+            .build()
+            .unwrap()
+    }
+
+    fn c(i: u8) -> CoreId {
+        CoreId::from_index(i)
+    }
+
+    /// Address mapping to `set` with tag `tag` for the tiny machine.
+    fn addr(set: u64, tag: u64) -> Address {
+        Address::new((tag * 16 + set) * 64)
+    }
+
+    #[test]
+    fn miss_then_private_hit() {
+        let mut l3 = AdaptiveL3::new(&machine(), AdaptiveParams::default());
+        let a = Address::new(0x8000);
+        let out = l3.access(c(0), a, false, Cycle::new(0));
+        assert_eq!(out.source, L3Source::Memory);
+        assert_eq!(out.data_ready.raw(), 260);
+        let out = l3.access(c(0), a, false, Cycle::new(1000));
+        assert_eq!(out.source, L3Source::LocalHit);
+        assert_eq!(out.data_ready.raw(), 1014);
+        assert!(l3.check_invariants());
+    }
+
+    #[test]
+    fn overflow_demotes_to_shared_and_hits_at_19() {
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), AdaptiveParams::default());
+        // Private capacity is 3; the fourth fill demotes the first block.
+        for t in 0..4u64 {
+            l3.access(c(0), addr(0, t), false, Cycle::new(t * 1000));
+        }
+        let out = l3.access(c(0), addr(0, 0), false, Cycle::new(10_000));
+        assert_eq!(out.source, L3Source::RemoteHit, "demoted block hits in shared partition");
+        assert_eq!(out.data_ready.raw(), 10_019);
+        assert!(l3.check_invariants());
+        assert!(l3.stats().demotions >= 1);
+    }
+
+    #[test]
+    fn shared_hit_swaps_back_into_private() {
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), AdaptiveParams::default());
+        for t in 0..4u64 {
+            l3.access(c(0), addr(0, t), false, Cycle::new(t * 1000));
+        }
+        // Tag 0 now shared; touch it (19 cycles) — it swaps into private.
+        l3.access(c(0), addr(0, 0), false, Cycle::new(10_000));
+        let out = l3.access(c(0), addr(0, 0), false, Cycle::new(20_000));
+        assert_eq!(out.source, L3Source::LocalHit, "swapped block is now private");
+        assert!(l3.check_invariants());
+    }
+
+    #[test]
+    fn cores_cannot_hit_each_others_private_blocks() {
+        let mut l3 = AdaptiveL3::new(&machine(), AdaptiveParams::default());
+        // ASID-tagged addresses differ per core, so core 1 misses on the
+        // "same" address core 0 loaded.
+        let a0 = Address::new(0x8000).with_asid(0);
+        let a1 = Address::new(0x8000).with_asid(1);
+        l3.access(c(0), a0, false, Cycle::new(0));
+        let out = l3.access(c(1), a1, false, Cycle::new(1000));
+        assert_eq!(out.source, L3Source::Memory);
+    }
+
+    #[test]
+    fn eviction_records_shadow_tag_and_gain_counts() {
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), AdaptiveParams::default());
+        // Fill set 0 completely from core 0 (16 ways: 3 private + shared).
+        for t in 0..16u64 {
+            l3.access(c(0), addr(0, t), false, Cycle::new(t * 100));
+        }
+        // Next fill evicts some block owned by core 0 -> shadow tag set.
+        l3.access(c(0), addr(0, 16), false, Cycle::new(10_000));
+        assert!(l3.stats().evictions >= 1);
+        // A miss on the just-evicted tag increments the gain estimator.
+        let victim_before = l3.engine().shadow_hits(c(0));
+        // Find which tag was evicted by probing: access all old tags and
+        // count shadow hits afterwards.
+        for t in 0..16u64 {
+            l3.access(c(0), addr(0, t), false, Cycle::new(20_000 + t * 100));
+        }
+        assert!(l3.engine().shadow_hits(c(0)) > victim_before);
+        assert!(l3.check_invariants());
+    }
+
+    #[test]
+    fn greedy_core_is_bounded_by_quota_under_algorithm1() {
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), AdaptiveParams::default());
+        // Core 1 establishes a modest working set in set 0.
+        for t in 0..3u64 {
+            l3.access(c(1), addr(0, 100 + t).with_asid(1), false, Cycle::new(t * 100));
+        }
+        // Core 0 streams over set 0 far beyond its quota.
+        for t in 0..64u64 {
+            l3.access(c(0), addr(0, t).with_asid(0), false, Cycle::new(1_000 + t * 100));
+        }
+        // Algorithm 1 should have preferred evicting core 0's over-quota
+        // blocks, so core 1's blocks survive.
+        let mut survived = 0;
+        for t in 0..3u64 {
+            let out = l3.access(
+                c(1),
+                addr(0, 100 + t).with_asid(1),
+                false,
+                Cycle::new(100_000 + t * 100),
+            );
+            if out.source != L3Source::Memory {
+                survived += 1;
+            }
+        }
+        assert!(survived >= 2, "protected blocks survived pollution: {survived}/3");
+        assert!(l3.stats().over_quota_evictions > 0);
+        assert!(l3.check_invariants());
+    }
+
+    #[test]
+    fn without_algorithm1_pollution_wins() {
+        let params = AdaptiveParams {
+            use_algorithm1: false,
+            // Disable repartitioning so only the victim policy differs.
+            reeval_period: u64::MAX,
+            ..AdaptiveParams::default()
+        };
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), params);
+        for t in 0..3u64 {
+            l3.access(c(1), addr(0, 100 + t).with_asid(1), false, Cycle::new(t * 100));
+        }
+        for t in 0..64u64 {
+            l3.access(c(0), addr(0, t).with_asid(0), false, Cycle::new(1_000 + t * 100));
+        }
+        let mut survived = 0;
+        for t in 0..3u64 {
+            let out = l3.access(
+                c(1),
+                addr(0, 100 + t).with_asid(1),
+                false,
+                Cycle::new(100_000 + t * 100),
+            );
+            if out.source != L3Source::Memory {
+                survived += 1;
+            }
+        }
+        // Core 1's private blocks (3 of them) are protected, but its
+        // guaranteed shared block is not; plain LRU lets the streaming
+        // core evict the whole shared partition. Private protection still
+        // saves the private ones, so survival can be high — the real
+        // difference shows in eviction counters.
+        let s = l3.stats();
+        assert_eq!(s.over_quota_evictions, 0, "Algorithm 1 disabled");
+        assert!(survived <= 3);
+    }
+
+    #[test]
+    fn writeback_marks_dirty_or_goes_to_memory() {
+        let mut l3 = AdaptiveL3::new(&machine(), AdaptiveParams::default());
+        let a = Address::new(0x8000);
+        l3.access(c(0), a, false, Cycle::new(0));
+        let busy = l3.memory_stats().busy_cycles;
+        l3.writeback(c(0), a, Cycle::new(100));
+        assert_eq!(l3.memory_stats().busy_cycles, busy);
+        l3.writeback(c(0), Address::new(0xffff000), Cycle::new(200));
+        assert_eq!(l3.memory_stats().busy_cycles, busy + 32);
+    }
+
+    #[test]
+    fn quota_one_core_lives_in_shared_partition() {
+        let params = AdaptiveParams {
+            reeval_period: 1,
+            ..AdaptiveParams::default()
+        };
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), params);
+        // Make core 0 the perpetual gainer: cycling over 17 tags in a
+        // 16-way set means every eviction is re-referenced one access
+        // later — each miss hits the shadow tag.
+        for round in 0..2000u64 {
+            l3.access(c(0), addr(0, round % 17).with_asid(0), false, Cycle::new(round * 50));
+        }
+        let quotas = l3.quotas();
+        assert!(quotas[0] > 4, "gainer grew: {quotas:?}");
+        assert!(quotas.iter().all(|&q| q >= 1));
+        // A quota-1 core can still cache (one shared block per set).
+        let loser = quotas.iter().position(|&q| q == 1);
+        if let Some(l) = loser {
+            let lc = c(l as u8);
+            let a = addr(0, 7777).with_asid(l as u8);
+            l3.access(lc, a, false, Cycle::new(1_000_000));
+            let out = l3.access(lc, a, false, Cycle::new(1_000_100));
+            assert_eq!(out.source, L3Source::RemoteHit);
+        }
+        assert!(l3.check_invariants());
+    }
+
+    #[test]
+    fn lazy_repartitioning_never_invalidates() {
+        let params = AdaptiveParams {
+            reeval_period: 1,
+            ..AdaptiveParams::default()
+        };
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), params);
+        // Core 1 fills private blocks.
+        for t in 0..3u64 {
+            l3.access(c(1), addr(0, t).with_asid(1), false, Cycle::new(t * 100));
+        }
+        let before: u64 = (0..3u64)
+            .filter(|&t| {
+                l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some()
+            })
+            .count() as u64;
+        // Shrink core 1's quota via core 0 gains.
+        for round in 0..200u64 {
+            l3.access(c(0), addr(1, round).with_asid(0), false, Cycle::new(10_000 + round * 100));
+        }
+        let after: u64 = (0..3u64)
+            .filter(|&t| {
+                l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some()
+            })
+            .count() as u64;
+        assert_eq!(before, after, "quota shrink alone never invalidates blocks");
+        assert!(l3.check_invariants());
+    }
+
+    #[test]
+    fn occupancy_tracks_resident_blocks() {
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), AdaptiveParams::default());
+        for t in 0..6u64 {
+            l3.access(c(0), addr(0, t), false, Cycle::new(t * 100));
+        }
+        let occ = l3.occupancy();
+        assert_eq!(occ[0].total(), 6, "all six fills owned by core 0");
+        assert_eq!(occ[0].private_blocks, 3, "private partition capped at 3");
+        assert_eq!(occ[0].shared_blocks, 3, "overflow demoted to shared");
+        assert_eq!(occ[1].total(), 0);
+    }
+
+    #[test]
+    fn random_stress_preserves_invariants() {
+        use simcore::rng::SimRng;
+        let params = AdaptiveParams {
+            reeval_period: 50,
+            ..AdaptiveParams::default()
+        };
+        let mut l3 = AdaptiveL3::new(&tiny_machine(), params);
+        let mut rng = SimRng::seed_from(31);
+        for i in 0..20_000u64 {
+            let core = rng.below(4) as u8;
+            let a = addr(rng.below(16), rng.below(40)).with_asid(core);
+            l3.access(c(core), a, rng.chance(0.3), Cycle::new(i * 10));
+        }
+        assert!(l3.check_invariants());
+        let s = l3.stats();
+        assert!(s.private_hits > 0 && s.shared_hits > 0 && s.misses > 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The out-of-order core timing model for the NUCA CMP simulator.
+//!
+//! This crate provides the processor-side substrate the paper's
+//! SimpleScalar-based evaluation relies on:
+//!
+//! - [`core`] — a cycle-driven out-of-order core (Table 1: 128-entry RUU,
+//!   64-entry LSQ, 4-wide, functional-unit contention, non-blocking
+//!   caches with MSHR merging, 7-cycle misprediction penalty) with its
+//!   private L1I/L1D/L2 hierarchy.
+//! - [`branch`] — the combined bimodal + 2-level predictor with a 4-way
+//!   BTB.
+//! - [`tlb`] — fully-associative 128-entry I/D TLBs.
+//! - [`l3iface`] — the [`l3iface::LastLevel`] trait every
+//!   last-level organization implements; cores hand L2 misses to it.
+//!
+//! # Example
+//!
+//! ```
+//! use cpusim::core::Core;
+//! use cpusim::l3iface::FixedLatencyL3;
+//! use simcore::config::MachineConfig;
+//! use simcore::rng::SimRng;
+//! use simcore::types::{CoreId, Cycle};
+//! use tracegen::{spec::SpecApp, TraceGenerator};
+//!
+//! let cfg = MachineConfig::baseline();
+//! let gen = TraceGenerator::new(SpecApp::Gzip.profile(), SimRng::seed_from(1));
+//! let mut core = Core::new(CoreId::from_index(0), &cfg, gen);
+//! let mut l3 = FixedLatencyL3::new(19);
+//! for c in 0..1_000 {
+//!     core.step(Cycle::new(c), &mut l3);
+//! }
+//! assert!(core.committed() > 0);
+//! ```
+
+pub mod branch;
+pub mod core;
+pub mod l3iface;
+pub mod tlb;
+
+pub use crate::core::{Core, CoreStats};
+pub use branch::BranchPredictor;
+pub use l3iface::{FixedLatencyL3, L3Outcome, L3Source, LastLevel};
+pub use tlb::Tlb;

@@ -1,0 +1,148 @@
+//! Fully-associative translation lookaside buffers (Table 1: 128 entries,
+//! 30-cycle miss penalty, separate instruction and data TLBs).
+
+use std::collections::HashMap;
+
+use simcore::config::TlbConfig;
+use simcore::types::Address;
+
+/// A fully-associative, LRU-replaced TLB over 4-KiB pages.
+///
+/// # Example
+///
+/// ```
+/// use cpusim::tlb::Tlb;
+/// use simcore::config::TlbConfig;
+/// use simcore::types::Address;
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// assert!(!tlb.access(Address::new(0x1000)));  // cold miss
+/// assert!(tlb.access(Address::new(0x1fff)));   // same page: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// page -> last-use stamp.
+    entries: HashMap<u64, u64>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is zero.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.entries > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: HashMap::with_capacity(cfg.entries + 1),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            cfg,
+        }
+    }
+
+    /// Translates `addr`; returns `true` on a hit. A miss installs the
+    /// page, evicting the LRU entry when full.
+    pub fn access(&mut self, addr: Address) -> bool {
+        let page = addr.page();
+        self.stamp += 1;
+        if let Some(last) = self.entries.get_mut(&page) {
+            *last = self.stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.cfg.entries {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, last)| **last)
+                .expect("full TLB has entries")
+                .0;
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(page, self.stamp);
+        false
+    }
+
+    /// The miss penalty in cycles.
+    #[inline]
+    pub fn miss_penalty(&self) -> u64 {
+        self.cfg.miss_penalty
+    }
+
+    /// Hits since the last reset.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since the last reset.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears statistics (translations are kept).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(entries: usize) -> Tlb {
+        Tlb::new(TlbConfig {
+            entries,
+            miss_penalty: 30,
+        })
+    }
+
+    #[test]
+    fn hit_within_page_miss_across() {
+        let mut t = small(4);
+        assert!(!t.access(Address::new(0x0000)));
+        assert!(t.access(Address::new(0x0fff)));
+        assert!(!t.access(Address::new(0x1000)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut t = small(2);
+        t.access(Address::new(0x0000)); // page 0
+        t.access(Address::new(0x1000)); // page 1
+        t.access(Address::new(0x0000)); // touch page 0 -> page 1 is LRU
+        t.access(Address::new(0x2000)); // evicts page 1
+        assert!(t.access(Address::new(0x0000)), "page 0 survived");
+        assert!(!t.access(Address::new(0x1000)), "page 1 was evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut t = small(128);
+        for p in 0..128u64 {
+            t.access(Address::new(p << 12));
+        }
+        t.reset_stats();
+        for round in 0..4 {
+            for p in 0..128u64 {
+                assert!(t.access(Address::new(p << 12)), "round {round} page {p}");
+            }
+        }
+        assert_eq!(t.misses(), 0);
+    }
+
+    #[test]
+    fn penalty_comes_from_config() {
+        let t = small(4);
+        assert_eq!(t.miss_penalty(), 30);
+    }
+}

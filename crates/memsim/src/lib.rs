@@ -1,0 +1,259 @@
+//! Main memory and the shared off-chip bus.
+//!
+//! Table 1 models memory as chunked transfers: the first 8-byte chunk of a
+//! 64-byte line arrives after 260 cycles (258 for a pure private last-level
+//! organization, which skips the global lookup), and subsequent chunks
+//! every 4 cycles — which at the paper's 4.5 GHz corresponds to the
+//! 9 GByte/s theoretical bus limit. All four cores share this bus, so the
+//! simulator must model *congestion*: a line fill occupies the bus for
+//! 8 chunks × 4 cycles and later requests queue behind it.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::MainMemory;
+//! use simcore::config::MemoryConfig;
+//! use simcore::types::Cycle;
+//!
+//! let mut mem = MainMemory::new(MemoryConfig::default(), 64);
+//! let r1 = mem.request(Cycle::new(0), false);
+//! assert_eq!(r1.data_ready, Cycle::new(260));
+//! let r2 = mem.request(Cycle::new(0), false); // queues behind r1
+//! assert_eq!(r2.data_ready, Cycle::new(292));
+//! ```
+
+use simcore::config::MemoryConfig;
+use simcore::types::Cycle;
+
+/// Timing of one line fill returned by [`MainMemory::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryResponse {
+    /// When the critical (first) chunk is available to the requester —
+    /// loads can complete at this point (critical-word-first).
+    pub data_ready: Cycle,
+    /// When the full line has been transferred and can be installed.
+    pub line_filled: Cycle,
+    /// Cycles the request waited for the bus before starting.
+    pub queue_delay: u64,
+}
+
+/// Aggregate statistics for the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Number of line fills served.
+    pub requests: u64,
+    /// Total cycles requests spent queued for the bus.
+    pub total_queue_delay: u64,
+    /// Total cycles the bus spent transferring data.
+    pub busy_cycles: u64,
+}
+
+impl MemoryStats {
+    /// Mean queueing delay per request.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_queue_delay as f64 / self.requests as f64
+        }
+    }
+
+    /// Bus utilization over an interval of `elapsed` cycles.
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+/// The shared main-memory channel.
+///
+/// A single in-order bus: requests are granted in arrival order, each
+/// occupying the bus for one full line transfer. This matches the paper's
+/// "congestion to main memory" extension of SimpleScalar.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    cfg: MemoryConfig,
+    block_bytes: u32,
+    bus_free_at: Cycle,
+    stats: MemoryStats,
+}
+
+impl MainMemory {
+    /// Creates a memory channel for `block_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a positive multiple of the chunk
+    /// size.
+    pub fn new(cfg: MemoryConfig, block_bytes: u32) -> Self {
+        assert!(
+            block_bytes > 0 && block_bytes.is_multiple_of(cfg.chunk_bytes),
+            "line size must be a positive multiple of the chunk size"
+        );
+        MainMemory {
+            cfg,
+            block_bytes,
+            bus_free_at: Cycle::ZERO,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Issues a line-fill at `now`. `private_org` selects the 258-cycle
+    /// first-chunk latency of the pure private organization; every other
+    /// organization pays 260 cycles.
+    pub fn request(&mut self, now: Cycle, private_org: bool) -> MemoryResponse {
+        let start = now.max(self.bus_free_at);
+        let queue_delay = start.since(now);
+        let first = if private_org {
+            self.cfg.first_chunk_private
+        } else {
+            self.cfg.first_chunk_shared
+        };
+        let chunks = self.cfg.chunks_per_line(self.block_bytes);
+        let occupancy = chunks * self.cfg.inter_chunk;
+        let data_ready = start + first;
+        let line_filled = data_ready + (chunks - 1) * self.cfg.inter_chunk;
+        self.bus_free_at = start + occupancy;
+
+        self.stats.requests += 1;
+        self.stats.total_queue_delay += queue_delay;
+        self.stats.busy_cycles += occupancy;
+
+        MemoryResponse {
+            data_ready,
+            line_filled,
+            queue_delay,
+        }
+    }
+
+    /// A dirty write-back occupies the bus for one line transfer but
+    /// nothing waits on it; returns the queueing delay it suffered.
+    pub fn writeback(&mut self, now: Cycle) -> u64 {
+        let start = now.max(self.bus_free_at);
+        let chunks = self.cfg.chunks_per_line(self.block_bytes);
+        let occupancy = chunks * self.cfg.inter_chunk;
+        self.bus_free_at = start + occupancy;
+        self.stats.busy_cycles += occupancy;
+        start.since(now)
+    }
+
+    /// Declares the bus idle as of `now`. Functional warm-up (state-only
+    /// execution) issues requests far faster than real time, which would
+    /// leave `bus_free_at` millions of cycles in the future; call this at
+    /// the warm/timed boundary so the timed phase starts uncongested.
+    pub fn quiesce(&mut self, now: Cycle) {
+        self.bus_free_at = now;
+    }
+
+    /// Statistics since the last reset.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Clears statistics (bus state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MainMemory {
+        MainMemory::new(MemoryConfig::default(), 64)
+    }
+
+    #[test]
+    fn uncontended_latency_matches_table1() {
+        let mut m = mem();
+        let r = m.request(Cycle::new(100), false);
+        assert_eq!(r.data_ready, Cycle::new(360)); // 100 + 260
+        assert_eq!(r.line_filled, Cycle::new(360 + 7 * 4));
+        assert_eq!(r.queue_delay, 0);
+        let mut m2 = mem();
+        let r2 = m2.request(Cycle::new(100), true);
+        assert_eq!(r2.data_ready, Cycle::new(358)); // private org: 258
+    }
+
+    #[test]
+    fn back_to_back_requests_queue_at_32_cycles() {
+        let mut m = mem();
+        let a = m.request(Cycle::new(0), false);
+        let b = m.request(Cycle::new(0), false);
+        let c = m.request(Cycle::new(0), false);
+        assert_eq!(a.data_ready.raw(), 260);
+        assert_eq!(b.data_ready.raw(), 292);
+        assert_eq!(b.queue_delay, 32);
+        assert_eq!(c.data_ready.raw(), 324);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut m = mem();
+        m.request(Cycle::new(0), false);
+        let b = m.request(Cycle::new(100), false);
+        assert_eq!(b.queue_delay, 0);
+        assert_eq!(b.data_ready.raw(), 360);
+    }
+
+    #[test]
+    fn bandwidth_limit_is_two_bytes_per_cycle() {
+        // 1000 back-to-back line fills of 64 B should occupy 32k cycles.
+        let mut m = mem();
+        for _ in 0..1000 {
+            m.request(Cycle::ZERO, false);
+        }
+        assert_eq!(m.stats().busy_cycles, 32_000);
+        assert!((m.stats().utilization(32_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writebacks_occupy_the_bus() {
+        let mut m = mem();
+        let delay = m.writeback(Cycle::new(0));
+        assert_eq!(delay, 0);
+        let r = m.request(Cycle::new(0), false);
+        assert_eq!(r.queue_delay, 32, "fill queues behind the writeback");
+    }
+
+    #[test]
+    fn stats_track_queueing() {
+        let mut m = mem();
+        m.request(Cycle::ZERO, false);
+        m.request(Cycle::ZERO, false);
+        let s = m.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.total_queue_delay, 32);
+        assert!((s.mean_queue_delay() - 16.0).abs() < 1e-12);
+        let mut m2 = m.clone();
+        m2.reset_stats();
+        assert_eq!(m2.stats().requests, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the chunk size")]
+    fn bad_line_size_panics() {
+        let _ = MainMemory::new(MemoryConfig::default(), 60);
+    }
+
+    #[test]
+    fn technology_scaled_latencies_apply() {
+        use simcore::config::MachineConfig;
+        let scaled = MachineConfig::baseline().technology_scaled();
+        let mut m = MainMemory::new(scaled.memory, 64);
+        let r = m.request(Cycle::ZERO, false);
+        assert_eq!(r.data_ready.raw(), 338);
+        let mut mp = MainMemory::new(scaled.memory, 64);
+        let rp = mp.request(Cycle::ZERO, true);
+        assert_eq!(rp.data_ready.raw(), 330);
+    }
+}

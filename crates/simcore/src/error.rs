@@ -1,0 +1,57 @@
+//! Error types for the simulator foundation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, ConfigError>;
+
+/// An invalid machine or experiment configuration.
+///
+/// # Example
+///
+/// ```
+/// use simcore::config::CacheGeometry;
+/// let err = CacheGeometry::new(1000, 2, 64, 1).unwrap_err();
+/// assert!(err.to_string().contains("power of two") || !err.to_string().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        let e = ConfigError::new("cache size must be a power of two");
+        assert!(e.to_string().starts_with("invalid configuration"));
+        assert_eq!(e.message(), "cache size must be a power of two");
+    }
+}

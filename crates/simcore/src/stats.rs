@@ -1,0 +1,295 @@
+//! Counters, histograms and the summary statistics the paper reports.
+//!
+//! The paper evaluates schemes by the **harmonic mean** of per-core IPC
+//! (Section 2.6 argues this is the right objective for multiprogrammed
+//! CMPs, citing Smith), with the arithmetic mean reported alongside.
+//! This module provides those reductions plus the bookkeeping types used by
+//! the cache and pipeline models.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn reset(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// Hit/miss bookkeeping for one cache (or one core's view of a cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Creates zeroed hit/miss counters.
+    pub const fn new() -> Self {
+        HitMiss { hits: 0, misses: 0 }
+    }
+
+    /// Total accesses.
+    #[inline]
+    pub const fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+impl fmt::Display for HitMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.2}% miss)",
+            self.hits,
+            self.misses,
+            self.miss_ratio() * 100.0
+        )
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples; the last bucket collects
+/// overflow. Used for reuse-distance and latency distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    samples: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or `bucket_width` is zero.
+    pub fn new(buckets: usize, bucket_width: u64) -> Self {
+        assert!(buckets > 0 && bucket_width > 0, "histogram needs nonzero shape");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            samples: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.samples += 1;
+    }
+
+    /// Number of recorded samples.
+    pub const fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of samples are
+    /// `< v + bucket_width` — an upper bound on the `q`-quantile.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let target = (self.samples as f64 * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.counts.len() as u64 * self.bucket_width
+    }
+}
+
+/// Harmonic mean of per-core IPC values (the paper's headline metric).
+///
+/// Returns zero for an empty slice; a zero element makes the mean zero,
+/// mirroring that a stalled core dominates harmonic performance.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::harmonic_mean;
+/// let hm = harmonic_mean(&[1.0, 1.0, 1.0, 0.5]);
+/// assert!((hm - 0.8).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for &v in values {
+        if v <= 0.0 {
+            return 0.0;
+        }
+        denom += 1.0 / v;
+    }
+    values.len() as f64 / denom
+}
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of positive values; zero if any value is non-positive or
+/// the slice is empty. Used when averaging speedup ratios across mixes.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 {
+            return 0.0;
+        }
+        log_sum += v.ln();
+    }
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Relative speedup of `new` over `baseline` (1.0 = parity).
+///
+/// Returns zero when the baseline is non-positive (undefined speedup).
+pub fn speedup(new: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        new / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.reset(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn hit_miss_ratio_and_merge() {
+        let mut a = HitMiss { hits: 3, misses: 1 };
+        assert!((a.miss_ratio() - 0.25).abs() < 1e-12);
+        a.merge(HitMiss { hits: 1, misses: 3 });
+        assert_eq!(a.accesses(), 8);
+        assert!((a.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(HitMiss::new().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(4, 10);
+        for v in [0, 5, 10, 25, 39, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 7);
+        assert_eq!(h.counts(), &[2, 1, 1, 3]);
+    }
+
+    #[test]
+    fn histogram_quantile_bound() {
+        let mut h = Histogram::new(10, 1);
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), 5);
+        assert_eq!(h.quantile_upper_bound(1.0), 10);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_computation() {
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 0.5]) - (2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_le_geometric_le_arithmetic() {
+        let v = [0.3, 1.1, 2.7, 0.9];
+        let h = harmonic_mean(&v);
+        let g = geometric_mean(&v);
+        let a = arithmetic_mean(&v);
+        assert!(h <= g + 1e-12 && g <= a + 1e-12);
+    }
+
+    #[test]
+    fn speedup_handles_degenerate_baseline() {
+        assert!((speedup(1.2, 1.0) - 1.2).abs() < 1e-12);
+        assert_eq!(speedup(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! The dynamic micro-op stream generator.
+//!
+//! A [`TraceGenerator`] turns an [`AppProfile`] into an endless,
+//! deterministic instruction stream. The stream exercises every substrate
+//! the real workloads would: program counters walk a code region (driving
+//! the L1I cache and BTB), branches are drawn from a static pool with
+//! per-branch biases (so the real combined predictor has something to
+//! learn), data addresses follow the profile's hierarchical locality
+//! model, and dependency distances bound the instruction-level
+//! parallelism the out-of-order core can extract.
+
+use simcore::rng::SimRng;
+use simcore::types::Address;
+
+use crate::op::{MicroOp, OpClass};
+use crate::profile::AppProfile;
+
+/// Base virtual address of the code region.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Base of the L1-resident data region.
+pub const L1_BASE: u64 = 0x1000_0000;
+/// Base of the L2-resident data region.
+pub const L2_BASE: u64 = 0x2000_0000;
+/// Base of the L3 hot data region.
+pub const HOT_BASE: u64 = 0x3000_0000;
+/// Base of the streaming data region.
+pub const STREAM_BASE: u64 = 0x4000_0000;
+/// Base of the chip-wide *read-shared* region (parallel-workload mode).
+/// Addresses here are not tagged with a per-core ASID, so all cores
+/// reference the same blocks.
+pub const SHARED_BASE: u64 = 0x7000_0000;
+
+/// Whether an address falls in the read-shared region.
+#[inline]
+pub const fn is_shared_address(addr: Address) -> bool {
+    // Compare untagged bits: the region test must hold before and after
+    // ASID tagging.
+    (addr.raw() & 0x00ff_ffff_ffff_ffff) >= SHARED_BASE
+}
+
+/// A deterministic generator of [`MicroOp`]s for one application.
+///
+/// # Example
+///
+/// ```
+/// use tracegen::generator::TraceGenerator;
+/// use tracegen::profile::AppProfileBuilder;
+/// use simcore::rng::SimRng;
+///
+/// let profile = AppProfileBuilder::new("toy").build().unwrap();
+/// let mut gen = TraceGenerator::new(&profile, SimRng::seed_from(7));
+/// let ops: Vec<_> = (0..100).map(|_| gen.next_op()).collect();
+/// assert_eq!(ops.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: AppProfile,
+    rng: SimRng,
+    /// Current byte offset within the code region.
+    pc_offset: u64,
+    /// Current byte offset within the streaming region.
+    stream_offset: u64,
+    /// Recency head of the hot region (block index); advances per hot
+    /// access so "recent" blocks form a sliding window.
+    hot_head: u64,
+    /// Cursor of the cyclic sequential loop over the hot region.
+    hot_loop_pos: u64,
+    /// Recency head of the read-shared region (parallel mode).
+    shared_head: u64,
+    /// Taken-probability of each static branch.
+    branch_bias: Vec<f64>,
+    ops_generated: u64,
+    // Precomputed thresholds over the unit interval for class selection.
+    t_load: f64,
+    t_store: f64,
+    t_branch: f64,
+    // Cumulative memory-region thresholds.
+    m_l1: f64,
+    m_l2: f64,
+    m_hot: f64,
+    dep_p: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` with its own random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation (construct profiles through
+    /// the builder to avoid this).
+    pub fn new(profile: &AppProfile, mut rng: SimRng) -> Self {
+        profile.validate().expect("generator requires a valid profile");
+        // Each static branch follows one dominant direction with
+        // probability `branch_predictability`; alternate dominant
+        // directions so the overall taken rate is near 50 %.
+        let branch_bias = (0..profile.branch_pool)
+            .map(|i| {
+                let p = profile.branch_predictability;
+                if i % 2 == 0 {
+                    p
+                } else {
+                    1.0 - p
+                }
+            })
+            .collect();
+        let t_load = profile.load_frac;
+        let t_store = t_load + profile.store_frac;
+        let t_branch = t_store + profile.branch_frac;
+        let m_l1 = profile.mix.l1_resident;
+        let m_l2 = m_l1 + profile.mix.l2_resident;
+        let m_hot = m_l2 + profile.mix.l3_hot;
+        let stream_offset = rng.below(profile.regions.stream_kb * 1024) & !63;
+        let hot_head = rng.below(profile.regions.hot_kb * 16); // blocks
+        TraceGenerator {
+            profile: profile.clone(),
+            rng,
+            pc_offset: 0,
+            stream_offset,
+            hot_head,
+            hot_loop_pos: 0,
+            shared_head: 0,
+            branch_bias,
+            ops_generated: 0,
+            t_load,
+            t_store,
+            t_branch,
+            m_l1,
+            m_l2,
+            m_hot,
+            dep_p: 1.0 / profile.dep_mean,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Number of micro-ops generated so far.
+    pub fn ops_generated(&self) -> u64 {
+        self.ops_generated
+    }
+
+    /// Emulates the paper's random fast-forward (0.5–1.5 billion
+    /// instructions) without generating the skipped ops: the streaming
+    /// cursor advances as it statistically would and the random stream is
+    /// re-seeded deterministically from `instructions`.
+    pub fn fast_forward(&mut self, instructions: u64) {
+        let stream_bytes = self.profile.regions.stream_kb * 1024;
+        let expected_stream_refs = (instructions as f64
+            * self.profile.mem_frac()
+            * self.profile.mix.streaming) as u64;
+        self.stream_offset = (self.stream_offset + expected_stream_refs * 64) % stream_bytes;
+        self.rng = self.rng.fork(instructions);
+    }
+
+    #[inline]
+    fn data_address(&mut self) -> Address {
+        let r = self.rng.next_f64();
+        let raw = if r < self.m_l1 {
+            let span = self.profile.regions.l1_kb * 1024;
+            L1_BASE + (self.rng.below(span) & !7)
+        } else if r < self.m_l2 {
+            let span = self.profile.regions.l2_kb * 1024;
+            L2_BASE + (self.rng.below(span) & !7)
+        } else if r < self.m_hot {
+            let k = self.profile.regions.hot_kb * 16; // 64-byte blocks
+            let blk = if self.rng.chance(self.profile.hot_loop) {
+                // Cyclic sequential loop: the access pattern that gives
+                // LRU caches an all-or-nothing capacity cliff at K.
+                self.hot_loop_pos = (self.hot_loop_pos + 1) % k;
+                self.hot_loop_pos
+            } else {
+                // Recency draw: distance from the head drawn as
+                // K * u^hot_skew, a convex stack-distance profile
+                // (Figure 3 shapes) that still touches all K blocks.
+                self.hot_head = (self.hot_head + 1) % k;
+                let u = self.rng.next_f64();
+                let d = (k as f64 * u.powf(self.profile.hot_skew)) as u64 % k;
+                (self.hot_head + k - d) % k
+            };
+            HOT_BASE + blk * 64 + (self.rng.below(8) * 8)
+        } else {
+            let span = self.profile.regions.stream_kb * 1024;
+            self.stream_offset = (self.stream_offset + 64) % span;
+            STREAM_BASE + self.stream_offset
+        };
+        Address::new(raw)
+    }
+
+    #[inline]
+    fn dep_distance(&mut self) -> u32 {
+        1 + self.rng.geometric(self.dep_p).min(63) as u32
+    }
+
+    /// Generates the next micro-op in program order.
+    pub fn next_op(&mut self) -> MicroOp {
+        let code_bytes = self.profile.regions.code_kb * 1024;
+        let pc = Address::new(CODE_BASE + self.pc_offset);
+        let r = self.rng.next_f64();
+
+        let (class, addr, taken) = if r < self.t_load {
+            let addr = if self.profile.shared_read_frac > 0.0
+                && self.rng.chance(self.profile.shared_read_frac)
+            {
+                // Read-only sharing: a recency draw over the common
+                // region, so all threads touch the same hot blocks.
+                let k = self.profile.shared_kb * 16;
+                let u = self.rng.next_f64();
+                let d = (k as f64 * u.powf(self.profile.hot_skew)) as u64 % k;
+                let blk = (self.shared_head + k - d) % k;
+                self.shared_head = (self.shared_head + 1) % k;
+                Address::new(SHARED_BASE + blk * 64 + self.rng.below(8) * 8)
+            } else {
+                self.data_address()
+            };
+            (OpClass::Load, Some(addr), false)
+        } else if r < self.t_store {
+            (OpClass::Store, Some(self.data_address()), false)
+        } else if r < self.t_branch {
+            // Identify the static branch by its PC so the predictor can
+            // learn it; the pool size bounds the number of distinct PCs.
+            let idx = (self.pc_offset / 4) as usize % self.branch_bias.len();
+            let taken = self.rng.chance(self.branch_bias[idx]);
+            (OpClass::Branch, None, taken)
+        } else {
+            let compute = self.rng.next_f64();
+            let class = if compute < self.profile.mul_frac {
+                if self.rng.chance(self.profile.fp_frac) {
+                    OpClass::FpMul
+                } else {
+                    OpClass::IntMul
+                }
+            } else if self.rng.chance(self.profile.fp_frac) {
+                OpClass::FpAlu
+            } else {
+                OpClass::IntAlu
+            };
+            (class, None, false)
+        };
+
+        let dep1 = self.dep_distance();
+        let dep2 = if self.rng.chance(self.profile.dep2_prob) {
+            self.dep_distance()
+        } else {
+            0
+        };
+
+        // Advance the PC: sequential, except taken branches jump to a
+        // random instruction-aligned target in the code region.
+        if class == OpClass::Branch && taken {
+            self.pc_offset = self.rng.below(code_bytes) & !3;
+        } else {
+            self.pc_offset = (self.pc_offset + 4) % code_bytes;
+        }
+
+        self.ops_generated += 1;
+        MicroOp {
+            pc,
+            class,
+            addr,
+            taken,
+            dep1,
+            dep2,
+            latency: class.base_latency(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AppProfileBuilder;
+
+    fn generator(seed: u64) -> TraceGenerator {
+        let p = AppProfileBuilder::new("t").build().unwrap();
+        TraceGenerator::new(&p, SimRng::seed_from(seed))
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = generator(3);
+        let mut b = generator(3);
+        for _ in 0..500 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let mut g = generator(5);
+        let n = 200_000;
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut branches = 0;
+        for _ in 0..n {
+            match g.next_op().class {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                OpClass::Branch => branches += 1,
+                _ => {}
+            }
+        }
+        let p = g.profile().clone();
+        assert!((loads as f64 / n as f64 - p.load_frac).abs() < 0.01);
+        assert!((stores as f64 / n as f64 - p.store_frac).abs() < 0.01);
+        assert!((branches as f64 / n as f64 - p.branch_frac).abs() < 0.01);
+    }
+
+    #[test]
+    fn memory_ops_carry_addresses_in_known_regions() {
+        let mut g = generator(7);
+        for _ in 0..20_000 {
+            let op = g.next_op();
+            if op.class.is_mem() {
+                let a = op.addr.expect("mem ops carry addresses").raw();
+                assert!(
+                    (L1_BASE..L1_BASE + (1 << 26)).contains(&a)
+                        || (L2_BASE..L2_BASE + (1 << 26)).contains(&a)
+                        || (HOT_BASE..HOT_BASE + (1 << 28)).contains(&a)
+                        || (STREAM_BASE..STREAM_BASE + (1 << 30)).contains(&a),
+                    "address {a:#x} outside any region"
+                );
+            } else {
+                assert!(op.addr.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn stream_addresses_walk_sequentially() {
+        let p = AppProfileBuilder::new("s")
+            .mix(crate::profile::MemoryMix {
+                l1_resident: 0.0,
+                l2_resident: 0.0,
+                l3_hot: 0.0,
+                streaming: 1.0,
+            })
+            .build()
+            .unwrap();
+        let mut g = TraceGenerator::new(&p, SimRng::seed_from(1));
+        let mut last: Option<u64> = None;
+        let span = p.regions.stream_kb * 1024;
+        for _ in 0..5_000 {
+            let op = g.next_op();
+            if let Some(a) = op.addr {
+                let off = a.raw() - STREAM_BASE;
+                if let Some(prev) = last {
+                    assert_eq!(off, (prev + 64) % span);
+                }
+                last = Some(off);
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_stay_in_code_region_and_advance() {
+        let mut g = generator(11);
+        let code = g.profile().regions.code_kb * 1024;
+        for _ in 0..10_000 {
+            let op = g.next_op();
+            let off = op.pc.raw() - CODE_BASE;
+            assert!(off < code);
+            assert_eq!(off % 4, 0);
+        }
+    }
+
+    #[test]
+    fn branch_outcomes_match_pool_bias_on_average() {
+        let p = AppProfileBuilder::new("b")
+            .branches(0.5)
+            .loads(0.1)
+            .stores(0.05)
+            .predictability(0.9)
+            .build()
+            .unwrap();
+        let mut g = TraceGenerator::new(&p, SimRng::seed_from(13));
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for _ in 0..100_000 {
+            let op = g.next_op();
+            if op.class == OpClass::Branch {
+                total += 1;
+                taken += op.taken as u64;
+            }
+        }
+        let rate = taken as f64 / total as f64;
+        assert!((0.3..0.7).contains(&rate), "taken rate {rate} should be near 0.5");
+    }
+
+    #[test]
+    fn dependencies_are_positive_and_bounded() {
+        let mut g = generator(17);
+        for _ in 0..10_000 {
+            let op = g.next_op();
+            assert!(op.dep1 >= 1 && op.dep1 <= 64);
+            assert!(op.dep2 <= 64);
+        }
+    }
+
+    #[test]
+    fn fast_forward_changes_stream_deterministically() {
+        let mut a = generator(19);
+        let mut b = generator(19);
+        a.fast_forward(1_000_000);
+        b.fast_forward(1_000_000);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = generator(19);
+        c.fast_forward(2_000_000);
+        let same = (0..100).filter(|_| a.next_op() == c.next_op()).count();
+        assert!(same < 100, "different forwards must diverge");
+    }
+}

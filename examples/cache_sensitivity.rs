@@ -1,0 +1,46 @@
+//! Cache-size sensitivity of a single application (the Figure 3
+//! methodology): sweep the blocks-per-set of a private last-level cache
+//! with the set count fixed and watch the misses fall.
+//!
+//! ```text
+//! cargo run --release --example cache_sensitivity            # defaults to ammp
+//! cargo run --release --example cache_sensitivity -- gzip mcf
+//! ```
+
+use nuca_repro::nuca_core::experiment::{sensitivity_sweep, ExperimentConfig};
+use nuca_repro::simcore::config::MachineConfig;
+use nuca_repro::tracegen::spec::SpecApp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apps: Vec<SpecApp> = if args.is_empty() {
+        vec![SpecApp::Ammp]
+    } else {
+        args.iter()
+            .map(|s| s.parse::<SpecApp>())
+            .collect::<Result<_, _>>()?
+    };
+
+    let machine = MachineConfig::baseline();
+    let exp = ExperimentConfig {
+        measure_cycles: 600_000,
+        ..ExperimentConfig::default()
+    };
+    let ways = [1u32, 2, 3, 4, 6, 8, 12, 16];
+
+    for app in apps {
+        println!(
+            "{} (hot working set ≈ {:.1} blocks/set):",
+            app.name(),
+            app.profile().regions.hot_blocks_per_set(4096, 64)
+        );
+        let points = sensitivity_sweep(&machine, app, &ways, &exp)?;
+        let max = points.iter().map(|p| p.misses).max().unwrap_or(1).max(1);
+        for p in &points {
+            let bar = "#".repeat((p.misses * 50 / max) as usize);
+            println!("  {:>2} blocks/set  {:>8} misses  {bar}", p.blocks_per_set, p.misses);
+        }
+        println!();
+    }
+    Ok(())
+}

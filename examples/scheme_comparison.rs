@@ -1,0 +1,67 @@
+//! Compare all four last-level organizations on one multiprogrammed mix.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison                       # default mix
+//! cargo run --release --example scheme_comparison -- ammp mcf gzip eon  # your own mix
+//! ```
+
+use nuca_repro::nuca_core::experiment::{run_mix, ExperimentConfig};
+use nuca_repro::nuca_core::l3::Organization;
+use nuca_repro::simcore::config::MachineConfig;
+use nuca_repro::simcore::stats::speedup;
+use nuca_repro::tracegen::spec::SpecApp;
+use nuca_repro::tracegen::workload::Mix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apps: Vec<SpecApp> = if args.is_empty() {
+        vec![SpecApp::Art, SpecApp::Mesa, SpecApp::Gap, SpecApp::Facerec]
+    } else if args.len() == 4 {
+        args.iter()
+            .map(|s| s.parse::<SpecApp>())
+            .collect::<Result<_, _>>()?
+    } else {
+        return Err("pass exactly four application names (or none for the default)".into());
+    };
+    let mix = Mix {
+        apps,
+        forwards: vec![800_000_000; 4],
+    };
+
+    let machine = MachineConfig::baseline();
+    let exp = ExperimentConfig::default();
+    let orgs = [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+        Organization::Cooperative { seed: exp.seed },
+    ];
+
+    println!("mix: {}\n", mix.label());
+    let mut baseline = None;
+    for org in orgs {
+        let r = run_mix(&machine, org, &mix, &exp)?;
+        let h = r.result.hmean_ipc;
+        let base = *baseline.get_or_insert(h);
+        print!(
+            "{:<12} harmonic IPC {:.4} ({:+.1}% vs private)  per-core [",
+            r.organization,
+            h,
+            (speedup(h, base) - 1.0) * 100.0
+        );
+        for ipc in &r.result.ipc {
+            print!(" {ipc:.3}");
+        }
+        print!(" ]");
+        if let Some(q) = &r.result.quotas {
+            print!("  quotas {q:?}");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "private = isolated 1 MB slices; shared = one 4 MB cache; adaptive = the\n\
+         paper's scheme; cooperative = Chang & Sohi spilling (\"random replacement\")."
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `nuca-sim` — run one NUCA CMP simulation from the command line.
+//!
+//! See `nuca-sim --help` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let request = match nuca_repro::cli::parse_args(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match nuca_repro::cli::run(&request) {
+        Ok(result) => {
+            print!("{}", nuca_repro::cli::render(&request, &result));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

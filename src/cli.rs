@@ -1,0 +1,326 @@
+//! Command-line driver: configure and run one simulation without writing
+//! any Rust. Used by the `nuca-sim` binary.
+//!
+//! ```text
+//! nuca-sim --org adaptive --apps ammp,gzip,crafty,eon
+//! nuca-sim --org shared --apps art,mesa,gap,facerec --measure 2000000
+//! nuca-sim --org adaptive --parallel galgel:0.4:2048 --tech-scaled
+//! nuca-sim --org private --apps ammp,art,twolf,vpr --l3-mb 8
+//! ```
+
+use std::fmt;
+
+use nuca_core::cmp::{Cmp, CmpResult};
+use nuca_core::engine::AdaptiveParams;
+use nuca_core::l3::Organization;
+use simcore::config::MachineConfig;
+use simcore::error::ConfigError;
+use tracegen::profile::AppProfile;
+use tracegen::spec::SpecApp;
+use tracegen::workload::{parallel_workload, WorkloadPool};
+
+/// A fully parsed simulation request.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// The last-level organization.
+    pub organization: Organization,
+    /// One profile per core.
+    pub profiles: Vec<AppProfile>,
+    /// Fast-forward per core.
+    pub forwards: Vec<u64>,
+    /// Functional warm instructions per core.
+    pub warm_instructions: u64,
+    /// Timed warm-up cycles.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Error from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> Self {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text for the `nuca-sim` binary.
+pub const USAGE: &str = "\
+nuca-sim — simulate a multiprogrammed or parallel workload on a NUCA CMP
+
+USAGE:
+    nuca-sim --org <ORG> (--apps <A,B,C,D> | --parallel <APP:FRAC:KB>) [OPTIONS]
+
+REQUIRED:
+    --org <ORG>            private | private4x | shared | adaptive | cooperative
+    --apps <LIST>          comma-separated SPEC2000 names, one per core
+    --parallel <SPEC>      instead of --apps: APP:SHARED_FRAC:SHARED_KB
+                           (e.g. galgel:0.4:2048) replicated on every core
+
+OPTIONS:
+    --seed <N>             master seed                     [default: 2007]
+    --warm <N>             functional warm instructions    [default: 3000000]
+    --warmup <N>           timed warm-up cycles            [default: 1000000]
+    --measure <N>          measured cycles                 [default: 1500000]
+    --l3-mb <N>            aggregate L3 capacity in MiB    [default: 4]
+    --tech-scaled          apply the Figure 10 latency scaling
+    --reeval <N>           adaptive re-evaluation period   [default: 2000]
+    --help                 print this text
+";
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a human-readable message for any invalid or
+/// missing argument.
+pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
+    let mut org_name: Option<String> = None;
+    let mut apps: Option<Vec<SpecApp>> = None;
+    let mut parallel: Option<(SpecApp, f64, u64)> = None;
+    let mut seed = 2007u64;
+    let mut warm = 3_000_000u64;
+    let mut warmup = 1_000_000u64;
+    let mut measure = 1_500_000u64;
+    let mut l3_mb = 4u64;
+    let mut tech_scaled = false;
+    let mut reeval = 2000u64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::new(format!("{what} requires a value")))
+        };
+        match arg.as_str() {
+            "--org" => org_name = Some(value("--org")?.clone()),
+            "--apps" => {
+                let list = value("--apps")?;
+                let parsed: Result<Vec<SpecApp>, _> =
+                    list.split(',').map(|s| s.trim().parse::<SpecApp>()).collect();
+                apps = Some(parsed.map_err(|e| CliError::new(e.to_string()))?);
+            }
+            "--parallel" => {
+                let spec = value("--parallel")?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(CliError::new("--parallel expects APP:FRAC:KB"));
+                }
+                let app = parts[0]
+                    .parse::<SpecApp>()
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                let frac = parts[1]
+                    .parse::<f64>()
+                    .map_err(|_| CliError::new("bad shared fraction"))?;
+                let kb = parts[2]
+                    .parse::<u64>()
+                    .map_err(|_| CliError::new("bad shared size"))?;
+                parallel = Some((app, frac, kb));
+            }
+            "--seed" => seed = parse_u64(value("--seed")?)?,
+            "--warm" => warm = parse_u64(value("--warm")?)?,
+            "--warmup" => warmup = parse_u64(value("--warmup")?)?,
+            "--measure" => measure = parse_u64(value("--measure")?)?,
+            "--l3-mb" => l3_mb = parse_u64(value("--l3-mb")?)?,
+            "--reeval" => reeval = parse_u64(value("--reeval")?)?,
+            "--tech-scaled" => tech_scaled = true,
+            "--help" | "-h" => return Err(CliError::new(USAGE)),
+            other => return Err(CliError::new(format!("unknown argument: {other}"))),
+        }
+    }
+
+    let mut machine = simcore::config::MachineConfigBuilder::new()
+        .l3_capacity(l3_mb * 1024 * 1024)
+        .build()?;
+    if tech_scaled {
+        machine = machine.technology_scaled();
+    }
+
+    let organization = match org_name.as_deref() {
+        Some("private") => Organization::Private,
+        Some("private4x") => Organization::PrivateScaled { factor: 4 },
+        Some("shared") => Organization::Shared,
+        Some("adaptive") => Organization::Adaptive(AdaptiveParams {
+            reeval_period: reeval,
+            ..AdaptiveParams::default()
+        }),
+        Some("cooperative") => Organization::Cooperative { seed },
+        Some(other) => return Err(CliError::new(format!("unknown organization: {other}"))),
+        None => return Err(CliError::new("--org is required (see --help)")),
+    };
+
+    let (profiles, forwards) = match (apps, parallel) {
+        (Some(apps), None) => {
+            if apps.len() != machine.cores {
+                return Err(CliError::new(format!(
+                    "need exactly {} applications, got {}",
+                    machine.cores,
+                    apps.len()
+                )));
+            }
+            let profiles = apps.iter().map(|a| a.profile().clone()).collect();
+            let mix = WorkloadPool::random_mixes(&apps, machine.cores, 1, seed)
+                .pop()
+                .expect("one mix");
+            (profiles, mix.forwards)
+        }
+        (None, Some((app, frac, kb))) => parallel_workload(app, machine.cores, frac, kb, seed),
+        (Some(_), Some(_)) => {
+            return Err(CliError::new("--apps and --parallel are mutually exclusive"))
+        }
+        (None, None) => return Err(CliError::new("one of --apps or --parallel is required")),
+    };
+
+    Ok(SimRequest {
+        machine,
+        organization,
+        profiles,
+        forwards,
+        warm_instructions: warm,
+        warmup_cycles: warmup,
+        measure_cycles: measure,
+        seed,
+    })
+}
+
+fn parse_u64(s: &str) -> Result<u64, CliError> {
+    s.replace('_', "")
+        .parse::<u64>()
+        .map_err(|_| CliError::new(format!("expected a number, got {s}")))
+}
+
+/// Runs a parsed request to completion.
+///
+/// # Errors
+///
+/// Returns [`CliError`] if the chip cannot be built.
+pub fn run(req: &SimRequest) -> Result<CmpResult, CliError> {
+    let mut cmp = Cmp::with_profiles(
+        &req.machine,
+        req.organization,
+        &req.profiles,
+        &req.forwards,
+        req.seed,
+    )?;
+    cmp.warm(req.warm_instructions);
+    cmp.run(req.warmup_cycles);
+    cmp.reset_stats();
+    cmp.run(req.measure_cycles);
+    Ok(cmp.snapshot())
+}
+
+/// Renders a result the way the `fig*` binaries do.
+pub fn render(req: &SimRequest, result: &CmpResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "organization : {}", req.organization.label());
+    let _ = writeln!(
+        out,
+        "window       : {} warm instr + {} warm-up + {} measured cycles (seed {})",
+        req.warm_instructions, req.warmup_cycles, req.measure_cycles, req.seed
+    );
+    for (i, (app, s)) in result.per_core.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "core {i} {app:<8} IPC {:.4}  L3 acc {:>7}  local {:>7}  remote {:>6}  miss {:>7}",
+            s.ipc(),
+            s.l3_accesses,
+            s.l3_local_hits,
+            s.l3_remote_hits,
+            s.l3_misses
+        );
+    }
+    let _ = writeln!(out, "harmonic IPC : {:.4}", result.hmean_ipc);
+    let _ = writeln!(out, "average IPC  : {:.4}", result.amean_ipc);
+    if let Some(q) = &result.quotas {
+        let _ = writeln!(out, "quotas       : {q:?}");
+    }
+    let _ = writeln!(
+        out,
+        "bus          : {} fills, mean queue {:.1} cycles",
+        result.memory.requests,
+        result.memory.mean_queue_delay()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_minimal_multiprogrammed_request() {
+        let req = parse_args(&argv("--org adaptive --apps ammp,gzip,crafty,eon")).unwrap();
+        assert_eq!(req.profiles.len(), 4);
+        assert_eq!(req.organization.label(), "adaptive");
+        assert_eq!(req.seed, 2007);
+    }
+
+    #[test]
+    fn parses_options_and_scaling() {
+        let req = parse_args(&argv(
+            "--org shared --apps art,mesa,gap,facerec --seed 9 --measure 123 --l3-mb 8 --tech-scaled",
+        ))
+        .unwrap();
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.measure_cycles, 123);
+        assert_eq!(req.machine.l3.shared.size_bytes(), 8 * 1024 * 1024);
+        assert_eq!(req.machine.l2.latency(), 11, "tech scaling applied");
+    }
+
+    #[test]
+    fn parses_parallel_workloads() {
+        let req = parse_args(&argv("--org adaptive --parallel galgel:0.4:2048")).unwrap();
+        assert_eq!(req.profiles.len(), 4);
+        assert!((req.profiles[0].shared_read_frac - 0.4).abs() < 1e-12);
+        assert_eq!(req.profiles[0].shared_kb, 2048);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("--org bogus --apps ammp,gzip,crafty,eon")).is_err());
+        assert!(parse_args(&argv("--org private --apps ammp")).is_err());
+        assert!(parse_args(&argv("--org private")).is_err());
+        assert!(parse_args(&argv("--org private --apps a,b,c,d")).is_err());
+        assert!(parse_args(&argv("--org private --apps ammp,gzip,crafty,eon --seed x")).is_err());
+        assert!(parse_args(&argv("--unknown")).is_err());
+        assert!(parse_args(&argv("--org adaptive --apps ammp,gzip,crafty,eon --parallel a:1:1")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        let mut req = parse_args(&argv("--org adaptive --apps ammp,gzip,crafty,eon")).unwrap();
+        req.warm_instructions = 50_000;
+        req.warmup_cycles = 5_000;
+        req.measure_cycles = 20_000;
+        let result = run(&req).unwrap();
+        assert!(result.hmean_ipc > 0.0);
+        let text = render(&req, &result);
+        assert!(text.contains("harmonic IPC"));
+        assert!(text.contains("quotas"));
+    }
+}

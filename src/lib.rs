@@ -1,0 +1,13 @@
+//! Workspace facade for the HPCA 2007 adaptive NUCA reproduction.
+//!
+//! Re-exports every crate so that examples and integration tests can write
+//! `use nuca_repro::nuca_core::...`.
+
+pub mod cli;
+
+pub use cachesim;
+pub use cpusim;
+pub use memsim;
+pub use nuca_core;
+pub use simcore;
+pub use tracegen;

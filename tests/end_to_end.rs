@@ -1,0 +1,168 @@
+//! End-to-end integration tests spanning every crate: trace generation →
+//! out-of-order cores → last-level organizations → contended memory,
+//! driven through the experiment harness.
+
+use nuca_repro::nuca_core::cmp::Cmp;
+use nuca_repro::nuca_core::experiment::{compare_schemes, run_mix, ExperimentConfig};
+use nuca_repro::nuca_core::l3::Organization;
+use nuca_repro::simcore::config::MachineConfig;
+use nuca_repro::tracegen::spec::SpecApp;
+use nuca_repro::tracegen::workload::{Mix, WorkloadPool};
+
+fn exp() -> ExperimentConfig {
+    ExperimentConfig::quick()
+}
+
+fn mixed() -> Mix {
+    Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Gzip, SpecApp::Crafty, SpecApp::Mcf],
+        forwards: vec![600_000_000, 700_000_000, 800_000_000, 900_000_000],
+    }
+}
+
+#[test]
+fn every_organization_completes_a_mixed_workload() {
+    let machine = MachineConfig::baseline();
+    for org in [
+        Organization::Private,
+        Organization::PrivateScaled { factor: 4 },
+        Organization::Shared,
+        Organization::adaptive(),
+        Organization::Cooperative { seed: 1 },
+    ] {
+        let r = run_mix(&machine, org, &mixed(), &exp()).unwrap();
+        assert_eq!(r.result.per_core.len(), 4, "{}", org.label());
+        for (app, s) in &r.result.per_core {
+            assert!(s.committed > 0, "{}/{app} made no progress", org.label());
+            assert!(s.ipc() > 0.0 && s.ipc() <= 4.0);
+        }
+        assert!(r.result.hmean_ipc <= r.result.amean_ipc + 1e-9);
+        assert!(r.result.memory.requests > 0, "memory saw traffic");
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let machine = MachineConfig::baseline();
+    let a = run_mix(&machine, Organization::adaptive(), &mixed(), &exp()).unwrap();
+    let b = run_mix(&machine, Organization::adaptive(), &mixed(), &exp()).unwrap();
+    assert_eq!(a.result.per_core, b.result.per_core);
+    assert_eq!(a.result.quotas, b.result.quotas);
+}
+
+#[test]
+fn seed_changes_the_outcome() {
+    let machine = MachineConfig::baseline();
+    let mut e2 = exp();
+    e2.seed += 1;
+    let a = run_mix(&machine, Organization::adaptive(), &mixed(), &exp()).unwrap();
+    let b = run_mix(&machine, Organization::adaptive(), &mixed(), &e2).unwrap();
+    assert_ne!(
+        a.result.per_core[0].1.committed,
+        b.result.per_core[0].1.committed
+    );
+}
+
+#[test]
+fn schemes_share_identical_workloads() {
+    let machine = MachineConfig::baseline();
+    let rs = compare_schemes(
+        &machine,
+        &[Organization::Private, Organization::Shared, Organization::adaptive()],
+        &mixed(),
+        &exp(),
+    )
+    .unwrap();
+    for pair in rs.windows(2) {
+        assert_eq!(pair[0].mix, pair[1].mix);
+        for i in 0..4 {
+            assert_eq!(pair[0].result.per_core[i].0, pair[1].result.per_core[i].0);
+        }
+    }
+}
+
+#[test]
+fn adaptive_quota_conservation_holds_throughout_a_run() {
+    let machine = MachineConfig::baseline();
+    let mix = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), 4, 1, 5)
+        .pop()
+        .unwrap();
+    let mut cmp = Cmp::new(&machine, Organization::adaptive(), &mix, 5).unwrap();
+    cmp.warm(200_000);
+    for _ in 0..20 {
+        cmp.run(10_000);
+        let quotas = cmp.l3().as_adaptive().unwrap().quotas();
+        assert_eq!(quotas.iter().sum::<u32>(), 16, "quota conservation");
+        assert!(quotas.iter().all(|&q| (1..=13).contains(&q)));
+    }
+}
+
+#[test]
+fn adaptive_structure_invariants_survive_a_full_run() {
+    let machine = MachineConfig::baseline();
+    let mut cmp = Cmp::new(&machine, Organization::adaptive(), &mixed(), 9).unwrap();
+    cmp.warm(300_000);
+    cmp.run(100_000);
+    assert!(cmp.l3().as_adaptive().unwrap().check_invariants());
+}
+
+#[test]
+fn private_org_isolates_cores_but_adaptive_shares() {
+    // Under private slices, a light app's L3 stats are independent of its
+    // neighbors' appetite; under the adaptive scheme the hungry neighbor
+    // borrows capacity (visible as shared-partition hits).
+    let machine = MachineConfig::baseline();
+    let r = run_mix(&machine, Organization::adaptive(), &mixed(), &exp()).unwrap();
+    let total_remote: u64 = r.result.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
+    assert!(total_remote > 0, "adaptive scheme produced shared-partition hits");
+    let p = run_mix(&machine, Organization::Private, &mixed(), &exp()).unwrap();
+    let private_remote: u64 = p.result.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
+    assert_eq!(private_remote, 0, "private slices never hit remotely");
+}
+
+#[test]
+fn cooperative_spills_show_up_as_remote_hits() {
+    let machine = MachineConfig::baseline();
+    let r = run_mix(
+        &machine,
+        Organization::Cooperative { seed: 3 },
+        &mixed(),
+        &exp(),
+    )
+    .unwrap();
+    let remote: u64 = r.result.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
+    assert!(remote > 0, "spilled blocks were found in neighbor slices");
+}
+
+#[test]
+fn technology_scaled_machine_runs_and_slows_memory() {
+    let machine = MachineConfig::baseline();
+    let scaled = machine.technology_scaled();
+    let base = run_mix(&machine, Organization::Private, &mixed(), &exp()).unwrap();
+    let slow = run_mix(&scaled, Organization::Private, &mixed(), &exp()).unwrap();
+    // Same workload, slower memory: every core is no faster.
+    for i in 0..4 {
+        assert!(
+            slow.result.ipc[i] <= base.result.ipc[i] * 1.02 + 1e-9,
+            "core {i}: scaled {:.4} vs base {:.4}",
+            slow.result.ipc[i],
+            base.result.ipc[i]
+        );
+    }
+}
+
+#[test]
+fn eight_megabyte_l3_reduces_misses() {
+    let machine = MachineConfig::baseline();
+    let big = machine.with_l3_scale(2).unwrap();
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Art, SpecApp::Twolf, SpecApp::Vpr],
+        forwards: vec![700_000_000; 4],
+    };
+    let small = run_mix(&machine, Organization::Private, &mix, &exp()).unwrap();
+    let large = run_mix(&big, Organization::Private, &mix, &exp()).unwrap();
+    assert!(
+        large.result.total_l3_misses() < small.result.total_l3_misses(),
+        "denser cache must miss less for cache-hungry mixes"
+    );
+}

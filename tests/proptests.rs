@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) of the core data structures and the
+//! invariants listed in DESIGN.md §6.
+
+use proptest::prelude::*;
+
+use nuca_repro::cachesim::cache::Cache;
+use nuca_repro::cachesim::lru::LruStack;
+use nuca_repro::nuca_core::engine::{AdaptiveParams, SharingEngine};
+use nuca_repro::nuca_core::l3::AdaptiveL3;
+use nuca_repro::cpusim::l3iface::LastLevel;
+use nuca_repro::simcore::config::{CacheGeometry, MachineConfigBuilder};
+use nuca_repro::simcore::rng::SimRng;
+use nuca_repro::simcore::stats::{arithmetic_mean, geometric_mean, harmonic_mean};
+use nuca_repro::simcore::types::{Address, BlockAddr, CoreId, Cycle};
+
+// ---------------------------------------------------------------------
+// LRU stack vs a reference model.
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Touch(u8),
+    PushMru(u8),
+    PopLru,
+    Remove(u8),
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0u8..16).prop_map(LruOp::Touch),
+        (0u8..16).prop_map(LruOp::PushMru),
+        Just(LruOp::PopLru),
+        (0u8..16).prop_map(LruOp::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lru_stack_matches_reference_model(ops in proptest::collection::vec(lru_op(), 0..200)) {
+        let mut stack = LruStack::new();
+        let mut model: Vec<u8> = Vec::new(); // front = MRU
+        for op in ops {
+            match op {
+                LruOp::Touch(w) => {
+                    stack.touch(w);
+                    model.retain(|&x| x != w);
+                    model.insert(0, w);
+                }
+                LruOp::PushMru(w) => {
+                    if !model.contains(&w) {
+                        stack.push_mru(w);
+                        model.insert(0, w);
+                    }
+                }
+                LruOp::PopLru => {
+                    prop_assert_eq!(stack.pop_lru(), model.pop());
+                }
+                LruOp::Remove(w) => {
+                    let present = model.contains(&w);
+                    prop_assert_eq!(stack.remove(w), present);
+                    model.retain(|&x| x != w);
+                }
+            }
+            prop_assert_eq!(stack.iter_from_mru().collect::<Vec<_>>(), model.clone());
+            prop_assert_eq!(stack.lru(), model.last().copied());
+            prop_assert_eq!(stack.mru(), model.first().copied());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Set-associative cache vs a reference LRU model.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cache_matches_reference_lru(
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..400)
+    ) {
+        // 2 sets x 4 ways; addresses cover 64 blocks so conflicts abound.
+        let geom = CacheGeometry::new(512, 4, 64, 1).unwrap();
+        let mut cache = Cache::new(geom);
+        let core = CoreId::from_index(0);
+        // Reference: per-set vector of block numbers, front = MRU.
+        let mut model: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for (blk, write) in accesses {
+            let addr = Address::new(blk * 64);
+            let set = (blk % 2) as usize;
+            let hit = cache.access(addr, write, core).is_hit();
+            let model_hit = model[set].contains(&blk);
+            prop_assert_eq!(hit, model_hit, "block {} set {}", blk, set);
+            if hit {
+                model[set].retain(|&b| b != blk);
+                model[set].insert(0, blk);
+            } else {
+                cache.fill(addr, write, core);
+                model[set].insert(0, blk);
+                model[set].truncate(4);
+            }
+            prop_assert!(cache.check_invariants());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharing engine: quota conservation under arbitrary event sequences.
+
+#[derive(Debug, Clone)]
+enum EngineOp {
+    LruHit(u8),
+    Evict(u8, u64),
+    Miss(u8, u64),
+}
+
+fn engine_op() -> impl Strategy<Value = EngineOp> {
+    prop_oneof![
+        (0u8..4).prop_map(EngineOp::LruHit),
+        (0u8..4, 0u64..64).prop_map(|(c, t)| EngineOp::Evict(c, t)),
+        (0u8..4, 0u64..64).prop_map(|(c, t)| EngineOp::Miss(c, t)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn engine_quotas_conserve_under_any_events(
+        ops in proptest::collection::vec(engine_op(), 0..2000),
+        period in 1u64..50,
+    ) {
+        let params = AdaptiveParams { reeval_period: period, ..AdaptiveParams::default() };
+        let mut eng = SharingEngine::new(16, 4, 16, 4, params);
+        for op in ops {
+            match op {
+                EngineOp::LruHit(c) => eng.record_lru_hit(CoreId::from_index(c)),
+                EngineOp::Evict(c, t) => {
+                    eng.record_eviction((t % 16) as usize, CoreId::from_index(c), BlockAddr::new(t))
+                }
+                EngineOp::Miss(c, t) => {
+                    eng.observe_miss((t % 16) as usize, CoreId::from_index(c), BlockAddr::new(t));
+                }
+            }
+            prop_assert!(eng.check_invariants());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive L3: structural invariants under random multiprogrammed
+// access streams (DESIGN.md §6).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn adaptive_l3_invariants_under_random_streams(seed in 0u64..1000, period in 10u64..500) {
+        let cfg = MachineConfigBuilder::new()
+            .l3_capacity(16 * 16 * 64) // 16 sets
+            .build()
+            .unwrap();
+        let params = AdaptiveParams { reeval_period: period, ..AdaptiveParams::default() };
+        let mut l3 = AdaptiveL3::new(&cfg, params);
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..4_000u64 {
+            let core = CoreId::from_index(rng.below(4) as u8);
+            let addr = Address::new(rng.below(1 << 13) * 64).with_asid(core.asid());
+            l3.access(core, addr, rng.chance(0.3), Cycle::new(i * 7));
+        }
+        prop_assert!(l3.check_invariants());
+        let quotas = l3.quotas();
+        prop_assert_eq!(quotas.iter().sum::<u32>(), 16);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics: mean inequalities and determinism of the RNG.
+
+proptest! {
+    #[test]
+    fn mean_inequality_chain(values in proptest::collection::vec(0.01f64..10.0, 1..20)) {
+        let h = harmonic_mean(&values);
+        let g = geometric_mean(&values);
+        let a = arithmetic_mean(&values);
+        prop_assert!(h <= g + 1e-9);
+        prop_assert!(g <= a + 1e-9);
+    }
+
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace generators: every op stream is well-formed for any profile knobs.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn generated_streams_are_well_formed(
+        seed in any::<u64>(),
+        loads in 0.05f64..0.35,
+        stores in 0.02f64..0.15,
+        branches in 0.02f64..0.25,
+        hot_kb in 64u64..2048,
+        skew in 1.0f64..3.0,
+        loop_frac in 0.0f64..1.0,
+    ) {
+        use nuca_repro::tracegen::profile::AppProfileBuilder;
+        use nuca_repro::tracegen::TraceGenerator;
+        let profile = AppProfileBuilder::new("prop")
+            .loads(loads)
+            .stores(stores)
+            .branches(branches)
+            .hot_kb(hot_kb)
+            .hot_skew(skew)
+            .hot_loop(loop_frac)
+            .build()
+            .unwrap();
+        let mut gen = TraceGenerator::new(&profile, SimRng::seed_from(seed));
+        for _ in 0..500 {
+            let op = gen.next_op();
+            prop_assert!(op.dep1 >= 1);
+            prop_assert!(op.latency >= 1);
+            if op.class.is_mem() {
+                prop_assert!(op.addr.is_some());
+            } else {
+                prop_assert!(op.addr.is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Robustness tests: configurations away from the paper's defaults
+//! (different core counts, tiny caches, extreme parameters) must still
+//! behave correctly — the paper's §6 claims the scheme "will scale to
+//! systems with a higher processor count".
+
+use nuca_repro::nuca_core::cmp::Cmp;
+use nuca_repro::nuca_core::engine::AdaptiveParams;
+use nuca_repro::nuca_core::experiment::{run_mix, ExperimentConfig};
+use nuca_repro::nuca_core::l3::Organization;
+use nuca_repro::simcore::config::{MachineConfig, MachineConfigBuilder};
+use nuca_repro::tracegen::spec::SpecApp;
+use nuca_repro::tracegen::workload::Mix;
+
+fn exp() -> ExperimentConfig {
+    ExperimentConfig::quick()
+}
+
+fn machine_with_cores(cores: usize) -> MachineConfig {
+    MachineConfigBuilder::new()
+        .cores(cores)
+        .l3_capacity(cores as u64 * 1024 * 1024)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn two_core_chip_runs_every_organization() {
+    let machine = machine_with_cores(2);
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Crafty],
+        forwards: vec![600_000_000, 700_000_000],
+    };
+    for org in [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+        Organization::Cooperative { seed: 2 },
+    ] {
+        let r = run_mix(&machine, org, &mix, &exp()).unwrap();
+        assert_eq!(r.result.per_core.len(), 2, "{}", org.label());
+        assert!(r.result.hmean_ipc > 0.0, "{}", org.label());
+        if let Some(q) = &r.result.quotas {
+            assert_eq!(q.iter().sum::<u32>(), 8, "2-core chip has 8 aggregate ways");
+        }
+    }
+}
+
+#[test]
+fn eight_core_chip_scales() {
+    let machine = machine_with_cores(8);
+    let mix = Mix {
+        apps: vec![
+            SpecApp::Ammp,
+            SpecApp::Gzip,
+            SpecApp::Crafty,
+            SpecApp::Eon,
+            SpecApp::Mcf,
+            SpecApp::Mesa,
+            SpecApp::Art,
+            SpecApp::Gap,
+        ],
+        forwards: vec![600_000_000; 8],
+    };
+    let r = run_mix(&machine, Organization::adaptive(), &mix, &exp()).unwrap();
+    assert_eq!(r.result.per_core.len(), 8);
+    let quotas = r.result.quotas.unwrap();
+    assert_eq!(quotas.iter().sum::<u32>(), 32);
+    assert!(quotas.iter().all(|&q| q >= 1));
+    for (app, s) in &r.result.per_core {
+        assert!(s.committed > 0, "{app} stalled on the 8-core chip");
+    }
+}
+
+#[test]
+fn extreme_reeval_periods_are_stable() {
+    let machine = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Gzip, SpecApp::Swim, SpecApp::Eon],
+        forwards: vec![500_000_000; 4],
+    };
+    for period in [1u64, 10, 1_000_000_000] {
+        let params = AdaptiveParams {
+            reeval_period: period,
+            ..AdaptiveParams::default()
+        };
+        let r = run_mix(&machine, Organization::Adaptive(params), &mix, &exp()).unwrap();
+        let quotas = r.result.quotas.unwrap();
+        assert_eq!(quotas.iter().sum::<u32>(), 16, "period {period}");
+    }
+}
+
+#[test]
+fn shared_reserve_extremes_preserve_invariants() {
+    let machine = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Art, SpecApp::Mcf, SpecApp::Gzip, SpecApp::Lucas],
+        forwards: vec![500_000_000; 4],
+    };
+    for reserve in [0u32, 1, 2, 4] {
+        let params = AdaptiveParams {
+            shared_reserve: reserve,
+            ..AdaptiveParams::default()
+        };
+        let mut cmp = Cmp::new(&machine, Organization::Adaptive(params), &mix, 3).unwrap();
+        cmp.warm(150_000);
+        cmp.run(30_000);
+        assert!(
+            cmp.l3().as_adaptive().unwrap().check_invariants(),
+            "reserve {reserve}"
+        );
+    }
+}
+
+#[test]
+fn shadow_sampling_shift_changes_cost_not_correctness() {
+    let machine = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Gzip, SpecApp::Crafty, SpecApp::Eon],
+        forwards: vec![500_000_000; 4],
+    };
+    let full = run_mix(&machine, Organization::adaptive(), &mix, &exp()).unwrap();
+    let params = AdaptiveParams {
+        shadow_sampling: nuca_repro::cachesim::shadow::SetSampling::LowestIndex { shift: 4 },
+        ..AdaptiveParams::default()
+    };
+    let sampled = run_mix(&machine, Organization::Adaptive(params), &mix, &exp()).unwrap();
+    // Sampled estimation must stay in the same ballpark (the paper:
+    // ±0.1% at full scale; quick scale is noisier, so allow 15%).
+    let ratio = sampled.result.hmean_ipc / full.result.hmean_ipc;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "sampling changed hmean by {ratio}"
+    );
+}
+
+#[test]
+fn duplicate_applications_on_all_cores_are_fine() {
+    // The paper's 3x ammp + wupwise experiment: duplicates must coexist
+    // (distinct address spaces via ASIDs).
+    let machine = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Ammp, SpecApp::Ammp, SpecApp::Wupwise],
+        forwards: vec![500_000_000, 800_000_000, 1_100_000_000, 900_000_000],
+    };
+    let r = run_mix(&machine, Organization::adaptive(), &mix, &exp()).unwrap();
+    for i in 0..3 {
+        assert!(r.result.ipc[i] > 0.0);
+    }
+    // The three ammp instances see statistically similar service.
+    let a = r.result.ipc[0];
+    let b = r.result.ipc[1];
+    let c = r.result.ipc[2];
+    let max = a.max(b).max(c);
+    let min = a.min(b).min(c);
+    assert!(min > 0.3 * max, "ammp instances diverged: {a} {b} {c}");
+}
+
+#[test]
+fn zero_l3_traffic_app_is_harmless() {
+    // An app that fits entirely in L1 must not confuse the quota engine.
+    let machine = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Eon, SpecApp::Eon, SpecApp::Eon, SpecApp::Eon],
+        forwards: vec![500_000_000; 4],
+    };
+    let r = run_mix(&machine, Organization::adaptive(), &mix, &exp()).unwrap();
+    let quotas = r.result.quotas.unwrap();
+    assert_eq!(quotas.iter().sum::<u32>(), 16);
+    for (_, s) in &r.result.per_core {
+        assert!(s.ipc() > 0.3, "light app should run fast, got {}", s.ipc());
+    }
+}
+
+#[test]
+fn cooperative_scheme_handles_two_cores() {
+    // random_neighbor with exactly one neighbor must always pick it.
+    let machine = machine_with_cores(2);
+    let mix = Mix {
+        apps: vec![SpecApp::Gzip, SpecApp::Crafty],
+        forwards: vec![500_000_000; 2],
+    };
+    let r = run_mix(&machine, Organization::Cooperative { seed: 1 }, &mix, &exp()).unwrap();
+    assert!(r.result.hmean_ipc > 0.0);
+}
