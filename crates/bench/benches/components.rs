@@ -2,6 +2,9 @@
 //! substrate runs, which bounds how much simulated time the figure
 //! harness can afford.
 
+// Bench harness: failing fast on setup errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -90,7 +93,10 @@ fn bench_core_cycle(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let gen = TraceGenerator::new(SpecApp::Gzip.profile(), SimRng::seed_from(5));
-                (Core::new(CoreId::from_index(0), &cfg, gen), FixedLatencyL3::new(19))
+                (
+                    Core::new(CoreId::from_index(0), &cfg, gen),
+                    FixedLatencyL3::new(19),
+                )
             },
             |(mut core, mut l3)| {
                 for n in 0..1_000u64 {

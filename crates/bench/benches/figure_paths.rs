@@ -3,6 +3,9 @@
 //! reports how long one downscaled experiment takes. Full-fidelity runs
 //! are the `fig*` binaries (see EXPERIMENTS.md).
 
+// Bench harness: failing fast on setup errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;

@@ -2,6 +2,9 @@
 //! re-evaluation period, initial private/shared split, Algorithm 1 vs
 //! plain LRU victim selection, and shadow sampling ratio.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use cachesim::shadow::SetSampling;
 use nuca_bench::figures::ablate;
 use nuca_bench::report::{pct, Table};
@@ -22,7 +25,10 @@ fn main() {
         ..AdaptiveParams::default()
     })
     .expect("period ablation");
-    let mut t = Table::new("Ablation — re-evaluation period (paper: 2000 misses)", &["period", "hmean speedup vs private", "total L3 misses"]);
+    let mut t = Table::new(
+        "Ablation — re-evaluation period (paper: 2000 misses)",
+        &["period", "hmean speedup vs private", "total L3 misses"],
+    );
     for r in &rows {
         t.row(&[&r.value, &pct(r.hmean_speedup), &r.total_misses.to_string()]);
     }
@@ -38,7 +44,10 @@ fn main() {
         ..AdaptiveParams::default()
     })
     .expect("reserve ablation");
-    let mut t = Table::new("Ablation — initial private/shared split (paper: 75%/25%)", &["split", "hmean speedup vs private", "total L3 misses"]);
+    let mut t = Table::new(
+        "Ablation — initial private/shared split (paper: 75%/25%)",
+        &["split", "hmean speedup vs private", "total L3 misses"],
+    );
     for r in &rows {
         t.row(&[&r.value, &pct(r.hmean_speedup), &r.total_misses.to_string()]);
     }
@@ -54,7 +63,10 @@ fn main() {
         ..AdaptiveParams::default()
     })
     .expect("victim ablation");
-    let mut t = Table::new("Ablation — shared-partition victim policy", &["policy", "hmean speedup vs private", "total L3 misses"]);
+    let mut t = Table::new(
+        "Ablation — shared-partition victim policy",
+        &["policy", "hmean speedup vs private", "total L3 misses"],
+    );
     for r in &rows {
         t.row(&[&r.value, &pct(r.hmean_speedup), &r.total_misses.to_string()]);
     }
@@ -64,9 +76,21 @@ fn main() {
     // §4.6: lowest-index vs random vs prime-stride shadow-set subsets.
     let strategies: Vec<(String, SetSampling)> = vec![
         ("full coverage".into(), SetSampling::ALL),
-        ("lowest-index 1/16".into(), SetSampling::LowestIndex { shift: 4 }),
-        ("random 1/16".into(), SetSampling::Random { shift: 4, seed: 2007 }),
-        ("prime-stride 1/16".into(), SetSampling::PrimeStride { shift: 4 }),
+        (
+            "lowest-index 1/16".into(),
+            SetSampling::LowestIndex { shift: 4 },
+        ),
+        (
+            "random 1/16".into(),
+            SetSampling::Random {
+                shift: 4,
+                seed: 2007,
+            },
+        ),
+        (
+            "prime-stride 1/16".into(),
+            SetSampling::PrimeStride { shift: 4 },
+        ),
     ];
     let rows = ablate(&machine, &exp, n, &strategies, |&sampling| AdaptiveParams {
         shadow_sampling: sampling,

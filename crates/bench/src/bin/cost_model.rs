@@ -1,16 +1,31 @@
 //! Section 2.7: implementation cost of the adaptive scheme.
 
-use nuca_core::cost::CostModel;
 use nuca_bench::report::Table;
+use nuca_core::cost::CostModel;
 use simcore::config::MachineConfig;
 
 fn main() {
     let machine = MachineConfig::baseline();
     let c = CostModel::for_machine(&machine);
-    let mut t = Table::new("Section 2.7 — storage overhead", &["component", "bits", "share"]);
-    t.row(&["shadow tags (1/16 of sets)", &c.shadow_tag_bits().to_string(), &format!("{:.0}%", c.shadow_fraction() * 100.0)]);
-    t.row(&["core IDs (2 bits/block)", &c.core_id_bits().to_string(), &format!("{:.0}%", c.core_id_fraction() * 100.0)]);
-    t.row(&["counters & quota registers", &c.counter_total_bits().to_string(), "<1%"]);
+    let mut t = Table::new(
+        "Section 2.7 — storage overhead",
+        &["component", "bits", "share"],
+    );
+    t.row(&[
+        "shadow tags (1/16 of sets)",
+        &c.shadow_tag_bits().to_string(),
+        &format!("{:.0}%", c.shadow_fraction() * 100.0),
+    ]);
+    t.row(&[
+        "core IDs (2 bits/block)",
+        &c.core_id_bits().to_string(),
+        &format!("{:.0}%", c.core_id_fraction() * 100.0),
+    ]);
+    t.row(&[
+        "counters & quota registers",
+        &c.counter_total_bits().to_string(),
+        "<1%",
+    ]);
     t.row(&["total", &c.total_bits().to_string(), ""]);
     t.print();
     println!();

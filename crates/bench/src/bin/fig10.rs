@@ -1,5 +1,8 @@
 //! Figure 10: the impact of technology scaling.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig10;
 use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;

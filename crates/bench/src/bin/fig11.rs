@@ -1,5 +1,8 @@
 //! Figure 11: the adaptive scheme vs cooperative caching, intensive mixes.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig11;
 use nuca_bench::report::{f4, pct, Table};
 use simcore::config::MachineConfig;
@@ -14,9 +17,17 @@ fn main() {
         &["mix", "adaptive", "cooperative", "relative"],
     );
     for r in &rows {
-        t.row(&[&r.label, &f4(r.adaptive), &f4(r.cooperative), &pct(r.relative)]);
+        t.row(&[
+            &r.label,
+            &f4(r.adaptive),
+            &f4(r.cooperative),
+            &pct(r.relative),
+        ]);
     }
     t.print();
     let mean = arithmetic_mean(&rows.iter().map(|r| r.relative).collect::<Vec<_>>());
-    println!("\nmean relative performance: {} (paper: adaptive generally better)", pct(mean));
+    println!(
+        "\nmean relative performance: {} (paper: adaptive generally better)",
+        pct(mean)
+    );
 }

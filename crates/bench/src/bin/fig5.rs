@@ -1,5 +1,8 @@
 //! Figure 5: classification of applications by last-level intensity.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig5;
 use nuca_bench::report::{f3, Table};
 use simcore::config::MachineConfig;
@@ -8,7 +11,11 @@ fn main() {
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let mut rows = fig5(&machine, &exp).expect("figure 5 experiment");
-    rows.sort_by(|a, b| b.accesses_per_kilocycle.partial_cmp(&a.accesses_per_kilocycle).unwrap());
+    rows.sort_by(|a, b| {
+        b.accesses_per_kilocycle
+            .partial_cmp(&a.accesses_per_kilocycle)
+            .unwrap()
+    });
     let mut t = Table::new(
         "Figure 5 — L3 accesses per 1000 cycles (intensive if > 9)",
         &["app", "acc/kcycle", "IPC", "class", "paper class"],
@@ -19,10 +26,17 @@ fn main() {
             &f3(r.accesses_per_kilocycle),
             &f3(r.ipc),
             if r.intensive { "intensive" } else { "-" },
-            if r.app.is_llc_intensive() { "intensive" } else { "-" },
+            if r.app.is_llc_intensive() {
+                "intensive"
+            } else {
+                "-"
+            },
         ]);
     }
     t.print();
-    let mismatches = rows.iter().filter(|r| r.intensive != r.app.is_llc_intensive()).count();
+    let mismatches = rows
+        .iter()
+        .filter(|r| r.intensive != r.app.is_llc_intensive())
+        .count();
     println!("\nclassification mismatches vs expected: {mismatches}");
 }

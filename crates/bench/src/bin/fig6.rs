@@ -1,5 +1,8 @@
 //! Figure 6: harmonic mean of IPC per experiment (LLC-intensive mixes).
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig6;
 use nuca_bench::report::{f4, pct, Table};
 use simcore::config::MachineConfig;

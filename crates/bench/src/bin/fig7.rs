@@ -1,5 +1,8 @@
 //! Figure 7: per-application speedup for the LLC-intensive applications.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig7;
 use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;

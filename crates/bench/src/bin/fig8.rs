@@ -1,5 +1,8 @@
 //! Figure 8: speedup vs private caches for all applications.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig8;
 use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;
@@ -16,7 +19,11 @@ fn main() {
         t.row(&[
             r.app,
             &pct(r.speedup),
-            if r.intensive { "intensive" } else { "non-intensive" },
+            if r.intensive {
+                "intensive"
+            } else {
+                "non-intensive"
+            },
             &r.appearances.to_string(),
         ]);
     }

@@ -1,5 +1,8 @@
 //! Figure 9: the per-application comparison with an 8-MByte L3.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::figures::fig9;
 use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;

@@ -1,6 +1,9 @@
 //! Beyond the paper (§6 future work): parallel workloads with read-shared
 //! data, comparing all four organizations.
 
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_bench::report::{f4, pct, Table};
 use nuca_core::cmp::Cmp;
 use nuca_core::l3::Organization;
@@ -20,7 +23,9 @@ fn main() {
     ];
     let mut t = Table::new(
         "Extension — parallel workloads (shared read region), harmonic IPC",
-        &["workload", "private", "shared", "adaptive", "coop", "adp/priv"],
+        &[
+            "workload", "private", "shared", "adaptive", "coop", "adp/priv",
+        ],
     );
     for (app, frac, kb) in [
         (SpecApp::Galgel, 0.4, 2048),
@@ -40,7 +45,12 @@ fn main() {
             h.push(cmp.snapshot().hmean_ipc);
         }
         t.row(&[
-            &format!("4x {} ({:.0}% shared reads, {} KiB)", app.name(), frac * 100.0, kb),
+            &format!(
+                "4x {} ({:.0}% shared reads, {} KiB)",
+                app.name(),
+                frac * 100.0,
+                kb
+            ),
             &f4(h[0]),
             &f4(h[1]),
             &f4(h[2]),

@@ -106,7 +106,8 @@ pub struct Fig6Result {
 ///
 /// Propagates configuration errors from the experiment harness.
 pub fn fig6(machine: &MachineConfig, exp: &ExperimentConfig, n_mixes: usize) -> Result<Fig6Result> {
-    let mixes = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
     let orgs = [
         Organization::Private,
         Organization::Shared,
@@ -135,7 +136,7 @@ pub fn fig6(machine: &MachineConfig, exp: &ExperimentConfig, n_mixes: usize) -> 
     rows.sort_by(|x, y| {
         let sx = speedup(x.adaptive, x.private);
         let sy = speedup(y.adaptive, y.private);
-        sx.partial_cmp(&sy).expect("finite speedups")
+        sx.total_cmp(&sy)
     });
     Ok(Fig6Result {
         rows,
@@ -179,7 +180,12 @@ fn per_app_rows(
         adaptive.push(run_mix(machine, Organization::adaptive(), mix, exp)?);
         private.push(run_mix(machine, Organization::Private, mix, exp)?);
         shared.push(run_mix(machine, Organization::Shared, mix, exp)?);
-        private4.push(run_mix(machine, Organization::PrivateScaled { factor: 4 }, mix, exp)?);
+        private4.push(run_mix(
+            machine,
+            Organization::PrivateScaled { factor: 4 },
+            mix,
+            exp,
+        )?);
     }
     let vs_p = per_app_speedup(&adaptive, &private);
     let vs_s = per_app_speedup(&adaptive, &shared);
@@ -188,7 +194,10 @@ fn per_app_rows(
         .into_iter()
         .map(|(app, sp, n)| {
             let find = |v: &[(&'static str, f64, usize)]| {
-                v.iter().find(|(a, _, _)| *a == app).map(|(_, s, _)| *s).unwrap_or(0.0)
+                v.iter()
+                    .find(|(a, _, _)| *a == app)
+                    .map(|(_, s, _)| *s)
+                    .unwrap_or(0.0)
             };
             PerAppRow {
                 app,
@@ -237,7 +246,11 @@ pub struct Fig8Row {
 /// # Errors
 ///
 /// Propagates configuration errors from the experiment harness.
-pub fn fig8(machine: &MachineConfig, exp: &ExperimentConfig, n_mixes: usize) -> Result<Vec<Fig8Row>> {
+pub fn fig8(
+    machine: &MachineConfig,
+    exp: &ExperimentConfig,
+    n_mixes: usize,
+) -> Result<Vec<Fig8Row>> {
     let mixes = WorkloadPool::random_mixes(&SpecApp::ALL, machine.cores, n_mixes, exp.seed);
     let mut adaptive = Vec::new();
     let mut private = Vec::new();
@@ -271,7 +284,8 @@ pub fn fig9(
     n_mixes: usize,
 ) -> Result<Vec<PerAppRow>> {
     let big = machine.with_l3_scale(2)?;
-    let mixes = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), big.cores, n_mixes, exp.seed);
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), big.cores, n_mixes, exp.seed);
     per_app_rows(&big, exp, &mixes)
 }
 
@@ -315,7 +329,11 @@ pub fn fig10(
             let os = run_mix(&scaled, org, mix, exp)?;
             scaled_sp.push(speedup(os.result.hmean_ipc, ps.result.hmean_ipc));
         }
-        out.push((label, arithmetic_mean(&base_sp), arithmetic_mean(&scaled_sp)));
+        out.push((
+            label,
+            arithmetic_mean(&base_sp),
+            arithmetic_mean(&scaled_sp),
+        ));
     }
     Ok(Fig10Result { schemes: out })
 }
@@ -342,7 +360,12 @@ fn vs_cooperative(
     let mut rows = Vec::new();
     for mix in mixes {
         let a = run_mix(machine, Organization::adaptive(), mix, exp)?;
-        let c = run_mix(machine, Organization::Cooperative { seed: exp.seed }, mix, exp)?;
+        let c = run_mix(
+            machine,
+            Organization::Cooperative { seed: exp.seed },
+            mix,
+            exp,
+        )?;
         rows.push(VsCooperativeRow {
             label: mix.label(),
             adaptive: a.result.hmean_ipc,
@@ -350,7 +373,7 @@ fn vs_cooperative(
             relative: speedup(a.result.hmean_ipc, c.result.hmean_ipc),
         });
     }
-    rows.sort_by(|x, y| x.relative.partial_cmp(&y.relative).expect("finite"));
+    rows.sort_by(|x, y| x.relative.total_cmp(&y.relative));
     Ok(rows)
 }
 

@@ -10,6 +10,7 @@
 //! (hit, miss, eviction), not *when*.
 
 use simcore::config::CacheGeometry;
+use simcore::invariant::{Invariant, Violation};
 use simcore::stats::HitMiss;
 use simcore::types::{Address, BlockAddr, CoreId};
 
@@ -188,8 +189,10 @@ impl Cache {
             debug_assert!(set.lru.len() <= ways);
             return None;
         }
-        // Evict LRU.
-        let victim_way = set.lru.pop_lru().expect("full set has an LRU way") as usize;
+        // Evict LRU. A full set always has an LRU way; fall back to way 0
+        // defensively rather than aborting a long run (the Invariant audit
+        // catches the corrupted stack).
+        let victim_way = usize::from(set.lru.pop_lru().unwrap_or(0));
         let victim = set.blocks[victim_way];
         if victim.dirty {
             self.writebacks += 1;
@@ -276,10 +279,21 @@ impl Cache {
     }
 
     /// Checks internal invariants (every set's LRU stack is a permutation
-    /// of its valid ways; no duplicate block addresses in a set). Intended
-    /// for tests.
+    /// of its valid ways; no duplicate block addresses in a set). Bool
+    /// wrapper over [`Invariant::audit`], kept for test ergonomics.
     pub fn check_invariants(&self) -> bool {
-        for set in &self.sets {
+        self.is_consistent()
+    }
+}
+
+impl Invariant for Cache {
+    fn component(&self) -> &'static str {
+        "cache"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (si, set) in self.sets.iter().enumerate() {
             let valid: Vec<u8> = set
                 .blocks
                 .iter()
@@ -288,22 +302,48 @@ impl Cache {
                 .map(|(w, _)| w as u8)
                 .collect();
             if set.lru.len() != valid.len() {
-                return false;
+                out.push(
+                    Violation::new(
+                        self.component(),
+                        format!(
+                            "LRU stack tracks {} ways but {} blocks are valid",
+                            set.lru.len(),
+                            valid.len()
+                        ),
+                    )
+                    .at_set(si),
+                );
             }
-            for w in &valid {
-                if !set.lru.contains(*w) {
-                    return false;
+            for &w in &valid {
+                if !set.lru.contains(w) {
+                    out.push(
+                        Violation::new(self.component(), "valid block missing from LRU stack")
+                            .at_set(si)
+                            .at_way(usize::from(w)),
+                    );
                 }
             }
             for i in 0..valid.len() {
                 for j in (i + 1)..valid.len() {
-                    if set.blocks[valid[i] as usize].addr == set.blocks[valid[j] as usize].addr {
-                        return false;
+                    let (wi, wj) = (usize::from(valid[i]), usize::from(valid[j]));
+                    let (a, b) = (&set.blocks[wi], &set.blocks[wj]);
+                    if a.addr == b.addr {
+                        out.push(
+                            Violation::new(
+                                self.component(),
+                                format!(
+                                    "duplicate block address {:#x} (also in way {wi})",
+                                    b.addr.raw()
+                                ),
+                            )
+                            .at_set(si)
+                            .at_way(wj),
+                        );
                     }
                 }
             }
         }
-        true
+        out
     }
 }
 

@@ -138,7 +138,10 @@ mod tests {
         let b = BlockAddr::new(2);
         assert_eq!(m.request(a, Cycle::new(50)), MshrOutcome::Allocated);
         assert_eq!(m.request(b, Cycle::new(60)), MshrOutcome::Allocated);
-        assert_eq!(m.request(a, Cycle::new(70)), MshrOutcome::Merged(Cycle::new(50)));
+        assert_eq!(
+            m.request(a, Cycle::new(70)),
+            MshrOutcome::Merged(Cycle::new(50))
+        );
         assert_eq!(m.len(), 2);
         assert_eq!(m.drain_ready(Cycle::new(55)), vec![a]);
         assert_eq!(m.len(), 1);
@@ -149,8 +152,14 @@ mod tests {
     #[test]
     fn full_file_rejects_new_allocations() {
         let mut m = MshrFile::new(1);
-        assert_eq!(m.request(BlockAddr::new(1), Cycle::new(10)), MshrOutcome::Allocated);
-        assert_eq!(m.request(BlockAddr::new(2), Cycle::new(10)), MshrOutcome::Full);
+        assert_eq!(
+            m.request(BlockAddr::new(1), Cycle::new(10)),
+            MshrOutcome::Allocated
+        );
+        assert_eq!(
+            m.request(BlockAddr::new(2), Cycle::new(10)),
+            MshrOutcome::Full
+        );
         // But merging onto the existing entry still works.
         assert_eq!(
             m.request(BlockAddr::new(1), Cycle::new(10)),

@@ -63,9 +63,7 @@ impl SetSampling {
     fn membership(&self, sets: usize) -> Vec<bool> {
         let target = (sets >> self.shift()).max(1);
         match *self {
-            SetSampling::LowestIndex { .. } => {
-                (0..sets).map(|i| i < target).collect()
-            }
+            SetSampling::LowestIndex { .. } => (0..sets).map(|i| i < target).collect(),
             SetSampling::Random { seed, .. } => {
                 let mut picks: Vec<usize> = (0..sets).collect();
                 SimRng::seed_from(seed ^ 0x5e75).shuffle(&mut picks);
@@ -98,7 +96,7 @@ fn next_prime(n: usize) -> usize {
         }
         let mut d = 2;
         while d * d <= x {
-            if x % d == 0 {
+            if x.is_multiple_of(d) {
                 return false;
             }
             d += 1;
@@ -152,7 +150,13 @@ impl ShadowTags {
     /// Panics if `sets` or `cores` is zero, or if the shift leaves no
     /// monitored sets.
     pub fn new(sets: usize, cores: usize, sample_shift: u32) -> Self {
-        ShadowTags::with_sampling(sets, cores, SetSampling::LowestIndex { shift: sample_shift })
+        ShadowTags::with_sampling(
+            sets,
+            cores,
+            SetSampling::LowestIndex {
+                shift: sample_shift,
+            },
+        )
     }
 
     /// Creates a shadow-tag table with an explicit [`SetSampling`]
@@ -326,7 +330,10 @@ mod tests {
         st.check_miss(0, c(0), BlockAddr::new(9));
         st.reset_counters();
         assert_eq!(st.hits(c(0)), 0);
-        assert!(st.check_miss(0, c(0), BlockAddr::new(9)), "tag register persists");
+        assert!(
+            st.check_miss(0, c(0), BlockAddr::new(9)),
+            "tag register persists"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use cpusim::core::{Core, CoreStats};
 use memsim::MemoryStats;
 use simcore::config::MachineConfig;
 use simcore::error::{ConfigError, Result};
+use simcore::invariant::{Invariant, Violation};
 use simcore::rng::SimRng;
 use simcore::stats::{arithmetic_mean, harmonic_mean};
 use simcore::types::{CoreId, Cycle};
@@ -104,7 +105,8 @@ impl Cmp {
             .map(|(i, (profile, forward))| {
                 let mut gen = TraceGenerator::new(profile, root.fork(i as u64));
                 gen.fast_forward(*forward);
-                let id = CoreId::new(i, cfg.cores).expect("length checked above");
+                // Length was checked above, so the index form is in range.
+                let id = CoreId::from_index(i as u8);
                 Core::new(id, cfg, gen)
             })
             .collect();
@@ -139,6 +141,37 @@ impl Cmp {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// Audits the last-level structure right now (see
+    /// [`simcore::invariant::Invariant`]); empty means consistent.
+    pub fn audit(&self) -> Vec<Violation> {
+        self.l3.audit()
+    }
+
+    /// Runs for `cycles` cycles, auditing the last-level structure after
+    /// every step and stopping at the first inconsistency.
+    ///
+    /// This is the engine behind `nuca-sim --paranoid`: per-step auditing
+    /// is orders of magnitude slower than [`run`](Self::run), but it
+    /// pinpoints the exact cycle at which a structural invariant broke.
+    ///
+    /// # Errors
+    ///
+    /// Returns the cycle of the first failing step together with the
+    /// violations found there.
+    pub fn run_paranoid(
+        &mut self,
+        cycles: u64,
+    ) -> std::result::Result<(), (Cycle, Vec<Violation>)> {
+        for _ in 0..cycles {
+            self.step();
+            let violations = self.l3.audit();
+            if !violations.is_empty() {
+                return Err((self.now, violations));
+            }
+        }
+        Ok(())
     }
 
     /// Warms the chip *functionally*: each core executes
@@ -250,6 +283,22 @@ mod tests {
         let r = cmp.snapshot();
         let quotas = r.quotas.expect("adaptive orgs expose quotas");
         assert_eq!(quotas.iter().sum::<u32>(), 16);
+    }
+
+    #[test]
+    fn paranoid_run_reports_no_violations() {
+        let cfg = MachineConfig::baseline();
+        for org in [
+            Organization::Private,
+            Organization::Shared,
+            Organization::adaptive(),
+            Organization::Cooperative { seed: 7 },
+        ] {
+            let mut cmp = Cmp::new(&cfg, org, &quick_mix(), 4).unwrap();
+            cmp.run_paranoid(2_000)
+                .unwrap_or_else(|(cycle, vs)| panic!("violations at cycle {cycle:?}: {vs:?}"));
+            assert!(cmp.audit().is_empty());
+        }
     }
 
     #[test]

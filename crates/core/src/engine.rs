@@ -17,6 +17,7 @@
 
 use cachesim::percore::PerCore;
 use cachesim::shadow::{SetSampling, ShadowTags};
+use simcore::invariant::{Invariant, Violation};
 use simcore::types::{BlockAddr, CoreId};
 
 /// Tunables of the adaptive scheme; defaults are the paper's values.
@@ -115,7 +116,10 @@ impl SharingEngine {
         local_assoc: u32,
         params: AdaptiveParams,
     ) -> Self {
-        assert!(cores > 0 && total_ways > 0 && local_assoc > 0, "geometry must be nonzero");
+        assert!(
+            cores > 0 && total_ways > 0 && local_assoc > 0,
+            "geometry must be nonzero"
+        );
         assert_eq!(
             cores as u32 * local_assoc,
             total_ways,
@@ -247,7 +251,12 @@ impl SharingEngine {
         let max_quota = self.max_quota();
         let gainer = CoreId::all(self.cores)
             .filter(|c| self.quotas[*c] < max_quota)
-            .max_by_key(|c| (self.shadow.normalized_hits(*c), std::cmp::Reverse(c.index())));
+            .max_by_key(|c| {
+                (
+                    self.shadow.normalized_hits(*c),
+                    std::cmp::Reverse(c.index()),
+                )
+            });
         // Loser: lowest LRU-block hits among the remaining cores that can
         // still shrink (quota > 1: one shared block is always guaranteed).
         let result = gainer.and_then(|g| {
@@ -280,14 +289,41 @@ impl SharingEngine {
     }
 
     /// Checks the quota invariant: quotas sum to the total ways and each
-    /// lies in `[1, total_ways - cores + 1]`. Intended for tests.
+    /// lies in `[1, total_ways - cores + 1]`. Bool wrapper over
+    /// [`Invariant::audit`], kept for test ergonomics.
     pub fn check_invariants(&self) -> bool {
+        self.is_consistent()
+    }
+}
+
+impl Invariant for SharingEngine {
+    fn component(&self) -> &'static str {
+        "sharing-engine"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
         let sum: u32 = self.quotas.iter().sum();
-        sum == self.total_ways
-            && self
-                .quotas
-                .iter()
-                .all(|&q| (1..=self.max_quota()).contains(&q))
+        if sum != self.total_ways {
+            out.push(Violation::new(
+                self.component(),
+                format!(
+                    "quotas sum to {sum}, expected total ways {}",
+                    self.total_ways
+                ),
+            ));
+        }
+        let max_quota = self.max_quota();
+        for (i, &q) in self.quotas.iter().enumerate() {
+            if !(1..=max_quota).contains(&q) {
+                out.push(
+                    Violation::new(self.component(), format!("quota outside [1, {max_quota}]"))
+                        .for_core(i)
+                        .with_quota(q),
+                );
+            }
+        }
+        out
     }
 }
 
@@ -334,7 +370,9 @@ mod tests {
         eng.record_lru_hit(c(1));
         eng.record_lru_hit(c(2));
         // Fourth miss triggers re-evaluation.
-        let r = eng.observe_miss(1, c(1), BlockAddr::new(99)).expect("repartition");
+        let r = eng
+            .observe_miss(1, c(1), BlockAddr::new(99))
+            .expect("repartition");
         assert_eq!(r.gainer, c(0));
         assert_eq!(r.loser, c(3));
         assert_eq!(eng.quota(c(0)), 5);
@@ -392,7 +430,11 @@ mod tests {
             eng.observe_miss(0, c(0), BlockAddr::new(round));
         }
         assert_eq!(eng.quota(c(0)), 13);
-        assert_eq!(eng.private_capacity(c(0)), 4, "private part never exceeds the local slice");
+        assert_eq!(
+            eng.private_capacity(c(0)),
+            4,
+            "private part never exceeds the local slice"
+        );
         assert_eq!(eng.private_capacity(c(3)), 0, "quota 1 = shared-only");
     }
 

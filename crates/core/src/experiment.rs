@@ -118,7 +118,9 @@ pub fn compare_schemes(
     mix: &Mix,
     exp: &ExperimentConfig,
 ) -> Result<Vec<MixResult>> {
-    orgs.iter().map(|org| run_mix(machine, *org, mix, exp)).collect()
+    orgs.iter()
+        .map(|org| run_mix(machine, *org, mix, exp))
+        .collect()
 }
 
 /// One row of the Figure 5 classification.
@@ -208,8 +210,7 @@ pub fn sensitivity_sweep(
     let latency = machine.l3.private.latency();
     ways.iter()
         .map(|&w| {
-            let geometry =
-                CacheGeometry::new(sets * w as u64 * block as u64, w, block, latency)?;
+            let geometry = CacheGeometry::new(sets * w as u64 * block as u64, w, block, latency)?;
             let mix = WorkloadPool::homogeneous(app, single.cores, exp.seed);
             let r = run_mix(&single, Organization::PrivateCustom { geometry }, &mix, exp)?;
             let stats = r.result.per_core[0].1;
@@ -311,8 +312,7 @@ mod tests {
         // point must not have more misses than the first.
         let machine = MachineConfig::baseline();
         let exp = ExperimentConfig::quick();
-        let points =
-            sensitivity_sweep(&machine, SpecApp::Gzip, &[1, 4, 8], &exp).unwrap();
+        let points = sensitivity_sweep(&machine, SpecApp::Gzip, &[1, 4, 8], &exp).unwrap();
         assert_eq!(points.len(), 3);
         assert!(points[2].misses <= points[0].misses);
     }

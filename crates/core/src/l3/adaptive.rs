@@ -28,6 +28,7 @@ use cachesim::percore::PerCore;
 use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
 use memsim::{MainMemory, MemoryStats};
 use simcore::config::MachineConfig;
+use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, BlockAddr, CoreId, Cycle};
 
 use crate::engine::{AdaptiveParams, SharingEngine};
@@ -66,9 +67,7 @@ impl AdaptiveSet {
     }
 
     fn find(&self, addr: BlockAddr) -> Option<usize> {
-        self.blocks
-            .iter()
-            .position(|b| b.valid && b.addr == addr)
+        self.blocks.iter().position(|b| b.valid && b.addr == addr)
     }
 
     fn owned_count(&self, owner: CoreId) -> u32 {
@@ -157,7 +156,9 @@ impl AdaptiveL3 {
         let sets = geom.sets() as usize;
         let ways = geom.total_ways() as usize;
         AdaptiveL3 {
-            sets: (0..sets).map(|_| AdaptiveSet::new(ways, cfg.cores)).collect(),
+            sets: (0..sets)
+                .map(|_| AdaptiveSet::new(ways, cfg.cores))
+                .collect(),
             engine: SharingEngine::new(
                 sets,
                 cfg.cores,
@@ -236,9 +237,10 @@ impl AdaptiveL3 {
     /// its private stack fits within `capacity`.
     fn trim_private(set: &mut AdaptiveSet, core: CoreId, capacity: u32, demotions: &mut u64) {
         while set.private[core.index()].len() > capacity as usize {
-            let way = set.private[core.index()]
-                .pop_lru()
-                .expect("nonempty stack has an LRU way");
+            // The loop guard keeps the stack nonempty here.
+            let Some(way) = set.private[core.index()].pop_lru() else {
+                break;
+            };
             set.shared.push_mru(way);
             *demotions += 1;
         }
@@ -261,10 +263,9 @@ impl AdaptiveL3 {
                 }
             }
         }
-        (
-            set.shared.lru().expect("shared partition is nonempty") as usize,
-            false,
-        )
+        // `ensure_shared_nonempty` ran before this; way 0 is a defensive
+        // fallback for a corrupted partition, caught by the Invariant audit.
+        (set.shared.lru().map_or(0, usize::from), false)
     }
 
     /// Ensures the shared partition is nonempty by demoting from the most
@@ -275,7 +276,7 @@ impl AdaptiveL3 {
         if !self.sets[set_idx].shared.is_empty() {
             return;
         }
-        let (core, _) = (0..self.cores)
+        let Some((core, _)) = (0..self.cores)
             .map(|i| {
                 let c = CoreId::from_index(i as u8);
                 let over = self.sets[set_idx].private[i].len() as i64
@@ -283,7 +284,9 @@ impl AdaptiveL3 {
                 (c, over)
             })
             .max_by_key(|(_, over)| *over)
-            .expect("at least one core");
+        else {
+            return; // zero cores cannot occur; nothing to demote
+        };
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.private[core.index()].pop_lru() {
             set.shared.push_mru(way);
@@ -334,23 +337,65 @@ impl AdaptiveL3 {
     }
 
     /// Checks structural invariants (every valid block in exactly one
-    /// stack, no duplicate tags, private stacks within the local slice
-    /// associativity). Intended for tests.
+    /// stack, no duplicate tags, quota consistency of the embedded
+    /// engine). Bool wrapper over [`Invariant::audit`], kept for test
+    /// ergonomics.
     pub fn check_invariants(&self) -> bool {
-        if !self.engine.check_invariants() {
-            return false;
-        }
-        for set in &self.sets {
+        self.is_consistent()
+    }
+}
+
+impl Invariant for AdaptiveL3 {
+    fn component(&self) -> &'static str {
+        "adaptive-l3"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        let mut out = self.engine.audit();
+        for (si, set) in self.sets.iter().enumerate() {
             let mut seen = vec![0u32; set.blocks.len()];
-            for stack in set.private.iter().chain(std::iter::once(&set.shared)) {
+            for (owner, stack) in set
+                .private
+                .iter()
+                .enumerate()
+                .map(|(c, s)| (Some(c), s))
+                .chain(std::iter::once((None, &set.shared)))
+            {
                 for w in stack.iter_from_mru() {
-                    seen[w as usize] += 1;
+                    match seen.get_mut(w as usize) {
+                        Some(count) => *count += 1,
+                        None => {
+                            let mut v = Violation::new(
+                                self.component(),
+                                format!("stack references way {w} beyond associativity"),
+                            )
+                            .at_set(si)
+                            .at_way(usize::from(w));
+                            if let Some(c) = owner {
+                                v = v.for_core(c);
+                            }
+                            out.push(v);
+                        }
+                    }
                 }
             }
             for (w, b) in set.blocks.iter().enumerate() {
                 let expected = u32::from(b.valid);
-                if seen[w] != expected {
-                    return false;
+                let count = seen.get(w).copied().unwrap_or(0);
+                if count != expected {
+                    out.push(
+                        Violation::new(
+                            self.component(),
+                            if b.valid {
+                                format!("valid block appears in {count} stacks, expected exactly 1")
+                            } else {
+                                format!("invalid block appears in {count} stacks, expected 0")
+                            },
+                        )
+                        .at_set(si)
+                        .at_way(w)
+                        .for_core(b.owner.index()),
+                    );
                 }
             }
             for i in 0..set.blocks.len() {
@@ -359,12 +404,22 @@ impl AdaptiveL3 {
                         && set.blocks[j].valid
                         && set.blocks[i].addr == set.blocks[j].addr
                     {
-                        return false;
+                        out.push(
+                            Violation::new(
+                                self.component(),
+                                format!(
+                                    "duplicate tag {:#x} (also in way {i})",
+                                    set.blocks[j].addr.raw()
+                                ),
+                            )
+                            .at_set(si)
+                            .at_way(j),
+                        );
                     }
                 }
             }
         }
-        true
+        out
     }
 }
 
@@ -433,7 +488,8 @@ impl LastLevel for AdaptiveL3 {
             self.ensure_shared_nonempty(set_idx);
             let (way, over_quota) = self.find_victim(set_idx, core);
             let victim = self.sets[set_idx].blocks[way];
-            self.engine.record_eviction(set_idx, victim.owner, victim.addr);
+            self.engine
+                .record_eviction(set_idx, victim.owner, victim.addr);
             if victim.dirty {
                 self.memory.writeback(now);
             }
@@ -513,7 +569,11 @@ mod tests {
             l3.access(c(0), addr(0, t), false, Cycle::new(t * 1000));
         }
         let out = l3.access(c(0), addr(0, 0), false, Cycle::new(10_000));
-        assert_eq!(out.source, L3Source::RemoteHit, "demoted block hits in shared partition");
+        assert_eq!(
+            out.source,
+            L3Source::RemoteHit,
+            "demoted block hits in shared partition"
+        );
         assert_eq!(out.data_ready.raw(), 10_019);
         assert!(l3.check_invariants());
         assert!(l3.stats().demotions >= 1);
@@ -528,7 +588,11 @@ mod tests {
         // Tag 0 now shared; touch it (19 cycles) — it swaps into private.
         l3.access(c(0), addr(0, 0), false, Cycle::new(10_000));
         let out = l3.access(c(0), addr(0, 0), false, Cycle::new(20_000));
-        assert_eq!(out.source, L3Source::LocalHit, "swapped block is now private");
+        assert_eq!(
+            out.source,
+            L3Source::LocalHit,
+            "swapped block is now private"
+        );
         assert!(l3.check_invariants());
     }
 
@@ -570,11 +634,21 @@ mod tests {
         let mut l3 = AdaptiveL3::new(&tiny_machine(), AdaptiveParams::default());
         // Core 1 establishes a modest working set in set 0.
         for t in 0..3u64 {
-            l3.access(c(1), addr(0, 100 + t).with_asid(1), false, Cycle::new(t * 100));
+            l3.access(
+                c(1),
+                addr(0, 100 + t).with_asid(1),
+                false,
+                Cycle::new(t * 100),
+            );
         }
         // Core 0 streams over set 0 far beyond its quota.
         for t in 0..64u64 {
-            l3.access(c(0), addr(0, t).with_asid(0), false, Cycle::new(1_000 + t * 100));
+            l3.access(
+                c(0),
+                addr(0, t).with_asid(0),
+                false,
+                Cycle::new(1_000 + t * 100),
+            );
         }
         // Algorithm 1 should have preferred evicting core 0's over-quota
         // blocks, so core 1's blocks survive.
@@ -590,7 +664,10 @@ mod tests {
                 survived += 1;
             }
         }
-        assert!(survived >= 2, "protected blocks survived pollution: {survived}/3");
+        assert!(
+            survived >= 2,
+            "protected blocks survived pollution: {survived}/3"
+        );
         assert!(l3.stats().over_quota_evictions > 0);
         assert!(l3.check_invariants());
     }
@@ -605,10 +682,20 @@ mod tests {
         };
         let mut l3 = AdaptiveL3::new(&tiny_machine(), params);
         for t in 0..3u64 {
-            l3.access(c(1), addr(0, 100 + t).with_asid(1), false, Cycle::new(t * 100));
+            l3.access(
+                c(1),
+                addr(0, 100 + t).with_asid(1),
+                false,
+                Cycle::new(t * 100),
+            );
         }
         for t in 0..64u64 {
-            l3.access(c(0), addr(0, t).with_asid(0), false, Cycle::new(1_000 + t * 100));
+            l3.access(
+                c(0),
+                addr(0, t).with_asid(0),
+                false,
+                Cycle::new(1_000 + t * 100),
+            );
         }
         let mut survived = 0;
         for t in 0..3u64 {
@@ -655,7 +742,12 @@ mod tests {
         // 16-way set means every eviction is re-referenced one access
         // later — each miss hits the shadow tag.
         for round in 0..2000u64 {
-            l3.access(c(0), addr(0, round % 17).with_asid(0), false, Cycle::new(round * 50));
+            l3.access(
+                c(0),
+                addr(0, round % 17).with_asid(0),
+                false,
+                Cycle::new(round * 50),
+            );
         }
         let quotas = l3.quotas();
         assert!(quotas[0] > 4, "gainer grew: {quotas:?}");
@@ -684,18 +776,19 @@ mod tests {
             l3.access(c(1), addr(0, t).with_asid(1), false, Cycle::new(t * 100));
         }
         let before: u64 = (0..3u64)
-            .filter(|&t| {
-                l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some()
-            })
+            .filter(|&t| l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some())
             .count() as u64;
         // Shrink core 1's quota via core 0 gains.
         for round in 0..200u64 {
-            l3.access(c(0), addr(1, round).with_asid(0), false, Cycle::new(10_000 + round * 100));
+            l3.access(
+                c(0),
+                addr(1, round).with_asid(0),
+                false,
+                Cycle::new(10_000 + round * 100),
+            );
         }
         let after: u64 = (0..3u64)
-            .filter(|&t| {
-                l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some()
-            })
+            .filter(|&t| l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some())
             .count() as u64;
         assert_eq!(before, after, "quota shrink alone never invalidates blocks");
         assert!(l3.check_invariants());

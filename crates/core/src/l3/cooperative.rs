@@ -15,6 +15,7 @@ use cachesim::percore::PerCore;
 use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
 use memsim::{MainMemory, MemoryStats};
 use simcore::config::MachineConfig;
+use simcore::invariant::{Invariant, Violation};
 use simcore::rng::SimRng;
 use simcore::types::{Address, CoreId, Cycle};
 
@@ -113,6 +114,25 @@ impl CooperativeL3 {
     }
 }
 
+impl Invariant for CooperativeL3 {
+    fn component(&self) -> &'static str {
+        "cooperative-l3"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        self.slices
+            .iter()
+            .enumerate()
+            .flat_map(|(i, slice)| {
+                slice.audit().into_iter().map(move |mut v| {
+                    v.core.get_or_insert(i);
+                    v
+                })
+            })
+            .collect()
+    }
+}
+
 impl LastLevel for CooperativeL3 {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         if self.slices[core].access(addr, write, core).is_hit() {
@@ -128,9 +148,11 @@ impl LastLevel for CooperativeL3 {
                 continue;
             }
             if self.slices[neighbor].probe(addr) {
-                let meta = self.slices[neighbor]
-                    .invalidate(addr)
-                    .expect("probe found the block");
+                // The probe just found the block, so invalidate returns it;
+                // skip the neighbor defensively if the slice disagrees.
+                let Some(meta) = self.slices[neighbor].invalidate(addr) else {
+                    continue;
+                };
                 self.stats.migrations += 1;
                 // Migrate home: the requester becomes the owner again.
                 if let Some(ev) = self.slices[core].fill(addr, meta.dirty || write, core) {
@@ -158,9 +180,10 @@ impl LastLevel for CooperativeL3 {
         for i in 0..self.cores {
             let c = CoreId::from_index(i as u8);
             if self.slices[c].probe(addr) {
-                let owner = self.slices[c].owner_of(addr).expect("probed block has owner");
-                self.slices[c].fill(addr, true, owner);
-                return;
+                if let Some(owner) = self.slices[c].owner_of(addr) {
+                    self.slices[c].fill(addr, true, owner);
+                    return;
+                }
             }
         }
         let _ = core;
@@ -279,7 +302,12 @@ mod tests {
         let run = || {
             let mut l3 = tiny();
             for t in 0..100u64 {
-                l3.access(c((t % 4) as u8), addr(t % 4, t / 4, (t % 4) as u8), false, Cycle::new(t * 10));
+                l3.access(
+                    c((t % 4) as u8),
+                    addr(t % 4, t / 4, (t % 4) as u8),
+                    false,
+                    Cycle::new(t * 10),
+                );
             }
             l3.stats()
         };

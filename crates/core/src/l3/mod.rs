@@ -33,6 +33,7 @@ use cpusim::l3iface::{L3Outcome, LastLevel};
 use memsim::MemoryStats;
 use simcore::config::{CacheGeometry, MachineConfig};
 use simcore::error::Result;
+use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, CoreId, Cycle};
 
 use crate::engine::AdaptiveParams;
@@ -183,6 +184,26 @@ impl L3System {
     }
 }
 
+impl Invariant for L3System {
+    fn component(&self) -> &'static str {
+        match self {
+            L3System::Private(x) => x.component(),
+            L3System::Shared(x) => x.component(),
+            L3System::Adaptive(x) => x.component(),
+            L3System::Cooperative(x) => x.component(),
+        }
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        match self {
+            L3System::Private(x) => x.audit(),
+            L3System::Shared(x) => x.audit(),
+            L3System::Adaptive(x) => x.audit(),
+            L3System::Cooperative(x) => x.audit(),
+        }
+    }
+}
+
 impl LastLevel for L3System {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         match self {
@@ -226,7 +247,11 @@ mod tests {
                 false,
                 Cycle::new(0),
             );
-            assert!(out.data_ready.raw() >= 258, "{}: cold miss goes to memory", org.label());
+            assert!(
+                out.data_ready.raw() >= 258,
+                "{}: cold miss goes to memory",
+                org.label()
+            );
             assert_eq!(sys.memory_stats().requests, 1);
         }
     }

@@ -11,6 +11,7 @@ use cachesim::percore::PerCore;
 use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
 use memsim::{MainMemory, MemoryStats};
 use simcore::config::{CacheGeometry, MachineConfig};
+use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, CoreId, Cycle};
 
 /// Per-core private last-level slices.
@@ -55,6 +56,25 @@ impl PrivateL3 {
         for s in self.slices.iter_mut() {
             s.reset_stats();
         }
+    }
+}
+
+impl Invariant for PrivateL3 {
+    fn component(&self) -> &'static str {
+        "private-l3"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        self.slices
+            .iter()
+            .enumerate()
+            .flat_map(|(i, slice)| {
+                slice.audit().into_iter().map(move |mut v| {
+                    v.core.get_or_insert(i);
+                    v
+                })
+            })
+            .collect()
     }
 }
 
@@ -140,7 +160,10 @@ mod tests {
         p.access(c(0), Address::new(0x040), false, Cycle::new(1000));
         let before = p.memory_stats().busy_cycles;
         p.access(c(0), Address::new(0x080), false, Cycle::new(2000)); // evicts dirty 0x000
-        assert!(p.memory_stats().busy_cycles > before + 32, "writeback occupied the bus");
+        assert!(
+            p.memory_stats().busy_cycles > before + 32,
+            "writeback occupied the bus"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use cachesim::cache::Cache;
 use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
 use memsim::{MainMemory, MemoryStats};
 use simcore::config::MachineConfig;
+use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, CoreId, Cycle};
 
 /// A single shared, LRU-replaced last-level cache.
@@ -48,6 +49,16 @@ impl SharedL3 {
     pub fn reset_stats(&mut self) {
         self.memory.reset_stats();
         self.cache.reset_stats();
+    }
+}
+
+impl Invariant for SharedL3 {
+    fn component(&self) -> &'static str {
+        "shared-l3"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        self.cache.audit()
     }
 }
 

@@ -81,10 +81,22 @@ impl BranchPredictor {
     /// Panics if any table size is zero or not a power of two where an
     /// index mask is required.
     pub fn new(cfg: BranchConfig) -> Self {
-        assert!(cfg.bimodal_entries.is_power_of_two(), "bimodal table must be a power of two");
-        assert!(cfg.level2_entries.is_power_of_two(), "level-2 table must be a power of two");
-        assert!(cfg.chooser_entries.is_power_of_two(), "chooser table must be a power of two");
-        assert!(cfg.btb_assoc > 0 && cfg.btb_entries.is_multiple_of(cfg.btb_assoc), "BTB must divide into whole sets");
+        assert!(
+            cfg.bimodal_entries.is_power_of_two(),
+            "bimodal table must be a power of two"
+        );
+        assert!(
+            cfg.level2_entries.is_power_of_two(),
+            "level-2 table must be a power of two"
+        );
+        assert!(
+            cfg.chooser_entries.is_power_of_two(),
+            "chooser table must be a power of two"
+        );
+        assert!(
+            cfg.btb_assoc > 0 && cfg.btb_entries.is_multiple_of(cfg.btb_assoc),
+            "BTB must divide into whole sets"
+        );
         let btb_sets = cfg.btb_entries / cfg.btb_assoc;
         BranchPredictor {
             bimodal: vec![Sat2::WEAK_TAKEN; cfg.bimodal_entries],
@@ -138,12 +150,11 @@ impl BranchPredictor {
             return true;
         }
         if taken {
-            // Allocate on taken branches, LRU replacement.
-            let victim = ways
-                .iter_mut()
-                .min_by_key(|(_, last)| *last)
-                .expect("BTB set is nonempty");
-            *victim = (pc, self.btb_use);
+            // Allocate on taken branches, LRU replacement (associativity is
+            // validated nonzero at construction, so a victim always exists).
+            if let Some(victim) = ways.iter_mut().min_by_key(|(_, last)| *last) {
+                *victim = (pc, self.btb_use);
+            }
         }
         false
     }

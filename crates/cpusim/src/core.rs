@@ -272,15 +272,19 @@ impl Core {
                 let _ = self.bp.access(op.pc, op.taken);
             }
             OpClass::Load | OpClass::Store => {
-                let addr = self.tag_data_address(op.addr.expect("mem ops carry addresses"));
-                let write = op.class == OpClass::Store;
-                self.dtlb.access(addr);
-                if !self.l1d.access(addr, write, self.id).is_hit() {
-                    if !self.l2.access(addr, write, self.id).is_hit() {
-                        let _ = self.l3_request(addr, write, now, l3);
-                        self.fill_l2(addr, write, l3, now);
+                // Mem ops carry addresses by construction; a missing one is
+                // dropped rather than aborting the run.
+                if let Some(raw) = op.addr {
+                    let addr = self.tag_data_address(raw);
+                    let write = op.class == OpClass::Store;
+                    self.dtlb.access(addr);
+                    if !self.l1d.access(addr, write, self.id).is_hit() {
+                        if !self.l2.access(addr, write, self.id).is_hit() {
+                            let _ = self.l3_request(addr, write, now, l3);
+                            self.fill_l2(addr, write, l3, now);
+                        }
+                        self.fill_l1d(addr, write, l3, now);
                     }
-                    self.fill_l1d(addr, write, l3, now);
                 }
             }
             _ => {}
@@ -299,16 +303,15 @@ impl Core {
 
     fn commit(&mut self, now: Cycle) {
         for _ in 0..self.cfg.pipeline.width {
-            match self.rob.front() {
-                Some(e) if e.issued && e.ready_at <= now => {
-                    let e = self.rob.pop_front().expect("front exists");
-                    if e.class.is_mem() {
-                        self.lsq_occupancy -= 1;
-                    }
-                    self.committed += 1;
-                }
-                _ => break,
+            let ready = matches!(self.rob.front(), Some(e) if e.issued && e.ready_at <= now);
+            if !ready {
+                break;
             }
+            let Some(e) = self.rob.pop_front() else { break };
+            if e.class.is_mem() {
+                self.lsq_occupancy -= 1;
+            }
+            self.committed += 1;
         }
     }
 
@@ -388,20 +391,18 @@ impl Core {
                 continue;
             }
 
-            let ready_at = match entry.class {
-                OpClass::Load => {
-                    let addr = entry.addr.expect("loads carry addresses");
-                    self.data_access(addr, false, now, l3)
-                }
-                OpClass::Store => {
-                    let addr = entry.addr.expect("stores carry addresses");
+            let ready_at = match (entry.class, entry.addr) {
+                (OpClass::Load, Some(addr)) => self.data_access(addr, false, now, l3),
+                (OpClass::Store, Some(addr)) => {
                     // Stores retire through the store buffer: the cache
                     // and memory system see the access (state, bandwidth),
                     // but commit does not wait for it.
                     let _ = self.data_access(addr, true, now, l3);
                     now + 1
                 }
-                class => now + class.base_latency(),
+                // Mem ops carry addresses by construction; an address-less
+                // one degrades to its base latency instead of aborting.
+                (class, _) => now + class.base_latency(),
             };
 
             let e = &mut self.rob[idx];

@@ -1,7 +1,7 @@
 //! Fully-associative translation lookaside buffers (Table 1: 128 entries,
 //! 30-cycle miss penalty, separate instruction and data TLBs).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::config::TlbConfig;
 use simcore::types::Address;
@@ -22,8 +22,9 @@ use simcore::types::Address;
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    /// page -> last-use stamp.
-    entries: HashMap<u64, u64>,
+    /// page -> last-use stamp. Ordered map keeps iteration (and therefore
+    /// LRU tie-breaking) deterministic across runs.
+    entries: BTreeMap<u64, u64>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -38,7 +39,7 @@ impl Tlb {
     pub fn new(cfg: TlbConfig) -> Self {
         assert!(cfg.entries > 0, "TLB needs at least one entry");
         Tlb {
-            entries: HashMap::with_capacity(cfg.entries + 1),
+            entries: BTreeMap::new(),
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -58,13 +59,16 @@ impl Tlb {
         }
         self.misses += 1;
         if self.entries.len() >= self.cfg.entries {
-            let victim = *self
+            // A full TLB always has a victim; `entries > 0` is asserted in
+            // the constructor.
+            let victim = self
                 .entries
                 .iter()
                 .min_by_key(|(_, last)| **last)
-                .expect("full TLB has entries")
-                .0;
-            self.entries.remove(&victim);
+                .map(|(page, _)| *page);
+            if let Some(v) = victim {
+                self.entries.remove(&v);
+            }
         }
         self.entries.insert(page, self.stamp);
         false

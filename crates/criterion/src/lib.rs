@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's bench targets (`crates/bench/benches/*.rs`) are written
+//! against criterion's API, but this build environment has no network access
+//! and no crates.io mirror. This crate covers exactly the surface those
+//! benches use — `Criterion`, `bench_function`, `benchmark_group`, `iter`,
+//! `iter_batched`, `BatchSize` and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple fixed-budget timer instead of criterion's
+//! statistical machinery. Numbers it prints are indicative, not rigorous.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// here: setup runs once per measured invocation and is excluded from the
+/// timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    /// (total time measured, iterations run) — read by the harness.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measurement: Duration) -> Self {
+        Bencher {
+            measurement,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Calls `body` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            std_black_box(body());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Like [`iter`](Self::iter) but with untimed per-invocation setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < self.measurement {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = spent;
+        self.iters = iters;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line (the only
+    /// argument form this stub honours).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new(self.measurement);
+        body(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            measurement: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; there is no separate warm-up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(f) = &self.parent.filter {
+            if !full.contains(f.as_str()) {
+                return self;
+            }
+        }
+        let budget = self.measurement.unwrap_or(self.parent.measurement);
+        let mut b = Bencher::new(budget);
+        body(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{name:<40} (no iterations completed)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() / u128::from(b.iters);
+    println!("{name:<40} {ns_per_iter:>12} ns/iter ({} iters)", b.iters);
+}
+
+/// Bundles benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports_iters() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters > 0);
+        assert_eq!(b.iters, count);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_runs_under_budget() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        g.bench_function("b", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,160 @@
+//! The `lint.toml` allowlist: justified exemptions from rules L1–L4.
+//!
+//! Grammar (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! # rule  file[:line]                          -- justification (required)
+//! allow L1 crates/core/src/cmp.rs:107          -- length checked two lines above
+//! allow L2 crates/cpusim/src/scratch.rs        -- whole-file exemption
+//! stats-path crates/bench/src/report.rs        # extend the L3 scope
+//! ```
+//!
+//! Every `allow` entry must carry a `--`-separated justification; a bare
+//! exemption is a parse error, so suppressions are self-documenting.
+
+use crate::rules::Rule;
+
+/// One parsed `allow` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule this entry suppresses.
+    pub rule: Rule,
+    /// Repo-relative file path.
+    pub file: String,
+    /// Specific line, or `None` for a whole-file exemption.
+    pub line: Option<usize>,
+    /// Why this exemption is acceptable.
+    pub justification: String,
+}
+
+/// Parsed allowlist file.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// All `allow` entries.
+    pub entries: Vec<AllowEntry>,
+    /// Extra files added to the L3 statistics scope via `stats-path`.
+    pub extra_stats_paths: Vec<String>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text; errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut list = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("allow") => {
+                    let rule_word = words
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: missing rule after `allow`"))?;
+                    let rule = Rule::parse(rule_word).ok_or_else(|| {
+                        format!("line {line_no}: unknown rule `{rule_word}` (expected L1..L4)")
+                    })?;
+                    let target = words
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: missing file path"))?;
+                    let (file, line) =
+                        split_target(target).map_err(|e| format!("line {line_no}: {e}"))?;
+                    let rest = words.collect::<Vec<_>>().join(" ");
+                    let justification = rest
+                        .strip_prefix("--")
+                        .map(str::trim)
+                        .filter(|j| !j.is_empty())
+                        .ok_or_else(|| {
+                            format!("line {line_no}: allow entry needs `-- justification`")
+                        })?
+                        .to_string();
+                    list.entries.push(AllowEntry {
+                        rule,
+                        file,
+                        line,
+                        justification,
+                    });
+                }
+                Some("stats-path") => {
+                    let path = words.next().ok_or_else(|| {
+                        format!("line {line_no}: missing path after `stats-path`")
+                    })?;
+                    list.extra_stats_paths.push(path.to_string());
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "line {line_no}: unknown directive `{other}` (expected `allow` or `stats-path`)"
+                    ));
+                }
+                None => {}
+            }
+        }
+        Ok(list)
+    }
+
+    /// Whether a diagnostic at `file:line` for `rule` is suppressed.
+    pub fn is_allowed(&self, rule: Rule, file: &str, line: usize) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && e.file == file && e.line.is_none_or(|l| l == line))
+    }
+}
+
+/// Splits `path[:line]`.
+fn split_target(target: &str) -> Result<(String, Option<usize>), String> {
+    match target.rsplit_once(':') {
+        Some((file, line)) if line.chars().all(|c| c.is_ascii_digit()) && !line.is_empty() => {
+            let n: usize = line
+                .parse()
+                .map_err(|_| format!("bad line number `{line}`"))?;
+            Ok((file.to_string(), Some(n)))
+        }
+        _ => Ok((target.to_string(), None)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_stats_paths() {
+        let text = "# header\nallow L1 crates/a/src/x.rs:12 -- boot only\nallow L2 crates/b/src/y.rs -- scratch map\nstats-path crates/bench/src/report.rs\n";
+        let a = Allowlist::parse(text).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].line, Some(12));
+        assert_eq!(a.entries[1].line, None);
+        assert_eq!(a.extra_stats_paths, vec!["crates/bench/src/report.rs"]);
+    }
+
+    #[test]
+    fn requires_justification() {
+        assert!(Allowlist::parse("allow L1 crates/a/src/x.rs:12\n").is_err());
+        assert!(Allowlist::parse("allow L1 crates/a/src/x.rs:12 --\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_directive() {
+        assert!(Allowlist::parse("allow L9 f.rs -- x\n").is_err());
+        assert!(Allowlist::parse("permit L1 f.rs -- x\n").is_err());
+    }
+
+    #[test]
+    fn matching() {
+        let a = Allowlist::parse(
+            "allow L1 crates/a/src/x.rs:12 -- why\nallow L2 crates/b/src/y.rs -- why\n",
+        )
+        .unwrap();
+        assert!(a.is_allowed(Rule::L1, "crates/a/src/x.rs", 12));
+        assert!(!a.is_allowed(Rule::L1, "crates/a/src/x.rs", 13));
+        assert!(a.is_allowed(Rule::L2, "crates/b/src/y.rs", 99));
+        assert!(!a.is_allowed(Rule::L1, "crates/b/src/y.rs", 99));
+    }
+
+    #[test]
+    fn inline_comment_stripped() {
+        let a = Allowlist::parse("stats-path a.rs # note\n").unwrap();
+        assert_eq!(a.extra_stats_paths, vec!["a.rs"]);
+    }
+}

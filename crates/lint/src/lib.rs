@@ -1,0 +1,258 @@
+//! nuca-lint: workspace-native static analysis for the NUCA simulator.
+//!
+//! Run with `cargo run -p nuca-lint -- check` (add `--json` for machine
+//! output). The pass walks every `.rs` file in the repository, strips
+//! comments and string literals, masks test regions, and enforces the four
+//! project rules described in [`rules`]. Exemptions live in `lint.toml` at
+//! the repo root and must carry a justification; see [`allowlist`].
+//!
+//! The binary is std-only by design: it must build offline, before any of
+//! the simulator crates compile, so the lint wall can run first in CI.
+
+pub mod allowlist;
+pub mod rules;
+pub mod sanitize;
+pub mod scope;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use allowlist::Allowlist;
+use rules::{check_file, Diagnostic, Scopes};
+
+/// Result of a full `check` run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Surviving (non-allowlisted) findings, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+    /// How many findings the allowlist suppressed.
+    pub suppressed: usize,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "results", "node_modules"];
+
+/// Runs the full analysis over the tree rooted at `root`.
+///
+/// `allowlist_path` overrides the default `<root>/lint.toml`; a missing
+/// default file simply means "no exemptions", while a missing explicit
+/// path is an error.
+pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<CheckReport, String> {
+    let allow = load_allowlist(root, allowlist_path)?;
+    let mut scopes = Scopes::default();
+    scopes
+        .stats_files
+        .extend(allow.extra_stats_paths.iter().cloned());
+
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for path in &files {
+        let rel = relative_slash(root, path);
+        let raw = fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        let sanitized = sanitize::sanitize(&raw);
+        let mask = scope::test_line_mask(&sanitized);
+        for d in check_file(&rel, &raw, &sanitized, &mask, &scopes) {
+            if allow.is_allowed(d.rule, &d.file, d.line) {
+                suppressed += 1;
+            } else {
+                diagnostics.push(d);
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(CheckReport {
+        diagnostics,
+        files_scanned: files.len(),
+        suppressed,
+    })
+}
+
+fn load_allowlist(root: &Path, explicit: Option<&Path>) -> Result<Allowlist, String> {
+    let path = match explicit {
+        Some(p) => p.to_path_buf(),
+        None => {
+            let default = root.join("lint.toml");
+            if !default.is_file() {
+                return Ok(Allowlist::default());
+            }
+            default
+        }
+    };
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("failed to read allowlist {}: {e}", path.display()))?;
+    Allowlist::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("failed to read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| format!("failed to read dir entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Human-readable report.
+pub fn render_text(report: &CheckReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str(&format!(
+            "nuca-lint: clean ({} files scanned, {} finding(s) allowlisted)\n",
+            report.files_scanned, report.suppressed
+        ));
+    } else {
+        out.push_str(&format!(
+            "nuca-lint: {} violation(s) across {} files scanned ({} allowlisted)\n",
+            report.diagnostics.len(),
+            report.files_scanned,
+            report.suppressed
+        ));
+    }
+    out
+}
+
+/// Machine-readable report:
+/// `{"violations":[{"rule":..,"file":..,"line":..,"message":..}],"count":N,
+///   "files_scanned":N,"suppressed":N}`.
+pub fn render_json(report: &CheckReport) -> String {
+    let mut out = String::from("{\"violations\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            d.rule,
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"count\":{},\"files_scanned\":{},\"suppressed\":{}}}",
+        report.diagnostics.len(),
+        report.files_scanned,
+        report.suppressed
+    ));
+    out.push('\n');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Rule;
+
+    fn tmp_tree(files: &[(&str, &str)]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nuca-lint-test-{}-{:p}",
+            std::process::id(),
+            &files
+        ));
+        for (rel, content) in files {
+            let p = dir.join(rel);
+            if let Some(parent) = p.parent() {
+                fs::create_dir_all(parent).unwrap();
+            }
+            fs::write(p, content).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn end_to_end_finds_and_allowlists() {
+        let root = tmp_tree(&[
+            (
+                "crates/core/src/cmp.rs",
+                "fn a() { x.unwrap(); }\nfn b() { y.unwrap(); }\n",
+            ),
+            (
+                "lint.toml",
+                "allow L1 crates/core/src/cmp.rs:2 -- demo exemption\n",
+            ),
+        ]);
+        let report = run_check(&root, None).unwrap();
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].line, 1);
+        assert_eq!(report.suppressed, 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = CheckReport {
+            diagnostics: vec![Diagnostic {
+                rule: Rule::L2,
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                message: "say \"hi\"".into(),
+            }],
+            files_scanned: 7,
+            suppressed: 0,
+        };
+        let j = render_json(&report);
+        assert!(j.contains("\"rule\":\"L2\""));
+        assert!(j.contains("\\\"hi\\\""));
+        assert!(j.contains("\"count\":1"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn skips_target_dir() {
+        let root = tmp_tree(&[
+            ("target/debug/build/gen.rs", "fn a() { x.unwrap(); }\n"),
+            ("src/lib.rs", "fn clean() {}\n"),
+        ]);
+        let report = run_check(&root, None).unwrap();
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.files_scanned, 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! CLI for the nuca-lint static-analysis pass.
+//!
+//! ```text
+//! cargo run -p nuca-lint -- check [--json] [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nuca-lint: static analysis for the NUCA simulator workspace
+
+USAGE:
+    nuca-lint check [OPTIONS]
+
+OPTIONS:
+    --json              emit machine-readable JSON instead of text
+    --root DIR          repository root to scan (default: autodetected)
+    --allowlist FILE    allowlist file (default: <root>/lint.toml)
+    -h, --help          show this help
+
+RULES:
+    L1  no unwrap()/expect()/panic!/unreachable! in non-test simulator code
+    L2  no HashMap/HashSet in simulator state (nondeterministic iteration)
+    L3  no bare `as` narrowing casts in statistics/counter paths
+    L4  every pub fn in crates/core/src/l3/ and engine.rs has a doc comment
+
+EXIT CODES:
+    0 clean    1 violations    2 usage or I/O error
+";
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else {
+        return Err("missing subcommand (expected `check`)".to_string());
+    };
+    if cmd == "-h" || cmd == "--help" {
+        return Ok(None);
+    }
+    if cmd != "check" {
+        return Err(format!("unknown subcommand `{cmd}` (expected `check`)"));
+    }
+    let mut args = Args {
+        json: false,
+        root: None,
+        allowlist: None,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist needs a file argument")?;
+                args.allowlist = Some(PathBuf::from(v));
+            }
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// Repo root: `--root`, else the workspace root two levels above this
+/// crate's manifest, else the current directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("nuca-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = args.root.unwrap_or_else(default_root);
+    match nuca_lint::run_check(&root, args.allowlist.as_deref()) {
+        Ok(report) => {
+            if args.json {
+                print!("{}", nuca_lint::render_json(&report));
+            } else {
+                print!("{}", nuca_lint::render_text(&report));
+            }
+            if report.diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("nuca-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

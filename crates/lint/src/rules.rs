@@ -1,0 +1,447 @@
+//! The four project-specific rules (see DESIGN.md §"Static analysis"):
+//!
+//! - **L1** — no `unwrap()` / `expect()` / `panic!` / `unreachable!` in
+//!   non-test code of the simulation crates. A panic in the replacement or
+//!   quota logic aborts a multi-billion-access run and invalidates figures.
+//! - **L2** — no `HashMap` / `HashSet` in simulator state. Their iteration
+//!   order is randomized per process, which breaks run-to-run determinism.
+//! - **L3** — no bare `as` narrowing casts in statistics/counter paths;
+//!   use `try_into()` or saturating conversions so counters cannot silently
+//!   truncate.
+//! - **L4** — every `pub fn` in the adaptive-partitioning core
+//!   (`crates/core/src/l3/`, `crates/core/src/engine.rs`) carries a doc
+//!   comment.
+
+use std::fmt;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Panic-freedom in simulator code.
+    L1,
+    /// Determinism: no hash-ordered containers in simulator state.
+    L2,
+    /// Cast safety in statistics paths.
+    L3,
+    /// Doc coverage of the partitioning core's public API.
+    L4,
+}
+
+impl Rule {
+    /// Short name as written in `lint.toml` and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+        }
+    }
+
+    /// Parses a rule name from allowlist text.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a repo-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Which parts of the tree each rule applies to. Paths are repo-relative
+/// with forward slashes; prefixes end in `/` except exact-file entries.
+#[derive(Debug, Clone)]
+pub struct Scopes {
+    /// L1/L2: production source of the simulation crates.
+    pub sim_prefixes: Vec<String>,
+    /// L3: statistics/counter files (exact paths). Extendable from
+    /// `lint.toml` via `stats-path` lines.
+    pub stats_files: Vec<String>,
+    /// L4: prefixes/exact files whose `pub fn`s must be documented.
+    pub doc_paths: Vec<String>,
+}
+
+impl Default for Scopes {
+    fn default() -> Self {
+        Scopes {
+            sim_prefixes: vec![
+                "crates/simcore/src/".to_string(),
+                "crates/cachesim/src/".to_string(),
+                "crates/cpusim/src/".to_string(),
+                "crates/memsim/src/".to_string(),
+                "crates/core/src/".to_string(),
+                "src/".to_string(),
+            ],
+            stats_files: vec!["crates/simcore/src/stats.rs".to_string()],
+            doc_paths: vec![
+                "crates/core/src/l3/".to_string(),
+                "crates/core/src/engine.rs".to_string(),
+            ],
+        }
+    }
+}
+
+impl Scopes {
+    fn in_sim(&self, rel: &str) -> bool {
+        self.sim_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+    }
+
+    fn in_stats(&self, rel: &str) -> bool {
+        self.stats_files.iter().any(|p| p == rel)
+    }
+
+    fn in_doc(&self, rel: &str) -> bool {
+        self.doc_paths
+            .iter()
+            .any(|p| rel == p || (p.ends_with('/') && rel.starts_with(p.as_str())))
+    }
+}
+
+/// Integer types an `as` cast may silently truncate into.
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Float-producing method calls whose result must not be `as`-cast to a
+/// 64-bit integer (use `try_into` on a checked intermediate instead).
+const FLOAT_PRODUCERS: [&str; 4] = [".ceil()", ".floor()", ".round()", ".trunc()"];
+
+/// Runs all rules over one file. `raw` is the original source, `sanitized`
+/// the comment/string-blanked twin, `mask[i]` is true when line `i` is test
+/// code.
+pub fn check_file(
+    rel: &str,
+    raw: &str,
+    sanitized: &str,
+    mask: &[bool],
+    scopes: &Scopes,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let san_lines: Vec<&str> = sanitized.lines().collect();
+
+    let sim = scopes.in_sim(rel);
+    let stats = scopes.in_stats(rel);
+    let doc = scopes.in_doc(rel);
+    if !sim && !stats && !doc {
+        return out;
+    }
+
+    for (idx, san) in san_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_test = mask.get(idx).copied().unwrap_or(false);
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+
+        if sim && !in_test {
+            if !inline_allowed(raw_line, Rule::L1) {
+                for (pat, what) in [
+                    (".unwrap()", "unwrap()"),
+                    (".expect(", "expect()"),
+                    ("panic!", "panic!"),
+                    ("unreachable!", "unreachable!"),
+                ] {
+                    if contains_token(san, pat) {
+                        out.push(Diagnostic {
+                            rule: Rule::L1,
+                            file: rel.to_string(),
+                            line: line_no,
+                            message: format!(
+                                "{what} in non-test simulator code; return a Result/Option or justify in lint.toml"
+                            ),
+                        });
+                    }
+                }
+            }
+            if !inline_allowed(raw_line, Rule::L2) {
+                for ty in ["HashMap", "HashSet"] {
+                    if contains_token(san, ty) {
+                        out.push(Diagnostic {
+                            rule: Rule::L2,
+                            file: rel.to_string(),
+                            line: line_no,
+                            message: format!(
+                                "{ty} in simulator code: iteration order is nondeterministic; use BTreeMap/BTreeSet or a Vec"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        if stats && !in_test && !inline_allowed(raw_line, Rule::L3) {
+            for msg in narrowing_casts(san) {
+                out.push(Diagnostic {
+                    rule: Rule::L3,
+                    file: rel.to_string(),
+                    line: line_no,
+                    message: msg,
+                });
+            }
+        }
+
+        if doc
+            && !in_test
+            && is_pub_fn(san)
+            && !inline_allowed(raw_line, Rule::L4)
+            && !has_doc_above(&raw_lines, idx)
+        {
+            out.push(Diagnostic {
+                rule: Rule::L4,
+                file: rel.to_string(),
+                line: line_no,
+                message: format!(
+                    "undocumented pub fn `{}`; add a /// doc comment",
+                    fn_name(san)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `// lint:allow(L1): reason` on the offending line suppresses that rule
+/// there. Checked against the raw line, since the marker lives in a comment.
+fn inline_allowed(raw_line: &str, rule: Rule) -> bool {
+    raw_line.contains(&format!("lint:allow({})", rule.name()))
+}
+
+/// Substring match requiring a non-identifier character before the match,
+/// so `a_panic!` or `MyHashMapLike` prefixes don't fire spuriously. The
+/// boundary check only applies to patterns that start with an identifier
+/// character — `.unwrap()` legitimately follows an identifier.
+fn contains_token(line: &str, pat: &str) -> bool {
+    let pat_starts_ident = pat
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find(pat)) {
+        let at = from + pos;
+        let prev_ident = pat_starts_ident
+            && at > 0
+            && line
+                .get(..at)
+                .and_then(|s| s.chars().next_back())
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !prev_ident {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// Finds `as <narrow-int>` casts and `.ceil()/.floor()/... as u64/i64`
+/// float-to-int casts on a sanitized line.
+fn narrowing_casts(san: &str) -> Vec<String> {
+    let mut msgs = Vec::new();
+    let bytes = san.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = san.get(from..).and_then(|s| s.find("as")) {
+        let at = from + pos;
+        from = at + 2;
+        // standalone word `as`
+        let before_ok = at == 0
+            || bytes
+                .get(at - 1)
+                .is_some_and(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        let after_ok = bytes
+            .get(at + 2)
+            .is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        if !before_ok || !after_ok {
+            continue;
+        }
+        let rest = san.get(at + 2..).unwrap_or("").trim_start();
+        let target: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if NARROW_TARGETS.contains(&target.as_str()) {
+            msgs.push(format!(
+                "narrowing `as {target}` cast in a statistics path; use try_into() or a saturating conversion"
+            ));
+        } else if (target == "u64" || target == "i64")
+            && san.get(..at).is_some_and(|prefix| {
+                let p = prefix.trim_end();
+                FLOAT_PRODUCERS.iter().any(|f| p.ends_with(f))
+            })
+        {
+            msgs.push(format!(
+                "float-to-int `as {target}` cast in a statistics path; bound the value and use try_into()"
+            ));
+        }
+    }
+    msgs
+}
+
+fn is_pub_fn(san: &str) -> bool {
+    let t = san.trim_start();
+    t.starts_with("pub fn ") || t.starts_with("pub const fn ")
+}
+
+fn fn_name(san: &str) -> String {
+    let t = san.trim_start();
+    let after = t
+        .strip_prefix("pub const fn ")
+        .or_else(|| t.strip_prefix("pub fn "))
+        .unwrap_or(t);
+    after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Walks upward from the `pub fn` line over attribute lines looking for a
+/// `///` or `#[doc...]` comment directly above the item.
+fn has_doc_above(raw_lines: &[&str], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw_lines.get(i).map_or("", |l| l.trim());
+        if t.starts_with("#[") && !t.starts_with("#[doc") {
+            continue; // ordinary attribute between doc comment and fn
+        }
+        return t.starts_with("///") || t.starts_with("#[doc") || t.ends_with("*/");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::sanitize;
+    use crate::scope::test_line_mask;
+
+    fn check(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let san = sanitize(src);
+        let mask = test_line_mask(&san);
+        check_file(rel, src, &san, &mask, &Scopes::default())
+    }
+
+    #[test]
+    fn l1_flags_unwrap_in_sim_code() {
+        let d = check("crates/core/src/l3/adaptive.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn l1_ignores_tests_and_foreign_paths() {
+        let src = "#[cfg(test)]\nmod t {\n fn f() { x.unwrap(); }\n}\n";
+        assert!(check("crates/core/src/l3/mod.rs", src).is_empty());
+        let d = check("crates/tracegen/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        assert!(d.is_empty(), "tracegen is outside the sim scope");
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_variants() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_default(); z.unwrap_or_else(|| 1); }\n";
+        assert!(check("crates/core/src/cmp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_flags_panic_and_unreachable() {
+        let d = check(
+            "crates/cachesim/src/cache.rs",
+            "fn f() { panic!(\"boom\"); }\nfn g() { unreachable!() }\n",
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn l1_inline_allow_suppresses() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(L1): startup-only path\n";
+        assert!(check("crates/core/src/cmp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_hashmap() {
+        let d = check(
+            "crates/cpusim/src/tlb.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L2);
+    }
+
+    #[test]
+    fn l3_flags_narrowing_cast_in_stats() {
+        let d = check(
+            "crates/simcore/src/stats.rs",
+            "fn f(v: u64) -> usize { v as usize }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L3);
+    }
+
+    #[test]
+    fn l3_flags_float_round_to_u64() {
+        let d = check(
+            "crates/simcore/src/stats.rs",
+            "fn f(x: f64) -> u64 { (x * 2.0).ceil() as u64 }\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn l3_allows_widening_and_words_containing_as() {
+        let src = "fn f(v: u32) -> u64 { v as u64 }\nfn base(assign: u64) -> u64 { assign }\n";
+        assert!(check("crates/simcore/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_undocumented_pub_fn() {
+        let d = check(
+            "crates/core/src/engine.rs",
+            "pub fn quota(&self) -> usize { 0 }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L4);
+        assert!(d[0].message.contains("quota"));
+    }
+
+    #[test]
+    fn l4_accepts_doc_comment_with_attributes_between() {
+        let src = "/// Returns the quota.\n#[must_use]\npub fn quota(&self) -> usize { 0 }\n";
+        assert!(check("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_only_in_doc_scope() {
+        let src = "pub fn helper() {}\n";
+        assert!(check("crates/core/src/cmp.rs", src).is_empty());
+        assert_eq!(check("crates/core/src/l3/shared.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Source sanitizer: blanks out comments, string/char literals and raw
+//! strings so the rule matchers never fire on text inside them.
+//!
+//! The output has exactly the same length and line structure as the input
+//! (every masked byte becomes a space, newlines are preserved), so byte and
+//! line positions in the sanitized text map 1:1 onto the original file.
+
+/// Lexer state while scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Ordinary code.
+    Code,
+    /// `//` comment until end of line.
+    LineComment,
+    /// `/* ... */` comment; the payload is the nesting depth.
+    BlockComment(u32),
+    /// `"..."` string literal.
+    Str,
+    /// `r##"..."##` raw string; the payload is the hash count.
+    RawStr(u8),
+    /// `'x'` char or `b'x'` byte literal.
+    CharLit,
+}
+
+/// Returns `source` with comment and literal contents replaced by spaces.
+pub fn sanitize(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    blank(&mut out, i);
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 1;
+                } else if b == b'"' {
+                    state = State::Str;
+                    blank(&mut out, i);
+                } else if let Some(hashes) = raw_string_prefix(bytes, i) {
+                    // Skip the prefix (r/br + hashes + quote), blanking it.
+                    let prefix_len = raw_prefix_len(bytes, i);
+                    for j in i..i + prefix_len {
+                        blank(&mut out, j);
+                    }
+                    i += prefix_len - 1;
+                    state = State::RawStr(hashes);
+                } else if b == b'\'' && !is_lifetime(bytes, i) {
+                    state = State::CharLit;
+                    blank(&mut out, i);
+                } else if b == b'b' && !prev_is_ident(bytes, i) && bytes.get(i + 1) == Some(&b'\'')
+                {
+                    // b'x' byte literal: blank the prefix, enter char state.
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 1;
+                    state = State::CharLit;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                } else {
+                    blank(&mut out, i);
+                }
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 1;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 1;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    blank(&mut out, i);
+                }
+            }
+            State::Str => {
+                blank(&mut out, i);
+                if b == b'\\' {
+                    if let Some(j) = out.get_mut(i + 1) {
+                        if *j != b'\n' {
+                            *j = b' ';
+                        }
+                    }
+                    i += 1;
+                } else if b == b'"' {
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                blank(&mut out, i);
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    for j in 0..usize::from(hashes) {
+                        blank(&mut out, i + 1 + j);
+                    }
+                    i += usize::from(hashes);
+                    state = State::Code;
+                }
+            }
+            State::CharLit => {
+                blank(&mut out, i);
+                if b == b'\\' {
+                    if let Some(j) = out.get_mut(i + 1) {
+                        if *j != b'\n' {
+                            *j = b' ';
+                        }
+                    }
+                    i += 1;
+                } else if b == b'\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Every replaced byte is an ASCII space and untouched bytes came from a
+    // valid str, so the buffer is valid UTF-8; fall back to lossy to keep
+    // this path panic-free regardless.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn blank(out: &mut [u8], i: usize) {
+    if let Some(b) = out.get_mut(i) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0
+        && bytes
+            .get(i - 1)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+/// If position `i` starts a raw-string prefix (`r"`, `r#"`, `br##"`, ...),
+/// returns the hash count.
+fn raw_string_prefix(bytes: &[u8], i: usize) -> Option<u8> {
+    if prev_is_ident(bytes, i) {
+        return None;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u8;
+    while bytes.get(j) == Some(&b'#') {
+        hashes = hashes.saturating_add(1);
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Length of the raw-string prefix starting at `i` (caller has verified it
+/// exists): optional `b`, `r`, hashes, opening quote.
+fn raw_prefix_len(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    j += 1; // r
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    j + 1 - i // closing quote of the prefix
+}
+
+fn closes_raw(bytes: &[u8], i: usize, hashes: u8) -> bool {
+    (0..usize::from(hashes)).all(|k| bytes.get(i + 1 + k) == Some(&b'#'))
+}
+
+/// A `'` starts a lifetime (not a char literal) when it is followed by an
+/// identifier that is not closed by another `'` right after one character.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&c) if c.is_ascii_alphabetic() || c == b'_' => {
+            // 'a' is a char literal; 'a>, 'a, and 'a  are lifetimes.
+            bytes.get(i + 2) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = sanitize("let x = 1; // panic!(\"no\")\nlet y = 2;");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let x = 1;"));
+        assert!(s.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn doc_comments_with_unwrap_are_blanked() {
+        let s = sanitize("/// let a = f().unwrap();\nfn g() {}\n");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("fn g() {}"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let s = sanitize("a /* one /* two */ still */ b");
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('b'));
+        assert!(!s.contains("still"));
+    }
+
+    #[test]
+    fn strings_are_blanked_with_escapes() {
+        let s = sanitize(r#"let m = "contains \" unwrap() inside"; x"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.ends_with("; x"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = sanitize(r###"let m = r#"panic!("x")"#; y"###);
+        assert!(!s.contains("panic"));
+        assert!(s.ends_with("; y"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = sanitize("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }");
+        assert!(s.contains("fn f<'a>(x: &'a str)"), "lifetimes survive: {s}");
+        assert!(!s.contains('"'), "quote char literal blanked: {s}");
+    }
+
+    #[test]
+    fn byte_literals() {
+        let s = sanitize("let b = b'x'; let bs = b\"panic!\"; z");
+        assert!(!s.contains("panic"));
+        assert!(s.ends_with("; z"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n\"two\nlines\"\nb\n";
+        let s = sanitize(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert_eq!(s.len(), src.len());
+    }
+}

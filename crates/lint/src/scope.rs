@@ -1,0 +1,97 @@
+//! Test-region detection: which lines of a (sanitized) source file belong
+//! to `#[cfg(test)]` modules or `#[test]` functions.
+//!
+//! Rules L1–L3 only apply to production code; tests may unwrap/panic freely.
+//! The detector is a brace-depth tracker: once a test attribute is seen, the
+//! next `{` opens a region that lasts until the matching `}`. A `;` before
+//! any `{` cancels the pending attribute (e.g. `#[cfg(test)] mod t;`).
+
+/// Per-line flags: `true` when the line is inside (or is) a test region.
+pub fn test_line_mask(sanitized: &str) -> Vec<bool> {
+    let mut mask = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which the innermost active test region will close.
+    let mut region_close: Option<i64> = None;
+    // A test attribute was seen and we are waiting for its `{`.
+    let mut pending = false;
+
+    for line in sanitized.lines() {
+        let started_inside = region_close.is_some();
+        let mut line_is_test = started_inside || pending;
+
+        if region_close.is_none() && !pending {
+            let t = line.trim_start();
+            if t.starts_with("#[cfg(test)]") || t.starts_with("#[test]") {
+                pending = true;
+                line_is_test = true;
+            }
+        }
+
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending && region_close.is_none() {
+                        region_close = Some(depth - 1);
+                        pending = false;
+                        line_is_test = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                        // The closing line itself is still test code.
+                        line_is_test = true;
+                    }
+                }
+                ';' if pending && region_close.is_none() => pending = false,
+                _ => {}
+            }
+        }
+
+        mask.push(line_is_test || region_close.is_some());
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let m = test_line_mask(src);
+        assert_eq!(m, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_is_masked() {
+        let src = "#[test]\nfn t() {\n  body();\n}\nfn prod() {}\n";
+        let m = test_line_mask(src);
+        assert_eq!(m, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn semicolon_cancels_pending() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x(); }\n";
+        let m = test_line_mask(src);
+        assert_eq!(m, vec![true, true, false]);
+    }
+
+    #[test]
+    fn nested_braces_stay_in_region() {
+        let src = "#[cfg(test)]\nmod t {\n fn a() { if x { y(); } }\n}\nfn p() {}\n";
+        let m = test_line_mask(src);
+        assert_eq!(m, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn inline_attr_and_fn_same_line() {
+        let src = "#[test] fn t() { a(); }\nfn p() {}\n";
+        let m = test_line_mask(src);
+        assert_eq!(m, vec![true, false]);
+    }
+}

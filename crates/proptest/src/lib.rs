@@ -1,0 +1,139 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace must build in environments with no network access and no
+//! crates.io mirror, so the real `proptest` cannot be downloaded. This crate
+//! reimplements the small slice of its API the workspace uses — strategies
+//! over ranges/tuples/collections, `prop_oneof!`, `prop_map`, `Just`,
+//! `any::<T>()`, the `proptest!` macro and the `prop_assert*` macros — on a
+//! deterministic SplitMix64 stream.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the sampled inputs but does
+//!   not minimize them.
+//! - **Deterministic by default.** Each test's stream is seeded from the
+//!   test name, so failures reproduce run to run; set `PROPTEST_SEED` to
+//!   explore a different stream.
+//! - `PROPTEST_CASES` overrides the per-test case count.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` the workspace imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic pseudo-random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a textual label (typically the test name),
+    /// honouring the `PROPTEST_SEED` environment variable when set.
+    pub fn from_label(label: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                seed ^= extra.rotate_left(17);
+            }
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, bound)`; returns 0 for a zero bound.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded sampling; bias is negligible for test use.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = TestRng::from_label("x");
+        let mut b = TestRng::from_label("x");
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_label("bound");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_samples_ranges(x in 0u8..16, y in 1u64..50) {
+            prop_assert!(x < 16);
+            prop_assert!((1..50).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_supports_config_tuples_and_vec(
+            pairs in crate::collection::vec((0u64..64, any::<bool>()), 1..40),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 40);
+            for (v, _) in &pairs {
+                prop_assert!(*v < 64);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_map_and_just_compose(
+            v in prop_oneof![
+                (0u8..4).prop_map(|x| x as i32),
+                Just(-1i32),
+            ]
+        ) {
+            prop_assert!(v == -1 || (0..4).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn float_ranges_sample_within_bounds(f in 0.25f64..4.0) {
+            prop_assert!((0.25..4.0).contains(&f));
+        }
+    }
+}

@@ -54,7 +54,9 @@ impl CacheGeometry {
         }
         let sets = size_bytes / (assoc as u64 * block_bytes as u64);
         if !sets.is_power_of_two() {
-            return Err(ConfigError::new("number of cache sets must be a power of two"));
+            return Err(ConfigError::new(
+                "number of cache sets must be a power of two",
+            ));
         }
         Ok(CacheGeometry {
             size_bytes,
@@ -355,8 +357,11 @@ impl MachineConfig {
     ///
     /// Never panics: the baseline constants are statically valid (checked
     /// by unit test).
+    #[allow(clippy::expect_used)] // statically-valid constants, see lint.toml
     pub fn baseline() -> Self {
-        MachineConfigBuilder::new().build().expect("baseline Table 1 config is valid")
+        MachineConfigBuilder::new()
+            .build()
+            .expect("baseline Table 1 config is valid")
     }
 
     /// Returns a copy with the L3 capacity multiplied by `factor`
@@ -406,7 +411,9 @@ impl MachineConfig {
             || self.l3.shared.block_bytes() != b
             || self.l3.private.block_bytes() != b
         {
-            return Err(ConfigError::new("all cache levels must share one block size"));
+            return Err(ConfigError::new(
+                "all cache levels must share one block size",
+            ));
         }
         if self.l3.private.size_bytes() * self.cores as u64 != self.l3.shared.size_bytes() {
             return Err(ConfigError::new(
@@ -419,7 +426,9 @@ impl MachineConfig {
             ));
         }
         if self.pipeline.width == 0 || self.pipeline.ruu_size == 0 {
-            return Err(ConfigError::new("pipeline width and RUU size must be nonzero"));
+            return Err(ConfigError::new(
+                "pipeline width and RUU size must be nonzero",
+            ));
         }
         Ok(())
     }
@@ -433,11 +442,19 @@ impl Default for MachineConfig {
 
 impl fmt::Display for MachineConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} cores, {}-wide OoO, RUU {} / LSQ {}", self.cores, self.pipeline.width, self.pipeline.ruu_size, self.pipeline.lsq_size)?;
+        writeln!(
+            f,
+            "{} cores, {}-wide OoO, RUU {} / LSQ {}",
+            self.cores, self.pipeline.width, self.pipeline.ruu_size, self.pipeline.lsq_size
+        )?;
         writeln!(f, "L1I {}", self.l1i)?;
         writeln!(f, "L1D {}", self.l1d)?;
         writeln!(f, "L2  {}", self.l2)?;
-        writeln!(f, "L3  shared {} / private slice {} (neighbor {}-cycle)", self.l3.shared, self.l3.private, self.l3.neighbor_latency)?;
+        writeln!(
+            f,
+            "L3  shared {} / private slice {} (neighbor {}-cycle)",
+            self.l3.shared, self.l3.private, self.l3.neighbor_latency
+        )?;
         write!(
             f,
             "mem {}+{}x{} cycles ({} B chunks)",

@@ -32,11 +32,13 @@
 
 pub mod config;
 pub mod error;
+pub mod invariant;
 pub mod rng;
 pub mod stats;
 pub mod types;
 
 pub use config::MachineConfig;
 pub use error::{ConfigError, Result};
+pub use invariant::{Invariant, Violation};
 pub use rng::SimRng;
 pub use types::{Address, BlockAddr, CoreId, Cycle};

@@ -47,10 +47,7 @@ impl SimRng {
     /// Returns the next 64 uniformly random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -132,7 +129,10 @@ impl SimRng {
     /// Panics if `weights` is empty or sums to zero.
     pub fn weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(!weights.is_empty() && total > 0.0, "weighted() requires positive weights");
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted() requires positive weights"
+        );
         let mut x = self.next_f64() * total;
         for (i, w) in weights.iter().enumerate() {
             if x < *w {
@@ -191,7 +191,10 @@ mod tests {
             buckets[rng.below(8) as usize] += 1;
         }
         for b in buckets {
-            assert!((8_000..12_000).contains(&b), "bucket count {b} far from 10000");
+            assert!(
+                (8_000..12_000).contains(&b),
+                "bucket count {b} far from 10000"
+            );
         }
     }
 

@@ -124,7 +124,10 @@ impl Histogram {
     ///
     /// Panics if `buckets` is zero or `bucket_width` is zero.
     pub fn new(buckets: usize, bucket_width: u64) -> Self {
-        assert!(buckets > 0 && bucket_width > 0, "histogram needs nonzero shape");
+        assert!(
+            buckets > 0 && bucket_width > 0,
+            "histogram needs nonzero shape"
+        );
         Histogram {
             bucket_width,
             counts: vec![0; buckets],
@@ -134,7 +137,10 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        let bucket = value / self.bucket_width;
+        let idx = usize::try_from(bucket)
+            .unwrap_or(usize::MAX)
+            .min(self.counts.len() - 1);
         self.counts[idx] += 1;
         self.samples += 1;
     }
@@ -152,7 +158,11 @@ impl Histogram {
     /// The smallest value `v` such that at least `q` (0..=1) of samples are
     /// `< v + bucket_width` — an upper bound on the `q`-quantile.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
-        let target = (self.samples as f64 * q.clamp(0.0, 1.0)).ceil() as u64;
+        // Clamping to [0, samples] bounds the float before the integer
+        // conversion, so the cast is exact (samples fits f64's mantissa for
+        // any run length this simulator reaches).
+        let samples_f = self.samples as f64;
+        let target = (samples_f * q.clamp(0.0, 1.0)).ceil().clamp(0.0, samples_f) as u64;
         let mut seen = 0;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;

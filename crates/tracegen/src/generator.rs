@@ -88,8 +88,11 @@ impl TraceGenerator {
     ///
     /// Panics if the profile fails validation (construct profiles through
     /// the builder to avoid this).
+    #[allow(clippy::expect_used)] // documented panic: constructor precondition
     pub fn new(profile: &AppProfile, mut rng: SimRng) -> Self {
-        profile.validate().expect("generator requires a valid profile");
+        profile
+            .validate()
+            .expect("generator requires a valid profile");
         // Each static branch follows one dominant direction with
         // probability `branch_predictability`; alternate dominant
         // directions so the overall taken rate is near 50 %.
@@ -147,9 +150,8 @@ impl TraceGenerator {
     /// re-seeded deterministically from `instructions`.
     pub fn fast_forward(&mut self, instructions: u64) {
         let stream_bytes = self.profile.regions.stream_kb * 1024;
-        let expected_stream_refs = (instructions as f64
-            * self.profile.mem_frac()
-            * self.profile.mix.streaming) as u64;
+        let expected_stream_refs =
+            (instructions as f64 * self.profile.mem_frac() * self.profile.mix.streaming) as u64;
         self.stream_offset = (self.stream_offset + expected_stream_refs * 64) % stream_bytes;
         self.rng = self.rng.fork(instructions);
     }
@@ -385,7 +387,10 @@ mod tests {
             }
         }
         let rate = taken as f64 / total as f64;
-        assert!((0.3..0.7).contains(&rate), "taken rate {rate} should be near 0.5");
+        assert!(
+            (0.3..0.7).contains(&rate),
+            "taken rate {rate} should be near 0.5"
+        );
     }
 
     #[test]

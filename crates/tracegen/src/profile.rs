@@ -206,7 +206,9 @@ impl AppProfile {
             return Err(ConfigError::new("hot_loop must be in [0, 1]"));
         }
         if self.hot_skew < 1.0 {
-            return Err(ConfigError::new("hot_skew must be at least 1 (1 = uniform)"));
+            return Err(ConfigError::new(
+                "hot_skew must be at least 1 (1 = uniform)",
+            ));
         }
         if self.branch_pool == 0 {
             return Err(ConfigError::new("branch pool must be nonempty"));
@@ -416,8 +418,15 @@ mod tests {
 
     #[test]
     fn profile_rejects_silly_fractions() {
-        assert!(AppProfileBuilder::new("x").loads(0.9).stores(0.3).build().is_err());
-        assert!(AppProfileBuilder::new("x").predictability(1.5).build().is_err());
+        assert!(AppProfileBuilder::new("x")
+            .loads(0.9)
+            .stores(0.3)
+            .build()
+            .is_err());
+        assert!(AppProfileBuilder::new("x")
+            .predictability(1.5)
+            .build()
+            .is_err());
         assert!(AppProfileBuilder::new("x").dep_mean(0.0).build().is_err());
         assert!(AppProfileBuilder::new("").build().is_err());
     }

@@ -144,6 +144,7 @@ impl SpecApp {
     }
 
     /// The calibrated profile for this application.
+    #[allow(clippy::expect_used)] // the profile table covers SpecApp::ALL; pinned by unit test
     pub fn profile(self) -> &'static AppProfile {
         profiles()
             .iter()
@@ -195,6 +196,7 @@ fn profiles() -> &'static Vec<AppProfile> {
     PROFILES.get_or_init(build_profiles)
 }
 
+#[allow(clippy::expect_used)] // static calibrated constants; validity pinned by unit test
 fn build_profiles() -> Vec<AppProfile> {
     let build = |b: AppProfileBuilder| b.build().expect("calibrated profile is valid");
     vec![
@@ -625,9 +627,15 @@ mod tests {
             let p = app.profile();
             let l3_pressure = p.mem_frac() * (p.mix.l3_hot + p.mix.streaming);
             if app.is_llc_intensive() {
-                assert!(l3_pressure > 0.015, "{app} should pressure the L3 ({l3_pressure})");
+                assert!(
+                    l3_pressure > 0.015,
+                    "{app} should pressure the L3 ({l3_pressure})"
+                );
             } else {
-                assert!(l3_pressure < 0.015, "{app} should be gentle on the L3 ({l3_pressure})");
+                assert!(
+                    l3_pressure < 0.015,
+                    "{app} should be gentle on the L3 ({l3_pressure})"
+                );
             }
         }
     }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let max = points.iter().map(|p| p.misses).max().unwrap_or(1).max(1);
         for p in &points {
             let bar = "#".repeat((p.misses * 50 / max) as usize);
-            println!("  {:>2} blocks/set  {:>8} misses  {bar}", p.blocks_per_set, p.misses);
+            println!(
+                "  {:>2} blocks/set  {:>8} misses  {bar}",
+                p.blocks_per_set, p.misses
+            );
         }
         println!();
     }

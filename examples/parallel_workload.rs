@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             org.label(),
             r.hmean_ipc,
             (speedup(r.hmean_ipc, base) - 1.0) * 100.0,
-            r.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum::<u64>(),
+            r.per_core
+                .iter()
+                .map(|(_, s)| s.l3_remote_hits)
+                .sum::<u64>(),
             r.per_core.iter().map(|(_, s)| s.l3_misses).sum::<u64>(),
         );
     }

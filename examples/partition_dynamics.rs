@@ -6,6 +6,9 @@
 //! cargo run --release --example partition_dynamics
 //! ```
 
+// Demo harness: failing fast on impossible states is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_repro::nuca_core::cmp::Cmp;
 use nuca_repro::nuca_core::l3::Organization;
 use nuca_repro::simcore::config::MachineConfig;
@@ -15,10 +18,18 @@ use nuca_repro::tracegen::workload::Mix;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::baseline();
     let mix = Mix {
-        apps: vec![SpecApp::Ammp, SpecApp::Crafty, SpecApp::Eon, SpecApp::Wupwise],
+        apps: vec![
+            SpecApp::Ammp,
+            SpecApp::Crafty,
+            SpecApp::Eon,
+            SpecApp::Wupwise,
+        ],
         forwards: vec![700_000_000; 4],
     };
-    println!("mix: {} (ammp wants ~12 blocks/set; the others are light)\n", mix.label());
+    println!(
+        "mix: {} (ammp wants ~12 blocks/set; the others are light)\n",
+        mix.label()
+    );
 
     let mut cmp = Cmp::new(&machine, Organization::adaptive(), &mix, 7)?;
     cmp.warm(2_000_000);

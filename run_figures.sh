@@ -1,7 +1,8 @@
 #!/bin/bash
 # Regenerates every table and figure, capturing output under results/.
-set -u
+set -euo pipefail
 cd "$(dirname "$0")"
+mkdir -p results
 for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 shadow_sampling ablations parallel; do
     echo "=== $bin ==="
     cargo run --quiet --release -p nuca-bench --bin "$bin" > "results/$bin.txt" 2>&1

@@ -38,6 +38,8 @@ pub struct SimRequest {
     pub measure_cycles: u64,
     /// Master seed.
     pub seed: u64,
+    /// Audit L3 structural invariants after every step (slow).
+    pub paranoid: bool,
 }
 
 /// Error from argument parsing.
@@ -85,6 +87,8 @@ OPTIONS:
     --l3-mb <N>            aggregate L3 capacity in MiB    [default: 4]
     --tech-scaled          apply the Figure 10 latency scaling
     --reeval <N>           adaptive re-evaluation period   [default: 2000]
+    --paranoid             audit L3 structural invariants after every
+                           timed step; abort on the first violation (slow)
     --help                 print this text
 ";
 
@@ -105,6 +109,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut l3_mb = 4u64;
     let mut tech_scaled = false;
     let mut reeval = 2000u64;
+    let mut paranoid = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -116,8 +121,10 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--org" => org_name = Some(value("--org")?.clone()),
             "--apps" => {
                 let list = value("--apps")?;
-                let parsed: Result<Vec<SpecApp>, _> =
-                    list.split(',').map(|s| s.trim().parse::<SpecApp>()).collect();
+                let parsed: Result<Vec<SpecApp>, _> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<SpecApp>())
+                    .collect();
                 apps = Some(parsed.map_err(|e| CliError::new(e.to_string()))?);
             }
             "--parallel" => {
@@ -144,6 +151,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--l3-mb" => l3_mb = parse_u64(value("--l3-mb")?)?,
             "--reeval" => reeval = parse_u64(value("--reeval")?)?,
             "--tech-scaled" => tech_scaled = true,
+            "--paranoid" => paranoid = true,
             "--help" | "-h" => return Err(CliError::new(USAGE)),
             other => return Err(CliError::new(format!("unknown argument: {other}"))),
         }
@@ -181,12 +189,14 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             let profiles = apps.iter().map(|a| a.profile().clone()).collect();
             let mix = WorkloadPool::random_mixes(&apps, machine.cores, 1, seed)
                 .pop()
-                .expect("one mix");
+                .ok_or_else(|| CliError::new("workload pool produced no mix"))?;
             (profiles, mix.forwards)
         }
         (None, Some((app, frac, kb))) => parallel_workload(app, machine.cores, frac, kb, seed),
         (Some(_), Some(_)) => {
-            return Err(CliError::new("--apps and --parallel are mutually exclusive"))
+            return Err(CliError::new(
+                "--apps and --parallel are mutually exclusive",
+            ))
         }
         (None, None) => return Err(CliError::new("one of --apps or --parallel is required")),
     };
@@ -200,6 +210,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         warmup_cycles: warmup,
         measure_cycles: measure,
         seed,
+        paranoid,
     })
 }
 
@@ -211,9 +222,14 @@ fn parse_u64(s: &str) -> Result<u64, CliError> {
 
 /// Runs a parsed request to completion.
 ///
+/// With `paranoid` set, the L3 structure is audited after every timed
+/// step (warm-up and measurement), and the run aborts with the violation
+/// list at the first inconsistency.
+///
 /// # Errors
 ///
-/// Returns [`CliError`] if the chip cannot be built.
+/// Returns [`CliError`] if the chip cannot be built, or if a paranoid run
+/// finds a structural violation.
 pub fn run(req: &SimRequest) -> Result<CmpResult, CliError> {
     let mut cmp = Cmp::with_profiles(
         &req.machine,
@@ -223,10 +239,31 @@ pub fn run(req: &SimRequest) -> Result<CmpResult, CliError> {
         req.seed,
     )?;
     cmp.warm(req.warm_instructions);
-    cmp.run(req.warmup_cycles);
-    cmp.reset_stats();
-    cmp.run(req.measure_cycles);
+    if req.paranoid {
+        paranoid_phase(&mut cmp, req.warmup_cycles, "warm-up")?;
+        cmp.reset_stats();
+        paranoid_phase(&mut cmp, req.measure_cycles, "measurement")?;
+    } else {
+        cmp.run(req.warmup_cycles);
+        cmp.reset_stats();
+        cmp.run(req.measure_cycles);
+    }
     Ok(cmp.snapshot())
+}
+
+fn paranoid_phase(cmp: &mut Cmp, cycles: u64, phase: &str) -> Result<(), CliError> {
+    cmp.run_paranoid(cycles).map_err(|(cycle, violations)| {
+        use std::fmt::Write as _;
+        let mut msg = format!(
+            "paranoid audit failed during {phase} at cycle {}: {} violation(s)",
+            cycle.raw(),
+            violations.len()
+        );
+        for v in violations {
+            let _ = write!(msg, "\n  {v}");
+        }
+        CliError::new(msg)
+    })
 }
 
 /// Renders a result the way the `fig*` binaries do.
@@ -254,6 +291,13 @@ pub fn render(req: &SimRequest, result: &CmpResult) -> String {
     let _ = writeln!(out, "average IPC  : {:.4}", result.amean_ipc);
     if let Some(q) = &result.quotas {
         let _ = writeln!(out, "quotas       : {q:?}");
+    }
+    if req.paranoid {
+        let _ = writeln!(
+            out,
+            "paranoid     : audited after each of {} timed cycles, zero violations",
+            req.warmup_cycles + req.measure_cycles
+        );
     }
     let _ = writeln!(
         out,
@@ -308,7 +352,10 @@ mod tests {
         assert!(parse_args(&argv("--org private --apps a,b,c,d")).is_err());
         assert!(parse_args(&argv("--org private --apps ammp,gzip,crafty,eon --seed x")).is_err());
         assert!(parse_args(&argv("--unknown")).is_err());
-        assert!(parse_args(&argv("--org adaptive --apps ammp,gzip,crafty,eon --parallel a:1:1")).is_err());
+        assert!(parse_args(&argv(
+            "--org adaptive --apps ammp,gzip,crafty,eon --parallel a:1:1"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -322,5 +369,19 @@ mod tests {
         let text = render(&req, &result);
         assert!(text.contains("harmonic IPC"));
         assert!(text.contains("quotas"));
+    }
+
+    #[test]
+    fn paranoid_flag_is_parsed_and_audits_cleanly() {
+        let mut req = parse_args(&argv(
+            "--org adaptive --apps ammp,gzip,crafty,eon --paranoid",
+        ))
+        .unwrap();
+        assert!(req.paranoid);
+        req.warm_instructions = 10_000;
+        req.warmup_cycles = 2_000;
+        req.measure_cycles = 3_000;
+        let result = run(&req).unwrap();
+        assert!(result.hmean_ipc > 0.0);
     }
 }

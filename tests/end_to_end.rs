@@ -68,7 +68,11 @@ fn schemes_share_identical_workloads() {
     let machine = MachineConfig::baseline();
     let rs = compare_schemes(
         &machine,
-        &[Organization::Private, Organization::Shared, Organization::adaptive()],
+        &[
+            Organization::Private,
+            Organization::Shared,
+            Organization::adaptive(),
+        ],
         &mixed(),
         &exp(),
     )
@@ -113,10 +117,23 @@ fn private_org_isolates_cores_but_adaptive_shares() {
     // borrows capacity (visible as shared-partition hits).
     let machine = MachineConfig::baseline();
     let r = run_mix(&machine, Organization::adaptive(), &mixed(), &exp()).unwrap();
-    let total_remote: u64 = r.result.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
-    assert!(total_remote > 0, "adaptive scheme produced shared-partition hits");
+    let total_remote: u64 = r
+        .result
+        .per_core
+        .iter()
+        .map(|(_, s)| s.l3_remote_hits)
+        .sum();
+    assert!(
+        total_remote > 0,
+        "adaptive scheme produced shared-partition hits"
+    );
     let p = run_mix(&machine, Organization::Private, &mixed(), &exp()).unwrap();
-    let private_remote: u64 = p.result.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
+    let private_remote: u64 = p
+        .result
+        .per_core
+        .iter()
+        .map(|(_, s)| s.l3_remote_hits)
+        .sum();
     assert_eq!(private_remote, 0, "private slices never hit remotely");
 }
 
@@ -130,7 +147,12 @@ fn cooperative_spills_show_up_as_remote_hits() {
         &exp(),
     )
     .unwrap();
-    let remote: u64 = r.result.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
+    let remote: u64 = r
+        .result
+        .per_core
+        .iter()
+        .map(|(_, s)| s.l3_remote_hits)
+        .sum();
     assert!(remote > 0, "spilled blocks were found in neighbor slices");
 }
 

@@ -3,9 +3,7 @@
 //! slower than unit tests but still minutes, not hours).
 
 use nuca_repro::nuca_core::cost::CostModel;
-use nuca_repro::nuca_core::experiment::{
-    run_mix, sensitivity_sweep, ExperimentConfig,
-};
+use nuca_repro::nuca_core::experiment::{run_mix, sensitivity_sweep, ExperimentConfig};
 use nuca_repro::nuca_core::l3::Organization;
 use nuca_repro::simcore::config::MachineConfig;
 use nuca_repro::tracegen::spec::SpecApp;
@@ -33,7 +31,10 @@ fn figure3_mcf_is_flat_and_gzip_saturates() {
     let gzip = sensitivity_sweep(&machine, SpecApp::Gzip, &[1, 4, 16], &e).unwrap();
     let drop_at_4 = gzip[1].misses as f64 / gzip[0].misses as f64;
     let tail = gzip[2].misses as f64 / gzip[1].misses as f64;
-    assert!(drop_at_4 < 0.8, "gzip gains most of its hits by 4 ways ({drop_at_4})");
+    assert!(
+        drop_at_4 < 0.8,
+        "gzip gains most of its hits by 4 ways ({drop_at_4})"
+    );
     assert!(tail > 0.5, "gzip is mostly satisfied at 4 ways ({tail})");
 }
 
@@ -62,12 +63,24 @@ fn figure7_precondition_big_cache_apps_gain_from_4x_private() {
     ] {
         let mix = WorkloadPool::homogeneous(app, 4, e.seed);
         let small = run_mix(&machine, Organization::Private, &mix, &e).unwrap();
-        let large = run_mix(&machine, Organization::PrivateScaled { factor: 4 }, &mix, &e).unwrap();
+        let large = run_mix(
+            &machine,
+            Organization::PrivateScaled { factor: 4 },
+            &mix,
+            &e,
+        )
+        .unwrap();
         let ratio = large.result.per_core[0].1.ipc() / small.result.per_core[0].1.ipc();
         if wants_capacity {
-            assert!(ratio > 1.5, "{app}: 4x private must help a lot, got {ratio:.2}");
+            assert!(
+                ratio > 1.5,
+                "{app}: 4x private must help a lot, got {ratio:.2}"
+            );
         } else {
-            assert!(ratio < 1.4, "{app}: 4x private must not help much, got {ratio:.2}");
+            assert!(
+                ratio < 1.4,
+                "{app}: 4x private must not help much, got {ratio:.2}"
+            );
         }
     }
 }
@@ -78,7 +91,12 @@ fn adaptive_funds_the_cache_hungry_core() {
     // blocks/set toward it (the core of the paper's contribution).
     let machine = MachineConfig::baseline();
     let mix = Mix {
-        apps: vec![SpecApp::Ammp, SpecApp::Crafty, SpecApp::Eon, SpecApp::Wupwise],
+        apps: vec![
+            SpecApp::Ammp,
+            SpecApp::Crafty,
+            SpecApp::Eon,
+            SpecApp::Wupwise,
+        ],
         forwards: vec![700_000_000; 4],
     };
     let r = run_mix(&machine, Organization::adaptive(), &mix, &exp()).unwrap();
@@ -118,10 +136,15 @@ fn adaptive_beats_cooperative_on_memory_intensive_mixes() {
             .unwrap()
             .result
             .hmean_ipc;
-        coop_total += run_mix(&machine, Organization::Cooperative { seed: e.seed }, mix, &e)
-            .unwrap()
-            .result
-            .hmean_ipc;
+        coop_total += run_mix(
+            &machine,
+            Organization::Cooperative { seed: e.seed },
+            mix,
+            &e,
+        )
+        .unwrap()
+        .result
+        .hmean_ipc;
     }
     assert!(
         adaptive_total > coop_total,

@@ -4,12 +4,12 @@
 use nuca_repro::nuca_core::cmp::Cmp;
 use nuca_repro::nuca_core::l3::Organization;
 use nuca_repro::simcore::config::MachineConfig;
+use nuca_repro::simcore::rng::SimRng;
+use nuca_repro::simcore::types::Address;
 use nuca_repro::tracegen::generator::{is_shared_address, SHARED_BASE};
 use nuca_repro::tracegen::spec::SpecApp;
 use nuca_repro::tracegen::workload::parallel_workload;
 use nuca_repro::tracegen::{OpClass, TraceGenerator};
-use nuca_repro::simcore::rng::SimRng;
-use nuca_repro::simcore::types::Address;
 
 #[test]
 fn shared_addresses_are_recognized_before_and_after_tagging() {
@@ -70,11 +70,23 @@ fn sharing_organizations_deduplicate_the_shared_region() {
 
     // Private slices replicate the shared region (4 copies -> more
     // misses); the adaptive organization serves neighbors remotely.
-    let adaptive_remote: u64 = adaptive.per_core.iter().map(|(_, s)| s.l3_remote_hits).sum();
+    let adaptive_remote: u64 = adaptive
+        .per_core
+        .iter()
+        .map(|(_, s)| s.l3_remote_hits)
+        .sum();
     assert!(adaptive_remote > 0, "cross-core hits must happen");
     assert!(
-        adaptive.per_core.iter().map(|(_, s)| s.l3_misses).sum::<u64>()
-            < private.per_core.iter().map(|(_, s)| s.l3_misses).sum::<u64>(),
+        adaptive
+            .per_core
+            .iter()
+            .map(|(_, s)| s.l3_misses)
+            .sum::<u64>()
+            < private
+                .per_core
+                .iter()
+                .map(|(_, s)| s.l3_misses)
+                .sum::<u64>(),
         "deduplication must reduce misses"
     );
     assert!(
@@ -90,8 +102,8 @@ fn sharing_organizations_deduplicate_the_shared_region() {
 fn adaptive_invariants_hold_with_shared_blocks() {
     let machine = MachineConfig::baseline();
     let (profiles, forwards) = parallel_workload(SpecApp::Twolf, 4, 0.5, 512, 13);
-    let mut cmp = Cmp::with_profiles(&machine, Organization::adaptive(), &profiles, &forwards, 13)
-        .unwrap();
+    let mut cmp =
+        Cmp::with_profiles(&machine, Organization::adaptive(), &profiles, &forwards, 13).unwrap();
     cmp.warm(300_000);
     cmp.run(100_000);
     assert!(cmp.l3().as_adaptive().unwrap().check_invariants());

@@ -5,9 +5,9 @@ use proptest::prelude::*;
 
 use nuca_repro::cachesim::cache::Cache;
 use nuca_repro::cachesim::lru::LruStack;
+use nuca_repro::cpusim::l3iface::LastLevel;
 use nuca_repro::nuca_core::engine::{AdaptiveParams, SharingEngine};
 use nuca_repro::nuca_core::l3::AdaptiveL3;
-use nuca_repro::cpusim::l3iface::LastLevel;
 use nuca_repro::simcore::config::{CacheGeometry, MachineConfigBuilder};
 use nuca_repro::simcore::rng::SimRng;
 use nuca_repro::simcore::stats::{arithmetic_mean, geometric_mean, harmonic_mean};
@@ -165,6 +165,55 @@ proptest! {
         prop_assert!(l3.check_invariants());
         let quotas = l3.quotas();
         prop_assert_eq!(quotas.iter().sum::<u32>(), 16);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unified Invariant audit: the structured audit (simcore::invariant)
+// reports zero violations after EVERY step of a random multi-core trace,
+// not just at the end — in particular across quota re-evaluation
+// boundaries, where lazy repartitioning transiently relabels ways. The
+// paper's production period is 2000 misses; tiny periods force many
+// re-evaluations inside one short trace.
+
+fn reeval_period() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        5u64..40,      // many boundary crossings per trace
+        Just(2000u64)  // the paper's default period
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn adaptive_l3_audit_is_clean_after_every_step(
+        seed in 0u64..1000,
+        period in reeval_period(),
+    ) {
+        use nuca_repro::simcore::invariant::Invariant;
+
+        let cfg = MachineConfigBuilder::new()
+            .l3_capacity(16 * 16 * 64) // 16 sets
+            .build()
+            .unwrap();
+        let params = AdaptiveParams { reeval_period: period, ..AdaptiveParams::default() };
+        let mut l3 = AdaptiveL3::new(&cfg, params);
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..1_500u64 {
+            let core = CoreId::from_index(rng.below(4) as u8);
+            let addr = Address::new(rng.below(1 << 13) * 64).with_asid(core.asid());
+            l3.access(core, addr, rng.chance(0.3), Cycle::new(i * 7));
+            let violations = l3.audit();
+            prop_assert!(
+                violations.is_empty(),
+                "step {} (period {}): {:?}",
+                i,
+                period,
+                violations
+            );
+        }
+        // The bool wrapper and the structured audit must agree.
+        prop_assert!(l3.check_invariants());
     }
 }
 

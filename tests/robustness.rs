@@ -3,6 +3,10 @@
 //! behave correctly — the paper's §6 claims the scheme "will scale to
 //! systems with a higher processor count".
 
+// Test-harness helpers may panic freely; clippy's in-tests exemption only
+// covers #[test] fns, not integration-test helpers.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nuca_repro::nuca_core::cmp::Cmp;
 use nuca_repro::nuca_core::engine::AdaptiveParams;
 use nuca_repro::nuca_core::experiment::{run_mix, ExperimentConfig};
@@ -139,7 +143,12 @@ fn duplicate_applications_on_all_cores_are_fine() {
     // (distinct address spaces via ASIDs).
     let machine = MachineConfig::baseline();
     let mix = Mix {
-        apps: vec![SpecApp::Ammp, SpecApp::Ammp, SpecApp::Ammp, SpecApp::Wupwise],
+        apps: vec![
+            SpecApp::Ammp,
+            SpecApp::Ammp,
+            SpecApp::Ammp,
+            SpecApp::Wupwise,
+        ],
         forwards: vec![500_000_000, 800_000_000, 1_100_000_000, 900_000_000],
     };
     let r = run_mix(&machine, Organization::adaptive(), &mix, &exp()).unwrap();
@@ -179,6 +188,12 @@ fn cooperative_scheme_handles_two_cores() {
         apps: vec![SpecApp::Gzip, SpecApp::Crafty],
         forwards: vec![500_000_000; 2],
     };
-    let r = run_mix(&machine, Organization::Cooperative { seed: 1 }, &mix, &exp()).unwrap();
+    let r = run_mix(
+        &machine,
+        Organization::Cooperative { seed: 1 },
+        &mix,
+        &exp(),
+    )
+    .unwrap();
     assert!(r.result.hmean_ipc > 0.0);
 }
