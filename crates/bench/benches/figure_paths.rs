@@ -21,6 +21,7 @@ fn tiny() -> ExperimentConfig {
         warmup_cycles: 10_000,
         measure_cycles: 40_000,
         seed: 2007,
+        jobs: 1,
     }
 }
 

@@ -27,23 +27,31 @@ fn main() {
             "workload", "private", "shared", "adaptive", "coop", "adp/priv",
         ],
     );
-    for (app, frac, kb) in [
+    let workloads = [
         (SpecApp::Galgel, 0.4, 2048),
         (SpecApp::Twolf, 0.3, 1024),
         (SpecApp::Equake, 0.5, 4096),
         (SpecApp::Gzip, 0.2, 512),
-    ] {
-        let (profiles, forwards) = parallel_workload(app, machine.cores, frac, kb, exp.seed);
-        let mut h = Vec::new();
-        for org in orgs {
-            let mut cmp = Cmp::with_profiles(&machine, org, &profiles, &forwards, exp.seed)
-                .expect("parallel workload builds");
-            cmp.warm(exp.warm_instructions);
-            cmp.run(exp.warmup_cycles);
-            cmp.reset_stats();
-            cmp.run(exp.measure_cycles);
-            h.push(cmp.snapshot().hmean_ipc);
-        }
+    ];
+    // Flatten the (workload x organization) grid into independent cells
+    // for the deterministic runner.
+    let built: Vec<_> = workloads
+        .iter()
+        .map(|&(app, frac, kb)| parallel_workload(app, machine.cores, frac, kb, exp.seed))
+        .collect();
+    let n = built.len() * orgs.len();
+    let hmeans = simcore::parallel::run_indexed(exp.jobs, n, |i| {
+        let (profiles, forwards) = &built[i / orgs.len()];
+        let org = orgs[i % orgs.len()];
+        let mut cmp = Cmp::with_profiles(&machine, org, profiles, forwards, exp.seed)
+            .expect("parallel workload builds");
+        cmp.warm(exp.warm_instructions);
+        cmp.run(exp.warmup_cycles);
+        cmp.reset_stats();
+        cmp.run(exp.measure_cycles);
+        cmp.snapshot().hmean_ipc
+    });
+    for ((app, frac, kb), h) in workloads.into_iter().zip(hmeans.chunks(orgs.len())) {
         t.row(&[
             &format!(
                 "4x {} ({:.0}% shared reads, {} KiB)",

@@ -1,0 +1,226 @@
+//! `nuca-bench perf` — times a fixed workload matrix serially and in
+//! parallel, and records the machine-readable baseline
+//! (`BENCH_baseline.json`) that later PRs compare against.
+//!
+//! ```text
+//! cargo run --release -p nuca-bench --bin perf             # full matrix, writes repo-root baseline
+//! cargo run --release -p nuca-bench --bin perf -- --quick  # CI smoke matrix
+//!     --jobs <N>            parallel pass thread count (0 = auto)  [default: auto]
+//!     --out <FILE>          where to write the JSON (- = stdout only)
+//!     --check-schema <FILE> fail if FILE's JSON schema differs from this run's
+//! ```
+//!
+//! The matrix is fixed (intensive-pool mixes x private/shared/adaptive)
+//! so numbers are comparable across commits; wall-clock values move
+//! with the host, the schema must not. The serial pass is the reference
+//! semantics: the run also verifies the parallel pass produced
+//! bit-identical results and records that as `"deterministic"`.
+
+// Figure-harness binary: failing fast on experiment errors is intended.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Instant;
+
+use nuca_bench::json::Json;
+use nuca_core::experiment::{run_cells, ExperimentConfig, SimCell};
+use nuca_core::l3::Organization;
+use simcore::config::MachineConfig;
+use tracegen::spec::SpecApp;
+use tracegen::workload::WorkloadPool;
+
+struct Args {
+    quick: bool,
+    jobs: usize,
+    out: Option<String>,
+    check_schema: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        jobs: 0,
+        out: None,
+        check_schema: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--jobs" => args.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--out" => args.out = it.next(),
+            "--check-schema" => args.check_schema = it.next(),
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    args.jobs = v.parse().unwrap_or(0);
+                } else {
+                    eprintln!("perf: unknown argument {other} (see the module docs)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    args
+}
+
+fn default_out_path() -> std::path::PathBuf {
+    // crates/bench -> repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+fn pass(label: &str, n: u64) -> Json {
+    Json::Obj(vec![(label.to_string(), Json::num(n as f64))])
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = MachineConfig::baseline();
+    let (n_mixes, exp) = if args.quick {
+        (2, ExperimentConfig::quick())
+    } else {
+        (4, ExperimentConfig::default().scaled(20, 100))
+    };
+    let jobs = simcore::parallel::resolve_jobs(args.jobs);
+    let orgs = [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+    ];
+    let mixes =
+        WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let cells: Vec<SimCell<'_>> = mixes
+        .iter()
+        .flat_map(|mix| {
+            orgs.iter().map(|&org| SimCell {
+                machine: &machine,
+                org,
+                mix,
+            })
+        })
+        .collect();
+    let sim_cycles_per_cell = exp.warmup_cycles + exp.measure_cycles;
+    let total_sim_cycles = sim_cycles_per_cell * cells.len() as u64;
+
+    eprintln!(
+        "perf: {} cells ({} mixes x {} orgs), {} sim-cycles each, jobs={jobs}",
+        cells.len(),
+        mixes.len(),
+        orgs.len(),
+        sim_cycles_per_cell
+    );
+
+    let serial_exp = exp.with_jobs(1);
+    let t0 = Instant::now();
+    let serial = run_cells(&cells, &serial_exp).expect("serial pass runs");
+    let serial_wall = t0.elapsed().as_secs_f64();
+
+    let parallel_exp = exp.with_jobs(jobs);
+    let t1 = Instant::now();
+    let parallel = run_cells(&cells, &parallel_exp).expect("parallel pass runs");
+    let parallel_wall = t1.elapsed().as_secs_f64();
+
+    let deterministic = serial == parallel;
+    let speedup = serial_wall / parallel_wall.max(1e-9);
+
+    let rate = |wall: f64| {
+        Json::Obj(vec![
+            ("wall_seconds".into(), Json::num(wall)),
+            (
+                "cells_per_second".into(),
+                Json::num(cells.len() as f64 / wall.max(1e-9)),
+            ),
+            (
+                "sim_cycles_per_second".into(),
+                Json::num(total_sim_cycles as f64 / wall.max(1e-9)),
+            ),
+        ])
+    };
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::num(1.0)),
+        ("bench".into(), Json::str("nuca-bench perf")),
+        ("quick".into(), Json::Bool(args.quick)),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("mixes".into(), Json::num(mixes.len() as f64)),
+                (
+                    "organizations".into(),
+                    Json::Arr(orgs.iter().map(|o| Json::str(o.label())).collect()),
+                ),
+                ("cells".into(), Json::num(cells.len() as f64)),
+                (
+                    "warm_instructions".into(),
+                    Json::num(exp.warm_instructions as f64),
+                ),
+                ("warmup_cycles".into(), Json::num(exp.warmup_cycles as f64)),
+                (
+                    "measure_cycles".into(),
+                    Json::num(exp.measure_cycles as f64),
+                ),
+                ("seed".into(), Json::num(exp.seed as f64)),
+            ]),
+        ),
+        (
+            "host".into(),
+            pass("cores", simcore::parallel::default_jobs() as u64),
+        ),
+        ("jobs".into(), Json::num(jobs as f64)),
+        ("serial".into(), rate(serial_wall)),
+        ("parallel".into(), rate(parallel_wall)),
+        ("speedup".into(), Json::num(speedup)),
+        ("deterministic".into(), Json::Bool(deterministic)),
+    ]);
+
+    let text = doc.render();
+    print!("{text}");
+    eprintln!(
+        "perf: serial {serial_wall:.2}s, parallel {parallel_wall:.2}s (jobs={jobs}), \
+         speedup {speedup:.2}x, deterministic={deterministic}"
+    );
+
+    let mut failed = false;
+    if !deterministic {
+        eprintln!("perf: FAIL — parallel results differ from serial results");
+        failed = true;
+    }
+
+    if let Some(reference) = &args.check_schema {
+        let ref_text = std::fs::read_to_string(reference).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read schema reference {reference}: {e}");
+            std::process::exit(2);
+        });
+        let ref_doc = Json::parse(&ref_text).unwrap_or_else(|e| {
+            eprintln!("perf: schema reference {reference} is not valid JSON: {e}");
+            std::process::exit(2);
+        });
+        let (ours, theirs) = (doc.schema(), ref_doc.schema());
+        if ours == theirs {
+            eprintln!("perf: schema matches {reference} ({} paths)", ours.len());
+        } else {
+            for missing in theirs.iter().filter(|p| !ours.contains(p)) {
+                eprintln!("perf: schema path removed: {missing}");
+            }
+            for added in ours.iter().filter(|p| !theirs.contains(p)) {
+                eprintln!("perf: schema path added: {added}");
+            }
+            eprintln!("perf: FAIL — JSON schema differs from {reference}");
+            failed = true;
+        }
+    }
+
+    match args.out.as_deref() {
+        Some("-") => {}
+        Some(path) => {
+            std::fs::write(path, &text).expect("write baseline JSON");
+            eprintln!("perf: wrote {path}");
+        }
+        None => {
+            let path = default_out_path();
+            std::fs::write(&path, &text).expect("write baseline JSON");
+            eprintln!("perf: wrote {}", path.display());
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

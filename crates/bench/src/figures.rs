@@ -5,8 +5,8 @@
 //! paper's rows/series, and `EXPERIMENTS.md` records paper-vs-measured.
 
 use nuca_core::experiment::{
-    classify, compare_schemes, per_app_speedup, run_mix, sensitivity_sweep, Classification,
-    ExperimentConfig, MixResult, SensitivityPoint,
+    classify, per_app_speedup, run_cells, sensitivity_grid, Classification, ExperimentConfig,
+    MixResult, SensitivityPoint, SimCell,
 };
 use nuca_core::l3::Organization;
 use simcore::config::MachineConfig;
@@ -28,6 +28,24 @@ pub const FIG3_APPS: [SpecApp; 5] = [
 /// Blocks-per-set grid for the Figure 3 sweep.
 pub const FIG3_WAYS: [u32; 7] = [1, 2, 3, 4, 6, 8, 16];
 
+/// Flattens a `mixes x orgs` grid into independent cells, row-major
+/// (every organization of mix 0, then mix 1, ...), for
+/// [`run_cells`]. Callers recover rows with `chunks(orgs.len())`.
+fn mix_org_grid<'a>(
+    machine: &'a MachineConfig,
+    mixes: &'a [Mix],
+    orgs: &[Organization],
+) -> Vec<SimCell<'a>> {
+    mixes
+        .iter()
+        .flat_map(|mix| {
+            orgs.iter()
+                .map(move |&org| SimCell { machine, org, mix })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
 /// One Figure 3 series.
 #[derive(Debug, Clone)]
 pub struct Fig3Series {
@@ -37,21 +55,20 @@ pub struct Fig3Series {
     pub points: Vec<SensitivityPoint>,
 }
 
-/// Figure 3: number of misses as a function of blocks per set.
+/// Figure 3: number of misses as a function of blocks per set. The
+/// whole `app x ways` grid is one flat work list, so it parallelizes
+/// across `exp.jobs` workers.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the experiment harness.
 pub fn fig3(machine: &MachineConfig, exp: &ExperimentConfig) -> Result<Vec<Fig3Series>> {
-    FIG3_APPS
+    let rows = sensitivity_grid(machine, &FIG3_APPS, &FIG3_WAYS, exp)?;
+    Ok(FIG3_APPS
         .into_iter()
-        .map(|app| {
-            Ok(Fig3Series {
-                app,
-                points: sensitivity_sweep(machine, app, &FIG3_WAYS, exp)?,
-            })
-        })
-        .collect()
+        .zip(rows)
+        .map(|(app, points)| Fig3Series { app, points })
+        .collect())
 }
 
 /// Figure 5: classification of all 24 applications by last-level
@@ -113,13 +130,14 @@ pub fn fig6(machine: &MachineConfig, exp: &ExperimentConfig, n_mixes: usize) -> 
         Organization::Shared,
         Organization::adaptive(),
     ];
+    let cells = mix_org_grid(machine, &mixes, &orgs);
+    let results = run_cells(&cells, exp)?;
     let mut rows = Vec::new();
     let mut sh_h = Vec::new();
     let mut sh_a = Vec::new();
     let mut ad_h = Vec::new();
     let mut ad_a = Vec::new();
-    for mix in &mixes {
-        let rs = compare_schemes(machine, &orgs, mix, exp)?;
+    for (mix, rs) in mixes.iter().zip(results.chunks(orgs.len())) {
         let (p, s, a) = (&rs[0].result, &rs[1].result, &rs[2].result);
         sh_h.push(speedup(s.hmean_ipc, p.hmean_ipc));
         sh_a.push(speedup(s.amean_ipc, p.amean_ipc));
@@ -172,21 +190,23 @@ fn per_app_rows(
     exp: &ExperimentConfig,
     mixes: &[Mix],
 ) -> Result<Vec<PerAppRow>> {
-    let mut adaptive = Vec::new();
-    let mut private = Vec::new();
-    let mut shared = Vec::new();
-    let mut private4 = Vec::new();
-    for mix in mixes {
-        adaptive.push(run_mix(machine, Organization::adaptive(), mix, exp)?);
-        private.push(run_mix(machine, Organization::Private, mix, exp)?);
-        shared.push(run_mix(machine, Organization::Shared, mix, exp)?);
-        private4.push(run_mix(
-            machine,
-            Organization::PrivateScaled { factor: 4 },
-            mix,
-            exp,
-        )?);
-    }
+    let orgs = [
+        Organization::adaptive(),
+        Organization::Private,
+        Organization::Shared,
+        Organization::PrivateScaled { factor: 4 },
+    ];
+    let cells = mix_org_grid(machine, mixes, &orgs);
+    let results = run_cells(&cells, exp)?;
+    let column = |k: usize| -> Vec<MixResult> {
+        results
+            .iter()
+            .skip(k)
+            .step_by(orgs.len())
+            .cloned()
+            .collect()
+    };
+    let (adaptive, private, shared, private4) = (column(0), column(1), column(2), column(3));
     let vs_p = per_app_speedup(&adaptive, &private);
     let vs_s = per_app_speedup(&adaptive, &shared);
     let vs_4 = per_app_speedup(&adaptive, &private4);
@@ -252,12 +272,11 @@ pub fn fig8(
     n_mixes: usize,
 ) -> Result<Vec<Fig8Row>> {
     let mixes = WorkloadPool::random_mixes(&SpecApp::ALL, machine.cores, n_mixes, exp.seed);
-    let mut adaptive = Vec::new();
-    let mut private = Vec::new();
-    for mix in &mixes {
-        adaptive.push(run_mix(machine, Organization::adaptive(), mix, exp)?);
-        private.push(run_mix(machine, Organization::Private, mix, exp)?);
-    }
+    let orgs = [Organization::adaptive(), Organization::Private];
+    let cells = mix_org_grid(machine, &mixes, &orgs);
+    let results = run_cells(&cells, exp)?;
+    let adaptive: Vec<MixResult> = results.iter().step_by(2).cloned().collect();
+    let private: Vec<MixResult> = results.iter().skip(1).step_by(2).cloned().collect();
     Ok(per_app_speedup(&adaptive, &private)
         .into_iter()
         .map(|(app, sp, n)| Fig8Row {
@@ -317,20 +336,44 @@ pub fn fig10(
         ("cooperative", Organization::Cooperative { seed: exp.seed }),
         ("adaptive", Organization::adaptive()),
     ];
+    // One flat cell list: per mix, the private yardstick on both
+    // machines (simulated once, not once per scheme), then every scheme
+    // on both machines.
+    let mut cells = Vec::new();
+    for mix in &mixes {
+        cells.push(SimCell {
+            machine,
+            org: Organization::Private,
+            mix,
+        });
+        cells.push(SimCell {
+            machine: &scaled,
+            org: Organization::Private,
+            mix,
+        });
+        for (_, org) in orgs {
+            cells.push(SimCell { machine, org, mix });
+            cells.push(SimCell {
+                machine: &scaled,
+                org,
+                mix,
+            });
+        }
+    }
+    let results = run_cells(&cells, exp)?;
+    let stride = 2 + 2 * orgs.len();
     let mut out = Vec::new();
-    for (label, org) in orgs {
+    for (k, (label, _)) in orgs.iter().enumerate() {
         let mut base_sp = Vec::new();
         let mut scaled_sp = Vec::new();
-        for mix in &mixes {
-            let pb = run_mix(machine, Organization::Private, mix, exp)?;
-            let ob = run_mix(machine, org, mix, exp)?;
+        for row in results.chunks(stride) {
+            let (pb, ps) = (&row[0], &row[1]);
+            let (ob, os) = (&row[2 + 2 * k], &row[3 + 2 * k]);
             base_sp.push(speedup(ob.result.hmean_ipc, pb.result.hmean_ipc));
-            let ps = run_mix(&scaled, Organization::Private, mix, exp)?;
-            let os = run_mix(&scaled, org, mix, exp)?;
             scaled_sp.push(speedup(os.result.hmean_ipc, ps.result.hmean_ipc));
         }
         out.push((
-            label,
+            *label,
             arithmetic_mean(&base_sp),
             arithmetic_mean(&scaled_sp),
         ));
@@ -357,22 +400,25 @@ fn vs_cooperative(
     exp: &ExperimentConfig,
     mixes: &[Mix],
 ) -> Result<Vec<VsCooperativeRow>> {
-    let mut rows = Vec::new();
-    for mix in mixes {
-        let a = run_mix(machine, Organization::adaptive(), mix, exp)?;
-        let c = run_mix(
-            machine,
-            Organization::Cooperative { seed: exp.seed },
-            mix,
-            exp,
-        )?;
-        rows.push(VsCooperativeRow {
-            label: mix.label(),
-            adaptive: a.result.hmean_ipc,
-            cooperative: c.result.hmean_ipc,
-            relative: speedup(a.result.hmean_ipc, c.result.hmean_ipc),
-        });
-    }
+    let orgs = [
+        Organization::adaptive(),
+        Organization::Cooperative { seed: exp.seed },
+    ];
+    let cells = mix_org_grid(machine, mixes, &orgs);
+    let results = run_cells(&cells, exp)?;
+    let mut rows: Vec<VsCooperativeRow> = mixes
+        .iter()
+        .zip(results.chunks(orgs.len()))
+        .map(|(mix, pair)| {
+            let (a, c) = (&pair[0], &pair[1]);
+            VsCooperativeRow {
+                label: mix.label(),
+                adaptive: a.result.hmean_ipc,
+                cooperative: c.result.hmean_ipc,
+                relative: speedup(a.result.hmean_ipc, c.result.hmean_ipc),
+            }
+        })
+        .collect();
     rows.sort_by(|x, y| x.relative.total_cmp(&y.relative));
     Ok(rows)
 }
@@ -446,17 +492,19 @@ pub fn shadow_sampling(
 ) -> Result<ShadowSamplingResult> {
     let mixes =
         WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
+    let params = nuca_core::engine::AdaptiveParams {
+        shadow_sampling: cachesim::shadow::SetSampling::LowestIndex { shift: 4 },
+        ..nuca_core::engine::AdaptiveParams::default()
+    };
+    let orgs = [Organization::adaptive(), Organization::Adaptive(params)];
+    let cells = mix_org_grid(machine, &mixes, &orgs);
+    let results = run_cells(&cells, exp)?;
     let mut full_a = Vec::new();
     let mut full_h = Vec::new();
     let mut samp_a = Vec::new();
     let mut samp_h = Vec::new();
-    for mix in &mixes {
-        let full = run_mix(machine, Organization::adaptive(), mix, exp)?;
-        let params = nuca_core::engine::AdaptiveParams {
-            shadow_sampling: cachesim::shadow::SetSampling::LowestIndex { shift: 4 },
-            ..nuca_core::engine::AdaptiveParams::default()
-        };
-        let samp = run_mix(machine, Organization::Adaptive(params), mix, exp)?;
+    for pair in results.chunks(orgs.len()) {
+        let (full, samp) = (&pair[0], &pair[1]);
         full_a.push(full.result.amean_ipc);
         full_h.push(full.result.hmean_ipc);
         samp_a.push(samp.result.amean_ipc);
@@ -496,27 +544,43 @@ pub fn ablate<P>(
 ) -> Result<Vec<AblationPoint>> {
     let mixes =
         WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
-    let baselines: Vec<MixResult> = mixes
+    // One flat cell list: the private baselines first, then every
+    // (point, mix) pair — the whole ablation parallelizes at once.
+    let orgs: Vec<Organization> = points
         .iter()
-        .map(|m| run_mix(machine, Organization::Private, m, exp))
-        .collect::<Result<_>>()?;
-    points
+        .map(|(_, p)| Organization::Adaptive(to_params(p)))
+        .collect();
+    let mut cells: Vec<SimCell<'_>> = mixes
         .iter()
-        .map(|(label, p)| {
+        .map(|mix| SimCell {
+            machine,
+            org: Organization::Private,
+            mix,
+        })
+        .collect();
+    for &org in &orgs {
+        cells.extend(mixes.iter().map(|mix| SimCell { machine, org, mix }));
+    }
+    let results = run_cells(&cells, exp)?;
+    let (baselines, rest) = results.split_at(mixes.len());
+    Ok(points
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| {
+            let row = &rest[i * mixes.len()..(i + 1) * mixes.len()];
             let mut sp = Vec::new();
             let mut misses = 0;
-            for (mix, base) in mixes.iter().zip(&baselines) {
-                let r = run_mix(machine, Organization::Adaptive(to_params(p)), mix, exp)?;
+            for (r, base) in row.iter().zip(baselines) {
                 sp.push(speedup(r.result.hmean_ipc, base.result.hmean_ipc));
                 misses += r.result.total_l3_misses();
             }
-            Ok(AblationPoint {
+            AblationPoint {
                 value: label.clone(),
                 hmean_speedup: arithmetic_mean(&sp),
                 total_misses: misses,
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

@@ -18,22 +18,52 @@
 //!   (default 100; e.g. `25` runs quarter-length windows).
 //! - `NUCA_BENCH_MIXES` — number of random 4-app mixes per figure
 //!   (default 10).
+//!
+//! Independent simulation cells run on worker threads (see
+//! `simcore::parallel`); every figure binary accepts `--jobs N` on its
+//! command line (or `NUCA_BENCH_JOBS=N`; `0` = one per core, the
+//! default). Results are bit-identical for every jobs value.
 
 pub mod figures;
+pub mod json;
 pub mod report;
 
 use nuca_core::experiment::ExperimentConfig;
 
-/// Reads the experiment configuration honoring `NUCA_BENCH_SCALE`.
+/// Reads the experiment configuration honoring `NUCA_BENCH_SCALE` and
+/// the `--jobs` flag / `NUCA_BENCH_JOBS` variable.
 pub fn experiment_config() -> ExperimentConfig {
     let base = ExperimentConfig::default();
-    match std::env::var("NUCA_BENCH_SCALE")
+    let base = match std::env::var("NUCA_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
     {
         Some(pct) if pct > 0 && pct != 100 => base.scaled(pct, 100),
         _ => base,
+    };
+    base.with_jobs(jobs())
+}
+
+/// Worker-thread count for simulation grids: `--jobs N` on the command
+/// line beats `NUCA_BENCH_JOBS`, which beats "auto" (`0`, one worker
+/// per available core). Every figure binary shares this parsing, so the
+/// whole harness is driven the same way.
+pub fn jobs() -> usize {
+    let mut argv = std::env::args().skip(1);
+    let mut requested = None;
+    while let Some(arg) = argv.next() {
+        if arg == "--jobs" {
+            requested = argv.next().and_then(|v| v.parse::<usize>().ok());
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            requested = v.parse::<usize>().ok();
+        }
     }
+    let requested = requested.or_else(|| {
+        std::env::var("NUCA_BENCH_JOBS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+    });
+    simcore::parallel::resolve_jobs(requested.unwrap_or(0))
 }
 
 /// Reads the per-figure mix count honoring `NUCA_BENCH_MIXES`.

@@ -134,10 +134,17 @@ pub struct ShadowTags {
     factor: u64,
     /// Compact register slot per set; `-1` = unmonitored.
     slot_of: Vec<i32>,
-    /// `monitored_sets * cores` registers; `None` = empty.
-    tags: Vec<Option<BlockAddr>>,
+    /// `cores * monitored_sets` raw block addresses, core-major so one
+    /// core's registers are contiguous; [`EMPTY_TAG`] = empty register.
+    /// A flat `u64` array keeps the per-miss probe a single load and
+    /// compare (no `Option` discriminant in the hot path).
+    tags: Vec<u64>,
     hits: PerCore<u64>,
 }
+
+/// Sentinel for an empty shadow register. Block addresses are cache-line
+/// addresses (physical address >> 6), so `u64::MAX` can never collide.
+const EMPTY_TAG: u64 = u64::MAX;
 
 impl ShadowTags {
     /// Creates a shadow-tag table for a cache with `sets` sets and `cores`
@@ -183,7 +190,7 @@ impl ShadowTags {
             monitored_sets,
             factor: (sets / monitored_sets) as u64,
             slot_of,
-            tags: vec![None; monitored_sets * cores],
+            tags: vec![EMPTY_TAG; cores * monitored_sets],
             hits: PerCore::filled(cores, 0),
         }
     }
@@ -209,7 +216,7 @@ impl ShadowTags {
 
     #[inline]
     fn slot(&self, set: usize, core: CoreId) -> usize {
-        self.slot_of[set] as usize * self.cores + core.index()
+        core.index() * self.monitored_sets + self.slot_of[set] as usize
     }
 
     /// Records the tag of a block evicted on behalf of `owner` from `set`.
@@ -217,7 +224,7 @@ impl ShadowTags {
     pub fn record_eviction(&mut self, set: usize, owner: CoreId, addr: BlockAddr) {
         if self.monitors(set) {
             let slot = self.slot(set, owner);
-            self.tags[slot] = Some(addr);
+            self.tags[slot] = addr.raw();
         }
     }
 
@@ -229,7 +236,7 @@ impl ShadowTags {
             return false;
         }
         let slot = self.slot(set, requester);
-        if self.tags[slot] == Some(addr) {
+        if self.tags[slot] == addr.raw() {
             self.hits[requester] += 1;
             true
         } else {

@@ -8,6 +8,8 @@
 //! warm-up, fixed measured cycles) is driven through
 //! [`Cmp::run`]/[`Cmp::reset_stats`].
 
+use std::borrow::Borrow;
+
 use cpusim::core::{Core, CoreStats};
 use memsim::MemoryStats;
 use simcore::config::MachineConfig;
@@ -78,14 +80,18 @@ impl Cmp {
     /// parallel (read-shared) workloads and custom studies that go
     /// beyond the 24 SPEC2000-like presets.
     ///
+    /// Accepts anything that borrows as a profile (`AppProfile`,
+    /// `Arc<AppProfile>`, `&AppProfile`), so replicated workloads can
+    /// share one profile allocation across cores.
+    ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the profile count does not match the
     /// machine's core count or the organization cannot be built.
-    pub fn with_profiles(
+    pub fn with_profiles<P: Borrow<tracegen::AppProfile>>(
         cfg: &MachineConfig,
         org: Organization,
-        profiles: &[tracegen::AppProfile],
+        profiles: &[P],
         forwards: &[u64],
         seed: u64,
     ) -> Result<Self> {
@@ -103,7 +109,7 @@ impl Cmp {
             .zip(forwards)
             .enumerate()
             .map(|(i, (profile, forward))| {
-                let mut gen = TraceGenerator::new(profile, root.fork(i as u64));
+                let mut gen = TraceGenerator::new(profile.borrow(), root.fork(i as u64));
                 gen.fast_forward(*forward);
                 // Length was checked above, so the index form is in range.
                 let id = CoreId::from_index(i as u8);

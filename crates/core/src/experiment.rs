@@ -35,6 +35,12 @@ pub struct ExperimentConfig {
     pub measure_cycles: u64,
     /// Master seed (workload construction and per-core streams).
     pub seed: u64,
+    /// Worker threads for independent simulation cells (see
+    /// [`run_cells`]). `1` runs everything serially; results are
+    /// bit-identical for every value because each cell is
+    /// self-contained. This is an execution policy, not part of the
+    /// experiment's identity.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -44,6 +50,7 @@ impl Default for ExperimentConfig {
             warmup_cycles: 1_000_000,
             measure_cycles: 1_500_000,
             seed: 2007,
+            jobs: 1,
         }
     }
 }
@@ -56,6 +63,7 @@ impl ExperimentConfig {
             warmup_cycles: 20_000,
             measure_cycles: 150_000,
             seed: 2007,
+            jobs: 1,
         }
     }
 
@@ -68,6 +76,17 @@ impl ExperimentConfig {
             warmup_cycles: (self.warmup_cycles * num / den).max(1),
             measure_cycles: (self.measure_cycles * num / den).max(1),
             seed: self.seed,
+            jobs: self.jobs,
+        }
+    }
+
+    /// Same experiment, executed on `jobs` worker threads (`0` = one
+    /// per available core).
+    #[must_use]
+    pub fn with_jobs(&self, jobs: usize) -> Self {
+        ExperimentConfig {
+            jobs: simcore::parallel::resolve_jobs(jobs),
+            ..*self
         }
     }
 }
@@ -106,6 +125,34 @@ pub fn run_mix(
     })
 }
 
+/// One independent cell of an experiment grid: a machine, an
+/// organization and a mix. Cells share nothing mutable, which is what
+/// makes [`run_cells`] deterministic under any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCell<'a> {
+    /// Machine to simulate (cells may use different machines, e.g. the
+    /// base and technology-scaled configurations of Figure 10).
+    pub machine: &'a MachineConfig,
+    /// Last-level organization.
+    pub org: Organization,
+    /// Workload mix.
+    pub mix: &'a Mix,
+}
+
+/// Runs every cell of a grid — on `exp.jobs` worker threads via
+/// [`simcore::parallel::run_indexed`] — and returns the results in cell
+/// order. Output is bit-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Propagates the first (in cell order) configuration error from
+/// [`Cmp::new`].
+pub fn run_cells(cells: &[SimCell<'_>], exp: &ExperimentConfig) -> Result<Vec<MixResult>> {
+    simcore::parallel::map_slice(exp.jobs, cells, |c| run_mix(c.machine, c.org, c.mix, exp))
+        .into_iter()
+        .collect()
+}
+
 /// Runs the same mix under several organizations (the Figure 6–12
 /// pattern). Results are in the same order as `orgs`.
 ///
@@ -118,9 +165,11 @@ pub fn compare_schemes(
     mix: &Mix,
     exp: &ExperimentConfig,
 ) -> Result<Vec<MixResult>> {
-    orgs.iter()
-        .map(|org| run_mix(machine, *org, mix, exp))
-        .collect()
+    let cells: Vec<SimCell<'_>> = orgs
+        .iter()
+        .map(|&org| SimCell { machine, org, mix })
+        .collect();
+    run_cells(&cells, exp)
 }
 
 /// One row of the Figure 5 classification.
@@ -163,21 +212,33 @@ fn characterization_machine(machine: &MachineConfig) -> Result<MachineConfig> {
 
 pub fn classify(machine: &MachineConfig, exp: &ExperimentConfig) -> Result<Vec<Classification>> {
     let single = characterization_machine(machine)?;
-    SpecApp::ALL
+    let mixes: Vec<Mix> = SpecApp::ALL
         .into_iter()
-        .map(|app| {
-            let mix = WorkloadPool::homogeneous(app, single.cores, exp.seed);
-            let r = run_mix(&single, Organization::Private, &mix, exp)?;
+        .map(|app| WorkloadPool::homogeneous(app, single.cores, exp.seed))
+        .collect();
+    let cells: Vec<SimCell<'_>> = mixes
+        .iter()
+        .map(|mix| SimCell {
+            machine: &single,
+            org: Organization::Private,
+            mix,
+        })
+        .collect();
+    let results = run_cells(&cells, exp)?;
+    Ok(SpecApp::ALL
+        .into_iter()
+        .zip(&results)
+        .map(|(app, r)| {
             let stats = r.result.per_core[0].1;
             let apkc = stats.l3_accesses_per_kilocycle();
-            Ok(Classification {
+            Classification {
                 app,
                 accesses_per_kilocycle: apkc,
                 ipc: stats.ipc(),
                 intensive: apkc > 9.0,
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// One point of the Figure 3 sensitivity sweep.
@@ -204,23 +265,66 @@ pub fn sensitivity_sweep(
     ways: &[u32],
     exp: &ExperimentConfig,
 ) -> Result<Vec<SensitivityPoint>> {
+    let mut rows = sensitivity_grid(machine, &[app], ways, exp)?;
+    Ok(rows.pop().unwrap_or_default())
+}
+
+/// The full Figure 3 grid — every `(app, ways)` pair is one independent
+/// cell, so the whole figure parallelizes as a single flat work list
+/// instead of one serial sweep per application. Returns one row of
+/// points per app, in `apps` order.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn sensitivity_grid(
+    machine: &MachineConfig,
+    apps: &[SpecApp],
+    ways: &[u32],
+    exp: &ExperimentConfig,
+) -> Result<Vec<Vec<SensitivityPoint>>> {
     let single = characterization_machine(machine)?;
     let sets = machine.l3.private.sets();
     let block = machine.l3.private.block_bytes();
     let latency = machine.l3.private.latency();
-    ways.iter()
+    let orgs: Vec<Organization> = ways
+        .iter()
         .map(|&w| {
             let geometry = CacheGeometry::new(sets * w as u64 * block as u64, w, block, latency)?;
-            let mix = WorkloadPool::homogeneous(app, single.cores, exp.seed);
-            let r = run_mix(&single, Organization::PrivateCustom { geometry }, &mix, exp)?;
-            let stats = r.result.per_core[0].1;
-            Ok(SensitivityPoint {
-                blocks_per_set: w,
-                misses: stats.l3_misses,
-                accesses: stats.l3_accesses,
+            Ok(Organization::PrivateCustom { geometry })
+        })
+        .collect::<Result<_>>()?;
+    let mixes: Vec<Mix> = apps
+        .iter()
+        .map(|&app| WorkloadPool::homogeneous(app, single.cores, exp.seed))
+        .collect();
+    let cells: Vec<SimCell<'_>> = mixes
+        .iter()
+        .flat_map(|mix| {
+            orgs.iter().map(|&org| SimCell {
+                machine: &single,
+                org,
+                mix,
             })
         })
-        .collect()
+        .collect();
+    let results = run_cells(&cells, exp)?;
+    Ok(results
+        .chunks(ways.len().max(1))
+        .map(|row| {
+            row.iter()
+                .zip(ways)
+                .map(|(r, &w)| {
+                    let stats = r.result.per_core[0].1;
+                    SensitivityPoint {
+                        blocks_per_set: w,
+                        misses: stats.l3_misses,
+                        accesses: stats.l3_accesses,
+                    }
+                })
+                .collect()
+        })
+        .collect())
 }
 
 /// Per-application speedup aggregation used by Figures 7, 8, 9 and 10:

@@ -55,6 +55,17 @@ struct AdaptiveSet {
     blocks: Vec<Block>,
     private: Vec<LruStack>,
     shared: LruStack,
+    /// Valid blocks owned by each core, maintained incrementally in
+    /// [`AdaptiveL3::install`] — the only place ownership or validity
+    /// changes (hit-path swaps move ways between stacks but never
+    /// change `Block::owner`). Turns Algorithm 1's per-candidate quota
+    /// check from an O(ways) rescan into an O(1) lookup; cross-checked
+    /// against a full recount by [`Invariant::audit`].
+    owned: Vec<u32>,
+    /// Count of valid blocks; once it reaches the associativity, the
+    /// miss path skips the invalid-way scan entirely (the steady state
+    /// after cold fill).
+    filled: u32,
 }
 
 impl AdaptiveSet {
@@ -63,6 +74,8 @@ impl AdaptiveSet {
             blocks: vec![Block::INVALID; ways],
             private: vec![LruStack::new(); cores],
             shared: LruStack::new(),
+            owned: vec![0; cores],
+            filled: 0,
         }
     }
 
@@ -71,10 +84,7 @@ impl AdaptiveSet {
     }
 
     fn owned_count(&self, owner: CoreId) -> u32 {
-        self.blocks
-            .iter()
-            .filter(|b| b.valid && b.owner == owner)
-            .count() as u32
+        self.owned[owner.index()]
     }
 }
 
@@ -141,7 +151,10 @@ pub struct AdaptiveL3 {
     memory: MainMemory,
     cores: usize,
     offset_bits: u32,
-    index_bits: u32,
+    /// Precomputed `sets - 1` mask — the set index is computed on every
+    /// access, so the mask is hoisted out of the hot path instead of
+    /// being rebuilt from the bit count each time.
+    index_mask: u64,
     private_latency: u64,
     shared_latency: u64,
     stats: AdaptiveStats,
@@ -169,7 +182,7 @@ impl AdaptiveL3 {
             memory: MainMemory::new(cfg.memory, geom.block_bytes()),
             cores: cfg.cores,
             offset_bits: geom.offset_bits(),
-            index_bits: geom.index_bits(),
+            index_mask: (1u64 << geom.index_bits()) - 1,
             private_latency: cfg.l3.private.latency(),
             shared_latency: cfg.l3.neighbor_latency,
             stats: AdaptiveStats::default(),
@@ -230,15 +243,17 @@ impl AdaptiveL3 {
 
     #[inline]
     fn set_index(&self, blk: BlockAddr) -> usize {
-        blk.index_bits(0, self.index_bits) as usize
+        (blk.raw() & self.index_mask) as usize
     }
 
     /// Demotes `core`'s private-LRU blocks to the shared partition until
-    /// its private stack fits within `capacity`.
+    /// its private stack fits within `capacity`. Borrows the two stacks
+    /// once instead of re-indexing `private` on every loop iteration.
     fn trim_private(set: &mut AdaptiveSet, core: CoreId, capacity: u32, demotions: &mut u64) {
-        while set.private[core.index()].len() > capacity as usize {
+        let stack = &mut set.private[core.index()];
+        while stack.len() > capacity as usize {
             // The loop guard keeps the stack nonempty here.
-            let Some(way) = set.private[core.index()].pop_lru() else {
+            let Some(way) = stack.pop_lru() else {
                 break;
             };
             set.shared.push_mru(way);
@@ -297,6 +312,15 @@ impl AdaptiveL3 {
     fn install(&mut self, set_idx: usize, way: usize, blk: BlockAddr, dirty: bool, core: CoreId) {
         let capacity = self.engine.private_capacity(core);
         let set = &mut self.sets[set_idx];
+        // Sole ownership/validity mutation point: keep the incremental
+        // per-core occupancy counters exact here and nowhere else.
+        let old = set.blocks[way];
+        if old.valid {
+            set.owned[old.owner.index()] = set.owned[old.owner.index()].saturating_sub(1);
+        } else {
+            set.filled += 1;
+        }
+        set.owned[core.index()] += 1;
         set.blocks[way] = Block {
             valid: true,
             addr: blk,
@@ -398,6 +422,43 @@ impl Invariant for AdaptiveL3 {
                     );
                 }
             }
+            // Cross-check the incremental occupancy counters against a
+            // full recount — the counters feed Algorithm 1's quota
+            // comparison, so drift here would silently change victims.
+            let mut recount = vec![0u32; self.cores];
+            let mut valid = 0u32;
+            for b in &set.blocks {
+                if b.valid {
+                    valid += 1;
+                    if let Some(n) = recount.get_mut(b.owner.index()) {
+                        *n += 1;
+                    }
+                }
+            }
+            if valid != set.filled {
+                out.push(
+                    Violation::new(
+                        self.component(),
+                        format!(
+                            "filled counter {} != {} valid blocks recounted",
+                            set.filled, valid
+                        ),
+                    )
+                    .at_set(si),
+                );
+            }
+            for (ci, (&inc, &rec)) in set.owned.iter().zip(&recount).enumerate() {
+                if inc != rec {
+                    out.push(
+                        Violation::new(
+                            self.component(),
+                            format!("incremental owned counter {inc} != {rec} blocks recounted"),
+                        )
+                        .at_set(si)
+                        .for_core(ci),
+                    );
+                }
+            }
             for i in 0..set.blocks.len() {
                 for j in (i + 1)..set.blocks.len() {
                     if set.blocks[i].valid
@@ -482,7 +543,14 @@ impl LastLevel for AdaptiveL3 {
         self.stats.misses += 1;
         let resp = self.memory.request(now, false);
 
-        let victim_way = if let Some(w) = self.sets[set_idx].blocks.iter().position(|b| !b.valid) {
+        // The invalid-way scan only runs during cold fill; `filled`
+        // short-circuits it in the steady state.
+        let free_way = if (self.sets[set_idx].filled as usize) < self.sets[set_idx].blocks.len() {
+            self.sets[set_idx].blocks.iter().position(|b| !b.valid)
+        } else {
+            None
+        };
+        let victim_way = if let Some(w) = free_way {
             w
         } else {
             self.ensure_shared_nonempty(set_idx);

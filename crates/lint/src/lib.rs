@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run -p nuca-lint -- check` (add `--json` for machine
 //! output). The pass walks every `.rs` file in the repository, strips
-//! comments and string literals, masks test regions, and enforces the four
+//! comments and string literals, masks test regions, and enforces the five
 //! project rules described in [`rules`]. Exemptions live in `lint.toml` at
 //! the repo root and must carry a justification; see [`allowlist`].
 //!

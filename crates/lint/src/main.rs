@@ -26,6 +26,7 @@ RULES:
     L2  no HashMap/HashSet in simulator state (nondeterministic iteration)
     L3  no bare `as` narrowing casts in statistics/counter paths
     L4  every pub fn in crates/core/src/l3/ and engine.rs has a doc comment
+    L5  no thread::spawn/thread::scope outside crates/simcore/src/parallel.rs
 
 EXIT CODES:
     0 clean    1 violations    2 usage or I/O error

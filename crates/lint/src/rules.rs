@@ -1,4 +1,4 @@
-//! The four project-specific rules (see DESIGN.md §"Static analysis"):
+//! The five project-specific rules (see DESIGN.md §"Static analysis"):
 //!
 //! - **L1** — no `unwrap()` / `expect()` / `panic!` / `unreachable!` in
 //!   non-test code of the simulation crates. A panic in the replacement or
@@ -11,6 +11,11 @@
 //! - **L4** — every `pub fn` in the adaptive-partitioning core
 //!   (`crates/core/src/l3/`, `crates/core/src/engine.rs`) carries a doc
 //!   comment.
+//! - **L5** — no `thread::spawn` / `thread::scope` outside the sanctioned
+//!   runner module (`crates/simcore/src/parallel.rs`). All experiment
+//!   parallelism goes through that runner, whose index-ordered merge is
+//!   what keeps `--jobs N` output bit-identical to serial runs; ad-hoc
+//!   threads would reintroduce scheduling-dependent results.
 
 use std::fmt;
 
@@ -25,6 +30,8 @@ pub enum Rule {
     L3,
     /// Doc coverage of the partitioning core's public API.
     L4,
+    /// Determinism: no threads outside the sanctioned parallel runner.
+    L5,
 }
 
 impl Rule {
@@ -35,6 +42,7 @@ impl Rule {
             Rule::L2 => "L2",
             Rule::L3 => "L3",
             Rule::L4 => "L4",
+            Rule::L5 => "L5",
         }
     }
 
@@ -45,6 +53,7 @@ impl Rule {
             "L2" => Some(Rule::L2),
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
             _ => None,
         }
     }
@@ -90,6 +99,8 @@ pub struct Scopes {
     pub stats_files: Vec<String>,
     /// L4: prefixes/exact files whose `pub fn`s must be documented.
     pub doc_paths: Vec<String>,
+    /// L5: exact files allowed to spawn threads (the sanctioned runner).
+    pub runner_files: Vec<String>,
 }
 
 impl Default for Scopes {
@@ -108,6 +119,7 @@ impl Default for Scopes {
                 "crates/core/src/l3/".to_string(),
                 "crates/core/src/engine.rs".to_string(),
             ],
+            runner_files: vec!["crates/simcore/src/parallel.rs".to_string()],
         }
     }
 }
@@ -127,6 +139,10 @@ impl Scopes {
         self.doc_paths
             .iter()
             .any(|p| rel == p || (p.ends_with('/') && rel.starts_with(p.as_str())))
+    }
+
+    fn is_runner(&self, rel: &str) -> bool {
+        self.runner_files.iter().any(|p| p == rel)
     }
 }
 
@@ -154,7 +170,9 @@ pub fn check_file(
     let sim = scopes.in_sim(rel);
     let stats = scopes.in_stats(rel);
     let doc = scopes.in_doc(rel);
-    if !sim && !stats && !doc {
+    // L5 is repo-wide: every scanned file except the sanctioned runner.
+    let l5 = !scopes.is_runner(rel);
+    if !sim && !stats && !doc && !l5 {
         return out;
     }
 
@@ -195,6 +213,21 @@ pub fn check_file(
                             ),
                         });
                     }
+                }
+            }
+        }
+
+        if l5 && !in_test && !inline_allowed(raw_line, Rule::L5) {
+            for pat in ["thread::spawn", "thread::scope"] {
+                if contains_token(san, pat) {
+                    out.push(Diagnostic {
+                        rule: Rule::L5,
+                        file: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "{pat} outside the sanctioned runner; route parallelism through simcore::parallel so results stay deterministic"
+                        ),
+                    });
                 }
             }
         }
@@ -436,6 +469,27 @@ mod tests {
     fn l4_accepts_doc_comment_with_attributes_between() {
         let src = "/// Returns the quota.\n#[must_use]\npub fn quota(&self) -> usize { 0 }\n";
         assert!(check("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_threads_outside_the_runner() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let d = check("crates/bench/src/figures.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::L5);
+        let d = check(
+            "crates/core/src/experiment.rs",
+            "fn f() { thread::scope(|s| {}); }\n",
+        );
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::L5).count(), 1);
+    }
+
+    #[test]
+    fn l5_allows_the_sanctioned_runner_and_tests() {
+        let src = "fn f() { std::thread::scope(|s| {}); }\n";
+        assert!(check("crates/simcore/src/parallel.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod t {\n fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(check("crates/bench/src/lib.rs", test_src).is_empty());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   Figure 10).
 //! - [`stats`] — counters, histograms and the summary statistics the paper
 //!   reports (harmonic and arithmetic mean of per-core IPC).
+//! - [`parallel`] — a deterministic scoped-thread runner for independent
+//!   simulation cells (the only sanctioned way to spawn threads; see
+//!   `nuca-lint` rule L5).
 //! - [`rng`] — a small, deterministic pseudo-random number generator
 //!   (SplitMix64 seeding a xoshiro256** stream) so that every experiment is
 //!   exactly reproducible from its seed.
@@ -33,6 +36,7 @@
 pub mod config;
 pub mod error;
 pub mod invariant;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod types;

@@ -1,0 +1,151 @@
+//! Deterministic scoped-thread runner for independent simulation cells.
+//!
+//! Every figure in the paper is a grid of *cells* — one (machine,
+//! organization, mix) simulation each — with no data flowing between
+//! cells. [`run_indexed`] executes such a grid on `jobs` worker threads
+//! using [`std::thread::scope`] and a shared atomic work index
+//! (work-stealing by next-index claim), then reassembles the results in
+//! cell order. Because each cell seeds its own [`crate::rng::SimRng`]
+//! stream and touches no shared mutable state, the output is
+//! **bit-identical** for every `jobs` value, including `jobs == 1`
+//! (which short-circuits to a plain serial loop and spawns nothing).
+//!
+//! This is the only module in the workspace allowed to spawn threads
+//! (enforced by `nuca-lint` rule L5): ad-hoc threading elsewhere could
+//! reorder floating-point reductions or share RNG streams and silently
+//! break the determinism the test suite relies on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when the caller asked for "auto":
+/// the host's available parallelism, or 1 if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing `--jobs` value: `0` means "auto" (one worker
+/// per available core), anything else is taken literally.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        default_jobs()
+    } else {
+        requested
+    }
+}
+
+/// Runs `f(0..n)` on up to `jobs` scoped worker threads and returns the
+/// results in index order.
+///
+/// Workers claim cell indices from a shared [`AtomicUsize`] via
+/// `fetch_add`, so a slow cell never stalls the rest of the grid
+/// (work-stealing by claim rather than by deque). Each worker keeps
+/// `(index, result)` pairs locally; after all workers join, the pairs
+/// are merged by index, so the caller sees exactly the order a serial
+/// loop would produce regardless of thread scheduling.
+///
+/// With `jobs <= 1` or `n <= 1` no threads are spawned at all — the
+/// serial path is the parallel path's reference semantics, not a
+/// separate implementation.
+///
+/// A panic inside `f` is propagated to the caller after the remaining
+/// workers drain (standard scoped-thread behavior).
+pub fn run_indexed<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok(local) => pairs.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Every index in 0..n is claimed by exactly one fetch_add, so after
+    // a panic-free join `pairs` is a permutation of 0..n.
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Maps `f` over a slice on up to `jobs` worker threads, preserving
+/// order (convenience wrapper over [`run_indexed`]).
+pub fn map_slice<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(1, 100, |i| i * i);
+        for jobs in [2, 3, 4, 8, 100, 1000] {
+            assert_eq!(run_indexed(jobs, 100, |i| i * i), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_grids() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 7), vec![7]);
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn results_are_in_index_order_under_contention() {
+        // Uneven per-cell work so threads finish out of order.
+        let out = run_indexed(4, 64, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = map_slice(3, &items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_jobs_auto_and_literal() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

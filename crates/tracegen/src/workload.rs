@@ -8,6 +8,8 @@
 //! (deterministically, from a seed); the simulated cycle count is chosen
 //! by the experiment runner.
 
+use std::sync::Arc;
+
 use simcore::rng::SimRng;
 
 use crate::spec::SpecApp;
@@ -92,7 +94,9 @@ impl WorkloadPool {
 /// region — the setting the paper defers to future work ("we hypothesize
 /// that the new scheme will be effective also for such workloads").
 ///
-/// Returns one profile per thread plus matching fast-forward counts.
+/// Returns one profile handle per thread plus matching fast-forward
+/// counts. All threads run the *same* program, so the handles share one
+/// [`Arc`] allocation instead of cloning the profile per thread.
 ///
 /// # Example
 ///
@@ -110,7 +114,7 @@ pub fn parallel_workload(
     shared_read_frac: f64,
     shared_kb: u64,
     seed: u64,
-) -> (Vec<crate::profile::AppProfile>, Vec<u64>) {
+) -> (Vec<Arc<crate::profile::AppProfile>>, Vec<u64>) {
     let mut rng = SimRng::seed_from(seed ^ 0x9a7a_11e1);
     let mut profile = app.profile().clone();
     profile.shared_read_frac = shared_read_frac;
@@ -118,7 +122,8 @@ pub fn parallel_workload(
     let forwards = (0..threads)
         .map(|_| rng.range(WorkloadPool::FORWARD_MIN, WorkloadPool::FORWARD_MAX))
         .collect();
-    (vec![profile; threads], forwards)
+    let shared = Arc::new(profile);
+    (vec![shared; threads], forwards)
 }
 
 #[cfg(test)]
@@ -171,6 +176,21 @@ mod tests {
         let m = WorkloadPool::homogeneous(SpecApp::Mcf, 4, 9);
         assert_eq!(m.apps, vec![SpecApp::Mcf; 4]);
         assert_eq!(m.label(), "mcf+mcf+mcf+mcf");
+    }
+
+    #[test]
+    fn parallel_workload_shares_one_profile() {
+        let (profiles, forwards) = parallel_workload(SpecApp::Galgel, 4, 0.4, 2048, 7);
+        assert_eq!(profiles.len(), 4);
+        assert_eq!(forwards.len(), 4);
+        // Every thread sees the identical profile — one allocation, not
+        // per-thread clones.
+        for p in &profiles[1..] {
+            assert!(Arc::ptr_eq(&profiles[0], p));
+            assert_eq!(**p, *profiles[0]);
+        }
+        assert!((profiles[0].shared_read_frac - 0.4).abs() < 1e-12);
+        assert_eq!(profiles[0].shared_kb, 2048);
     }
 
     #[test]

@@ -1,10 +1,21 @@
 #!/bin/bash
 # Regenerates every table and figure, capturing output under results/.
+#
+# JOBS controls the worker-thread count handed to each figure binary
+# (default: all cores). Results are bit-identical for any JOBS value —
+# the runner in simcore::parallel reassembles cells in index order.
 set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p results
+JOBS="${JOBS:-$(nproc)}"
+echo "running figure binaries with --jobs $JOBS"
 for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 shadow_sampling ablations parallel; do
     echo "=== $bin ==="
-    cargo run --quiet --release -p nuca-bench --bin "$bin" > "results/$bin.txt" 2>&1
+    cargo run --quiet --release -p nuca-bench --bin "$bin" -- --jobs "$JOBS" > "results/$bin.txt" 2>&1
     echo "done: results/$bin.txt"
 done
+# Refresh the machine-readable perf baseline last (also checks that the
+# parallel pass reproduces the serial pass bit-for-bit).
+echo "=== perf ==="
+cargo run --quiet --release -p nuca-bench --bin perf -- --jobs "$JOBS" > results/perf.txt 2>&1
+echo "done: results/perf.txt (baseline: BENCH_baseline.json)"

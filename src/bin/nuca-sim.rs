@@ -13,9 +13,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match nuca_repro::cli::run(&request) {
-        Ok(result) => {
-            print!("{}", nuca_repro::cli::render(&request, &result));
+    match nuca_repro::cli::run_all(&request) {
+        Ok(results) => {
+            for (i, (label, result)) in results.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", nuca_repro::cli::render(&request, label, result));
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -5,10 +5,11 @@
 //! nuca-sim --org adaptive --apps ammp,gzip,crafty,eon
 //! nuca-sim --org shared --apps art,mesa,gap,facerec --measure 2000000
 //! nuca-sim --org adaptive --parallel galgel:0.4:2048 --tech-scaled
-//! nuca-sim --org private --apps ammp,art,twolf,vpr --l3-mb 8
+//! nuca-sim --org private,shared,adaptive --apps ammp,art,twolf,vpr --jobs 3
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use nuca_core::cmp::{Cmp, CmpResult};
 use nuca_core::engine::AdaptiveParams;
@@ -24,10 +25,13 @@ use tracegen::workload::{parallel_workload, WorkloadPool};
 pub struct SimRequest {
     /// The machine to simulate.
     pub machine: MachineConfig,
-    /// The last-level organization.
-    pub organization: Organization,
-    /// One profile per core.
-    pub profiles: Vec<AppProfile>,
+    /// The last-level organizations to run, in request order. Each one
+    /// is an independent simulation cell; [`run_all`] executes them on
+    /// `jobs` worker threads.
+    pub organizations: Vec<Organization>,
+    /// One profile handle per core (replicated workloads share one
+    /// allocation).
+    pub profiles: Vec<Arc<AppProfile>>,
     /// Fast-forward per core.
     pub forwards: Vec<u64>,
     /// Functional warm instructions per core.
@@ -40,6 +44,9 @@ pub struct SimRequest {
     pub seed: u64,
     /// Audit L3 structural invariants after every step (slow).
     pub paranoid: bool,
+    /// Worker threads for running the organizations (`0` = one per
+    /// available core). Results are bit-identical for every value.
+    pub jobs: usize,
 }
 
 /// Error from argument parsing.
@@ -71,10 +78,12 @@ pub const USAGE: &str = "\
 nuca-sim — simulate a multiprogrammed or parallel workload on a NUCA CMP
 
 USAGE:
-    nuca-sim --org <ORG> (--apps <A,B,C,D> | --parallel <APP:FRAC:KB>) [OPTIONS]
+    nuca-sim --org <ORGS> (--apps <A,B,C,D> | --parallel <APP:FRAC:KB>) [OPTIONS]
 
 REQUIRED:
-    --org <ORG>            private | private4x | shared | adaptive | cooperative
+    --org <ORGS>           comma-separated list drawn from: private |
+                           private4x | shared | adaptive | cooperative
+                           (each runs as an independent simulation)
     --apps <LIST>          comma-separated SPEC2000 names, one per core
     --parallel <SPEC>      instead of --apps: APP:SHARED_FRAC:SHARED_KB
                            (e.g. galgel:0.4:2048) replicated on every core
@@ -87,6 +96,9 @@ OPTIONS:
     --l3-mb <N>            aggregate L3 capacity in MiB    [default: 4]
     --tech-scaled          apply the Figure 10 latency scaling
     --reeval <N>           adaptive re-evaluation period   [default: 2000]
+    --jobs <N>             worker threads for the organization list
+                           (0 = one per core; output is bit-identical
+                           to --jobs 1)                    [default: 1]
     --paranoid             audit L3 structural invariants after every
                            timed step; abort on the first violation (slow)
     --help                 print this text
@@ -110,6 +122,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut tech_scaled = false;
     let mut reeval = 2000u64;
     let mut paranoid = false;
+    let mut jobs = 1usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -150,6 +163,9 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--measure" => measure = parse_u64(value("--measure")?)?,
             "--l3-mb" => l3_mb = parse_u64(value("--l3-mb")?)?,
             "--reeval" => reeval = parse_u64(value("--reeval")?)?,
+            "--jobs" => {
+                jobs = simcore::parallel::resolve_jobs(parse_u64(value("--jobs")?)? as usize)
+            }
             "--tech-scaled" => tech_scaled = true,
             "--paranoid" => paranoid = true,
             "--help" | "-h" => return Err(CliError::new(USAGE)),
@@ -164,18 +180,26 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         machine = machine.technology_scaled();
     }
 
-    let organization = match org_name.as_deref() {
-        Some("private") => Organization::Private,
-        Some("private4x") => Organization::PrivateScaled { factor: 4 },
-        Some("shared") => Organization::Shared,
-        Some("adaptive") => Organization::Adaptive(AdaptiveParams {
-            reeval_period: reeval,
-            ..AdaptiveParams::default()
-        }),
-        Some("cooperative") => Organization::Cooperative { seed },
-        Some(other) => return Err(CliError::new(format!("unknown organization: {other}"))),
+    let organizations = match org_name.as_deref() {
+        Some(list) => list
+            .split(',')
+            .map(|name| match name.trim() {
+                "private" => Ok(Organization::Private),
+                "private4x" => Ok(Organization::PrivateScaled { factor: 4 }),
+                "shared" => Ok(Organization::Shared),
+                "adaptive" => Ok(Organization::Adaptive(AdaptiveParams {
+                    reeval_period: reeval,
+                    ..AdaptiveParams::default()
+                })),
+                "cooperative" => Ok(Organization::Cooperative { seed }),
+                other => Err(CliError::new(format!("unknown organization: {other}"))),
+            })
+            .collect::<Result<Vec<Organization>, CliError>>()?,
         None => return Err(CliError::new("--org is required (see --help)")),
     };
+    if organizations.is_empty() {
+        return Err(CliError::new("--org needs at least one organization"));
+    }
 
     let (profiles, forwards) = match (apps, parallel) {
         (Some(apps), None) => {
@@ -186,7 +210,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
                     apps.len()
                 )));
             }
-            let profiles = apps.iter().map(|a| a.profile().clone()).collect();
+            let profiles = apps.iter().map(|a| Arc::new(a.profile().clone())).collect();
             let mix = WorkloadPool::random_mixes(&apps, machine.cores, 1, seed)
                 .pop()
                 .ok_or_else(|| CliError::new("workload pool produced no mix"))?;
@@ -203,7 +227,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
 
     Ok(SimRequest {
         machine,
-        organization,
+        organizations,
         profiles,
         forwards,
         warm_instructions: warm,
@@ -211,6 +235,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         measure_cycles: measure,
         seed,
         paranoid,
+        jobs,
     })
 }
 
@@ -220,7 +245,8 @@ fn parse_u64(s: &str) -> Result<u64, CliError> {
         .map_err(|_| CliError::new(format!("expected a number, got {s}")))
 }
 
-/// Runs a parsed request to completion.
+/// Runs the request's first organization to completion (the common
+/// single-organization invocation).
 ///
 /// With `paranoid` set, the L3 structure is audited after every timed
 /// step (warm-up and measurement), and the run aborts with the violation
@@ -228,16 +254,33 @@ fn parse_u64(s: &str) -> Result<u64, CliError> {
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] if the chip cannot be built, or if a paranoid run
-/// finds a structural violation.
+/// Returns [`CliError`] if no organization was requested, the chip
+/// cannot be built, or a paranoid run finds a structural violation.
 pub fn run(req: &SimRequest) -> Result<CmpResult, CliError> {
-    let mut cmp = Cmp::with_profiles(
-        &req.machine,
-        req.organization,
-        &req.profiles,
-        &req.forwards,
-        req.seed,
-    )?;
+    let org = *req
+        .organizations
+        .first()
+        .ok_or_else(|| CliError::new("no organization requested"))?;
+    run_one(req, org)
+}
+
+/// Runs every requested organization — on `req.jobs` worker threads via
+/// the deterministic runner — and returns `(label, result)` pairs in
+/// request order. Output is bit-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns the first (in request order) [`CliError`] from any run.
+pub fn run_all(req: &SimRequest) -> Result<Vec<(&'static str, CmpResult)>, CliError> {
+    simcore::parallel::map_slice(req.jobs, &req.organizations, |&org| {
+        run_one(req, org).map(|r| (org.label(), r))
+    })
+    .into_iter()
+    .collect()
+}
+
+fn run_one(req: &SimRequest, org: Organization) -> Result<CmpResult, CliError> {
+    let mut cmp = Cmp::with_profiles(&req.machine, org, &req.profiles, &req.forwards, req.seed)?;
     cmp.warm(req.warm_instructions);
     if req.paranoid {
         paranoid_phase(&mut cmp, req.warmup_cycles, "warm-up")?;
@@ -266,11 +309,11 @@ fn paranoid_phase(cmp: &mut Cmp, cycles: u64, phase: &str) -> Result<(), CliErro
     })
 }
 
-/// Renders a result the way the `fig*` binaries do.
-pub fn render(req: &SimRequest, result: &CmpResult) -> String {
+/// Renders one organization's result the way the `fig*` binaries do.
+pub fn render(req: &SimRequest, org_label: &str, result: &CmpResult) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "organization : {}", req.organization.label());
+    let _ = writeln!(out, "organization : {org_label}");
     let _ = writeln!(
         out,
         "window       : {} warm instr + {} warm-up + {} measured cycles (seed {})",
@@ -320,8 +363,24 @@ mod tests {
     fn parses_a_minimal_multiprogrammed_request() {
         let req = parse_args(&argv("--org adaptive --apps ammp,gzip,crafty,eon")).unwrap();
         assert_eq!(req.profiles.len(), 4);
-        assert_eq!(req.organization.label(), "adaptive");
+        assert_eq!(req.organizations.len(), 1);
+        assert_eq!(req.organizations[0].label(), "adaptive");
         assert_eq!(req.seed, 2007);
+        assert_eq!(req.jobs, 1);
+    }
+
+    #[test]
+    fn parses_an_organization_list_and_jobs() {
+        let req = parse_args(&argv(
+            "--org private,shared,adaptive --apps ammp,gzip,crafty,eon --jobs 2",
+        ))
+        .unwrap();
+        let labels: Vec<_> = req.organizations.iter().map(|o| o.label()).collect();
+        assert_eq!(labels, ["private", "shared", "adaptive"]);
+        assert_eq!(req.jobs, 2);
+        // --jobs 0 means "auto": at least one worker.
+        let auto = parse_args(&argv("--org private --apps ammp,gzip,crafty,eon --jobs 0")).unwrap();
+        assert!(auto.jobs >= 1);
     }
 
     #[test]
@@ -366,9 +425,26 @@ mod tests {
         req.measure_cycles = 20_000;
         let result = run(&req).unwrap();
         assert!(result.hmean_ipc > 0.0);
-        let text = render(&req, &result);
+        let text = render(&req, req.organizations[0].label(), &result);
         assert!(text.contains("harmonic IPC"));
         assert!(text.contains("quotas"));
+    }
+
+    #[test]
+    fn run_all_is_identical_for_any_job_count() {
+        let mut req = parse_args(&argv(
+            "--org private,shared,adaptive --apps ammp,gzip,crafty,eon",
+        ))
+        .unwrap();
+        req.warm_instructions = 30_000;
+        req.warmup_cycles = 2_000;
+        req.measure_cycles = 10_000;
+        let serial = run_all(&req).unwrap();
+        req.jobs = 3;
+        let parallel = run_all(&req).unwrap();
+        assert_eq!(serial, parallel, "jobs must not change any result bit");
+        let labels: Vec<_> = serial.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["private", "shared", "adaptive"]);
     }
 
     #[test]

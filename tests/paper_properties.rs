@@ -16,6 +16,7 @@ fn exp() -> ExperimentConfig {
         warmup_cycles: 500_000,
         measure_cycles: 600_000,
         seed: 2007,
+        jobs: 1,
     }
 }
 
