@@ -12,6 +12,8 @@ use nuca_core::engine::AdaptiveParams;
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let n = nuca_bench::mix_count().min(6);
@@ -105,4 +107,6 @@ fn main() {
         t.row(&[&r.value, &pct(r.hmean_speedup), &r.total_misses.to_string()]);
     }
     t.print();
+
+    tele.export("ablations").expect("telemetry export");
 }

@@ -1,10 +1,15 @@
 //! Section 2.7: implementation cost of the adaptive scheme.
 
+// Figure-harness binary: failing fast on export errors is intended.
+#![allow(clippy::expect_used)]
+
 use nuca_bench::report::Table;
 use nuca_core::cost::CostModel;
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let c = CostModel::for_machine(&machine);
     let mut t = Table::new(
@@ -34,4 +39,6 @@ fn main() {
         "overhead vs 4-MByte L3 data storage: {:.2}% (paper: ~0.5%)",
         c.overhead_fraction(machine.l3.shared.size_bytes()) * 100.0
     );
+
+    tele.export("cost_model").expect("telemetry export");
 }

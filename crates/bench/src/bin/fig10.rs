@@ -8,6 +8,8 @@ use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let r = fig10(&machine, &exp, nuca_bench::mix_count()).expect("figure 10 experiment");
@@ -27,4 +29,6 @@ fn main() {
     println!();
     println!("Paper shape: as memory latency grows (258/260 -> 330/338 cycles) the");
     println!("adaptive scheme gains the most, because it removes the most memory accesses.");
+
+    tele.export("fig10").expect("telemetry export");
 }

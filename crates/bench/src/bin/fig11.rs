@@ -9,6 +9,8 @@ use simcore::config::MachineConfig;
 use simcore::stats::arithmetic_mean;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let rows = fig11(&machine, &exp, nuca_bench::mix_count()).expect("figure 11 experiment");
@@ -30,4 +32,6 @@ fn main() {
         "\nmean relative performance: {} (paper: adaptive generally better)",
         pct(mean)
     );
+
+    tele.export("fig11").expect("telemetry export");
 }

@@ -9,6 +9,8 @@ use simcore::config::MachineConfig;
 use simcore::stats::arithmetic_mean;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let rows = fig12(&machine, &exp, nuca_bench::mix_count()).expect("figure 12 experiment");
@@ -30,4 +32,6 @@ fn main() {
         "\nmean relative performance: {} (paper: advantage shrinks vs Figure 11)",
         pct(mean)
     );
+
+    tele.export("fig12").expect("telemetry export");
 }

@@ -8,6 +8,8 @@ use nuca_bench::report::Table;
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let series = fig3(&machine, &exp).expect("figure 3 experiment");
@@ -26,4 +28,6 @@ fn main() {
     t.print();
     println!();
     println!("Paper shape check: mcf flat after 1 block/set; gzip needs ~4; ammp keeps improving.");
+
+    tele.export("fig3").expect("telemetry export");
 }

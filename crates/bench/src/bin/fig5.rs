@@ -8,6 +8,8 @@ use nuca_bench::report::{f3, Table};
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let mut rows = fig5(&machine, &exp).expect("figure 5 experiment");
@@ -39,4 +41,6 @@ fn main() {
         .filter(|r| r.intensive != r.app.is_llc_intensive())
         .count();
     println!("\nclassification mismatches vs expected: {mismatches}");
+
+    tele.export("fig5").expect("telemetry export");
 }

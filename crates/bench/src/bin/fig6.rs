@@ -9,6 +9,8 @@ use simcore::config::MachineConfig;
 use simcore::stats::speedup;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let r = fig6(&machine, &exp, nuca_bench::mix_count()).expect("figure 6 experiment");
@@ -38,4 +40,6 @@ fn main() {
         pct(r.adaptive.hmean_speedup / r.shared.hmean_speedup),
         pct(r.adaptive.amean_speedup / r.shared.amean_speedup)
     );
+
+    tele.export("fig6").expect("telemetry export");
 }

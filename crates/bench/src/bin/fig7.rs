@@ -8,6 +8,8 @@ use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let rows = fig7(&machine, &exp, nuca_bench::mix_count()).expect("figure 7 experiment");
@@ -28,4 +30,6 @@ fn main() {
     println!();
     println!("Paper shape: ammp/art/twolf/vpr lose to the 4x-larger private cache");
     println!("(they want more capacity) but beat plain private caches.");
+
+    tele.export("fig7").expect("telemetry export");
 }

@@ -8,6 +8,8 @@ use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let rows = fig8(&machine, &exp, nuca_bench::mix_count()).expect("figure 8 experiment");
@@ -28,4 +30,6 @@ fn main() {
         ]);
     }
     t.print();
+
+    tele.export("fig8").expect("telemetry export");
 }

@@ -8,6 +8,8 @@ use nuca_bench::report::{pct, Table};
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let rows = fig9(&machine, &exp, nuca_bench::mix_count()).expect("figure 9 experiment");
@@ -28,4 +30,6 @@ fn main() {
     println!();
     println!("Paper shape: with ample capacity the adaptive scheme's constraints");
     println!("stop paying off and can slightly degrade performance.");
+
+    tele.export("fig9").expect("telemetry export");
 }

@@ -9,10 +9,13 @@ use nuca_core::cmp::Cmp;
 use nuca_core::l3::Organization;
 use simcore::config::MachineConfig;
 use simcore::stats::speedup;
+use telemetry::{collector, NullSink, Recorder, Trace, TraceMeta};
 use tracegen::spec::SpecApp;
 use tracegen::workload::parallel_workload;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let orgs = [
@@ -40,17 +43,54 @@ fn main() {
         .map(|&(app, frac, kb)| parallel_workload(app, machine.cores, frac, kb, exp.seed))
         .collect();
     let n = built.len() * orgs.len();
-    let hmeans = simcore::parallel::run_indexed(exp.jobs, n, |i| {
+    let ring = collector::capacity();
+    let results = simcore::parallel::run_indexed(exp.jobs, n, |i| {
         let (profiles, forwards) = &built[i / orgs.len()];
         let org = orgs[i % orgs.len()];
-        let mut cmp = Cmp::with_profiles(&machine, org, profiles, forwards, exp.seed)
-            .expect("parallel workload builds");
-        cmp.warm(exp.warm_instructions);
-        cmp.run(exp.warmup_cycles);
-        cmp.reset_stats();
-        cmp.run(exp.measure_cycles);
-        cmp.snapshot().hmean_ipc
+        // This binary drives `Cmp` directly (not `run_mix`), so it makes
+        // its own recorder per cell when a collector is installed.
+        match ring {
+            Some(capacity) => {
+                let rec = Recorder::with_capacity(capacity);
+                let mut cmp = Cmp::with_profiles_and_sink(
+                    &machine,
+                    org,
+                    profiles,
+                    forwards,
+                    exp.seed,
+                    rec.clone(),
+                )
+                .expect("parallel workload builds");
+                measure(&mut cmp, &exp);
+                let snap = cmp.snapshot();
+                let meta = TraceMeta {
+                    org: org.label().to_string(),
+                    cores: machine.cores,
+                    ring_capacity: capacity,
+                    initial_quotas: nuca_core::experiment::initial_quotas(&machine, org),
+                };
+                let trace = rec.finish(meta, snap.quotas.unwrap_or_default());
+                (snap.hmean_ipc, Some(trace))
+            }
+            None => {
+                let mut cmp = Cmp::with_profiles_and_sink(
+                    &machine, org, profiles, forwards, exp.seed, NullSink,
+                )
+                .expect("parallel workload builds");
+                measure(&mut cmp, &exp);
+                (cmp.snapshot().hmean_ipc, None::<Trace>)
+            }
+        }
     });
+    // Submit in index order after the parallel map joined, keeping the
+    // exported file identical for every `--jobs` value.
+    let mut hmeans = Vec::with_capacity(results.len());
+    for (h, trace) in results {
+        hmeans.push(h);
+        if let Some(trace) = trace {
+            collector::submit(trace);
+        }
+    }
     for ((app, frac, kb), h) in workloads.into_iter().zip(hmeans.chunks(orgs.len())) {
         t.row(&[
             &format!(
@@ -70,4 +110,13 @@ fn main() {
     println!();
     println!("The paper's §6 hypothesis: the adaptive scheme remains effective for");
     println!("parallel workloads. Sharing organizations deduplicate the common region.");
+
+    tele.export("parallel").expect("telemetry export");
+}
+
+fn measure<S: telemetry::Sink>(cmp: &mut Cmp<S>, exp: &nuca_core::experiment::ExperimentConfig) {
+    cmp.warm(exp.warm_instructions);
+    cmp.run(exp.warmup_cycles);
+    cmp.reset_stats();
+    cmp.run(exp.measure_cycles);
 }

@@ -72,6 +72,8 @@ fn pass(label: &str, n: u64) -> Json {
 }
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let args = parse_args();
     let machine = MachineConfig::baseline();
     let (n_mixes, exp) = if args.quick {
@@ -219,6 +221,8 @@ fn main() {
             eprintln!("perf: wrote {}", path.display());
         }
     }
+
+    tele.export("perf").expect("telemetry export");
 
     if failed {
         std::process::exit(1);

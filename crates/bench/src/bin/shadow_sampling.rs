@@ -8,6 +8,8 @@ use nuca_bench::report::{f4, Table};
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let machine = MachineConfig::baseline();
     let exp = nuca_bench::experiment_config();
     let r = shadow_sampling(&machine, &exp, nuca_bench::mix_count()).expect("4.6 experiment");
@@ -29,4 +31,6 @@ fn main() {
     ]);
     t.print();
     println!("\nPaper: +0.1% average / -0.1% harmonic — sampling is essentially free.");
+
+    tele.export("shadow_sampling").expect("telemetry export");
 }

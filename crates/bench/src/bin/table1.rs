@@ -1,9 +1,14 @@
 //! Prints Table 1: the baseline machine configuration.
 
+// Figure-harness binary: failing fast on export errors is intended.
+#![allow(clippy::expect_used)]
+
 use nuca_bench::report::Table;
 use simcore::config::MachineConfig;
 
 fn main() {
+    let tele = nuca_bench::trace_out::TelemetryArgs::parse();
+    tele.install();
     let m = MachineConfig::baseline();
     let mut t = Table::new("Table 1 — baseline configuration", &["parameter", "value"]);
     t.row(&[
@@ -77,4 +82,6 @@ fn main() {
     ]);
     t.row(&["Processor cores", &format!("{} independent cores", m.cores)]);
     t.print();
+
+    tele.export("table1").expect("telemetry export");
 }

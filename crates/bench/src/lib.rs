@@ -23,10 +23,16 @@
 //! `simcore::parallel`); every figure binary accepts `--jobs N` on its
 //! command line (or `NUCA_BENCH_JOBS=N`; `0` = one per core, the
 //! default). Results are bit-identical for every jobs value.
+//!
+//! Every binary also accepts `--trace <path>` and `--metrics-out <path>`
+//! (or the `TRACE` / `METRICS_OUT` environment variables) to export the
+//! telemetry of every simulation cell — see [`trace_out`] and
+//! README.md §Observability.
 
 pub mod figures;
 pub mod json;
 pub mod report;
+pub mod trace_out;
 
 use nuca_core::experiment::ExperimentConfig;
 

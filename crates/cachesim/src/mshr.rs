@@ -41,10 +41,22 @@ struct Entry {
 /// let done = mshrs.drain_ready(Cycle::new(100));
 /// assert_eq!(done, vec![blk]);
 /// ```
+/// Lifetime counters of an [`MshrFile`], feeding the telemetry layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Primary misses that allocated a fresh register.
+    pub allocations: u64,
+    /// Secondary misses merged onto an outstanding fill.
+    pub merges: u64,
+    /// Requests rejected because every register was occupied.
+    pub rejections: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
     entries: Vec<Entry>,
+    stats: MshrStats,
 }
 
 impl MshrFile {
@@ -58,7 +70,13 @@ impl MshrFile {
         MshrFile {
             capacity,
             entries: Vec::with_capacity(capacity),
+            stats: MshrStats::default(),
         }
+    }
+
+    /// Lifetime allocation/merge/rejection counters.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
     }
 
     /// Number of outstanding fills.
@@ -93,12 +111,15 @@ impl MshrFile {
     /// full file reports [`MshrOutcome::Full`] and allocates nothing.
     pub fn request(&mut self, addr: BlockAddr, ready_at: Cycle) -> MshrOutcome {
         if let Some(existing) = self.lookup(addr) {
+            self.stats.merges += 1;
             return MshrOutcome::Merged(existing);
         }
         if self.is_full() {
+            self.stats.rejections += 1;
             return MshrOutcome::Full;
         }
         self.entries.push(Entry { addr, ready_at });
+        self.stats.allocations += 1;
         MshrOutcome::Allocated
     }
 
@@ -188,6 +209,18 @@ mod tests {
         m.postpone(BlockAddr::new(1), Cycle::new(5));
         assert_eq!(m.lookup(BlockAddr::new(1)), Some(Cycle::new(25)));
         assert!(m.drain_ready(Cycle::new(10)).is_empty());
+    }
+
+    #[test]
+    fn stats_count_allocations_merges_and_rejections() {
+        let mut m = MshrFile::new(1);
+        m.request(BlockAddr::new(1), Cycle::new(10));
+        m.request(BlockAddr::new(1), Cycle::new(20));
+        m.request(BlockAddr::new(2), Cycle::new(20));
+        let s = m.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.merges, 1);
+        assert_eq!(s.rejections, 1);
     }
 
     #[test]

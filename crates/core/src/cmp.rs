@@ -18,6 +18,7 @@ use simcore::invariant::{Invariant, Violation};
 use simcore::rng::SimRng;
 use simcore::stats::{arithmetic_mean, harmonic_mean};
 use simcore::types::{CoreId, Cycle};
+use telemetry::{NullSink, Sink};
 use tracegen::workload::Mix;
 use tracegen::TraceGenerator;
 
@@ -53,16 +54,20 @@ impl CmpResult {
 }
 
 /// The simulated chip multiprocessor.
+///
+/// The `S` parameter selects the telemetry sink shared by the cores and
+/// the last-level organization; the default [`NullSink`] compiles all
+/// emission sites away.
 #[derive(Debug)]
-pub struct Cmp {
-    cores: Vec<Core>,
-    l3: L3System,
+pub struct Cmp<S: Sink = NullSink> {
+    cores: Vec<Core<S>>,
+    l3: L3System<S>,
     now: Cycle,
     window_start: Cycle,
 }
 
 impl Cmp {
-    /// Builds a chip running `mix` under the given last-level
+    /// Builds an untraced chip running `mix` under the given last-level
     /// organization. Each core's trace generator is seeded independently
     /// from `seed` and fast-forwarded per the mix (Section 3).
     ///
@@ -71,14 +76,12 @@ impl Cmp {
     /// Returns [`ConfigError`] if the mix does not match the machine's
     /// core count or the organization cannot be built.
     pub fn new(cfg: &MachineConfig, org: Organization, mix: &Mix, seed: u64) -> Result<Self> {
-        let profiles: Vec<tracegen::AppProfile> =
-            mix.apps.iter().map(|a| a.profile().clone()).collect();
-        Cmp::with_profiles(cfg, org, &profiles, &mix.forwards, seed)
+        Cmp::new_with_sink(cfg, org, mix, seed, NullSink)
     }
 
-    /// Builds a chip running arbitrary application profiles — used for
-    /// parallel (read-shared) workloads and custom studies that go
-    /// beyond the 24 SPEC2000-like presets.
+    /// Builds an untraced chip running arbitrary application profiles —
+    /// used for parallel (read-shared) workloads and custom studies that
+    /// go beyond the 24 SPEC2000-like presets.
     ///
     /// Accepts anything that borrows as a profile (`AppProfile`,
     /// `Arc<AppProfile>`, `&AppProfile`), so replicated workloads can
@@ -94,6 +97,46 @@ impl Cmp {
         profiles: &[P],
         forwards: &[u64],
         seed: u64,
+    ) -> Result<Self> {
+        Cmp::with_profiles_and_sink(cfg, org, profiles, forwards, seed, NullSink)
+    }
+}
+
+impl<S: Sink> Cmp<S> {
+    /// Builds a chip running `mix`, cloning `sink` into every core and
+    /// the last-level organization so one recorder observes the whole
+    /// chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the mix does not match the machine's
+    /// core count or the organization cannot be built.
+    pub fn new_with_sink(
+        cfg: &MachineConfig,
+        org: Organization,
+        mix: &Mix,
+        seed: u64,
+        sink: S,
+    ) -> Result<Self> {
+        let profiles: Vec<tracegen::AppProfile> =
+            mix.apps.iter().map(|a| a.profile().clone()).collect();
+        Cmp::with_profiles_and_sink(cfg, org, &profiles, &mix.forwards, seed, sink)
+    }
+
+    /// Builds a chip from arbitrary profiles with a telemetry sink (see
+    /// [`Cmp::with_profiles`] for the workload semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the profile count does not match the
+    /// machine's core count or the organization cannot be built.
+    pub fn with_profiles_and_sink<P: Borrow<tracegen::AppProfile>>(
+        cfg: &MachineConfig,
+        org: Organization,
+        profiles: &[P],
+        forwards: &[u64],
+        seed: u64,
+        sink: S,
     ) -> Result<Self> {
         if profiles.len() != cfg.cores || forwards.len() != cfg.cores {
             return Err(ConfigError::new(format!(
@@ -113,12 +156,12 @@ impl Cmp {
                 gen.fast_forward(*forward);
                 // Length was checked above, so the index form is in range.
                 let id = CoreId::from_index(i as u8);
-                Core::new(id, cfg, gen)
+                Core::with_sink(id, cfg, gen, sink.clone())
             })
             .collect();
         Ok(Cmp {
             cores,
-            l3: L3System::build(org, cfg)?,
+            l3: L3System::build_with_sink(org, cfg, sink)?,
             now: Cycle::ZERO,
             window_start: Cycle::ZERO,
         })
@@ -130,7 +173,7 @@ impl Cmp {
     }
 
     /// The last-level system (for organization-specific inspection).
-    pub fn l3(&self) -> &L3System {
+    pub fn l3(&self) -> &L3System<S> {
         &self.l3
     }
 

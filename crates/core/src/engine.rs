@@ -66,6 +66,21 @@ pub struct Repartition {
     pub loss: u64,
 }
 
+/// What [`SharingEngine::observe_miss`] learned from one miss — the
+/// telemetry layer turns these into `ShadowHit`, `Epoch` and
+/// `Repartition` events without probing engine internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissObservation {
+    /// The miss hit the requester's shadow tag (a would-have-hit with
+    /// one more block of quota — the gain estimator ticked).
+    pub shadow_hit: bool,
+    /// This miss closed a re-evaluation period while adaptation was
+    /// live (unfrozen), whether or not any quota moved.
+    pub epoch_ended: bool,
+    /// The quota transfer, if this period's re-evaluation made one.
+    pub repartition: Option<Repartition>,
+}
+
 /// The sharing engine: quota state plus gain/loss estimators.
 ///
 /// # Example
@@ -93,6 +108,7 @@ pub struct SharingEngine {
     shadow: ShadowTags,
     misses_since_reeval: u64,
     repartitions: Vec<Repartition>,
+    epochs: u64,
     frozen: bool,
 }
 
@@ -135,6 +151,7 @@ impl SharingEngine {
             shadow: ShadowTags::with_sampling(sets, cores, params.shadow_sampling),
             misses_since_reeval: 0,
             repartitions: Vec::new(),
+            epochs: 0,
             frozen: false,
         }
     }
@@ -190,15 +207,24 @@ impl SharingEngine {
 
     /// Observes a last-level miss: checks the requester's shadow tag (the
     /// gain estimator) and advances the re-evaluation period, possibly
-    /// repartitioning. Returns the repartition if one happened.
+    /// repartitioning. The returned [`MissObservation`] reports the
+    /// shadow-tag outcome, whether a live epoch just closed, and the
+    /// repartition if one happened.
     pub fn observe_miss(
         &mut self,
         set: usize,
         requester: CoreId,
         addr: BlockAddr,
-    ) -> Option<Repartition> {
+    ) -> MissObservation {
+        let before = self.shadow.hits(requester);
         self.shadow.check_miss(set, requester, addr);
+        let shadow_hit = self.shadow.hits(requester) > before;
         self.misses_since_reeval += 1;
+        let mut obs = MissObservation {
+            shadow_hit,
+            epoch_ended: false,
+            repartition: None,
+        };
         if self.misses_since_reeval >= self.params.reeval_period {
             self.misses_since_reeval = 0;
             if self.frozen {
@@ -207,11 +233,18 @@ impl SharingEngine {
                 for h in self.lru_hits.iter_mut() {
                     *h = 0;
                 }
-                return None;
+                return obs;
             }
-            return self.reevaluate();
+            self.epochs += 1;
+            obs.epoch_ended = true;
+            obs.repartition = self.reevaluate();
         }
-        None
+        obs
+    }
+
+    /// Number of completed (unfrozen) re-evaluation periods so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
     }
 
     /// Raw shadow-tag hits this period for `core`.
@@ -372,6 +405,7 @@ mod tests {
         // Fourth miss triggers re-evaluation.
         let r = eng
             .observe_miss(1, c(1), BlockAddr::new(99))
+            .repartition
             .expect("repartition");
         assert_eq!(r.gainer, c(0));
         assert_eq!(r.loser, c(3));
@@ -389,8 +423,14 @@ mod tests {
                 eng.record_lru_hit(c(i));
             }
         }
-        assert!(eng.observe_miss(0, c(0), BlockAddr::new(1)).is_none());
-        assert!(eng.observe_miss(0, c(0), BlockAddr::new(2)).is_none());
+        assert!(eng
+            .observe_miss(0, c(0), BlockAddr::new(1))
+            .repartition
+            .is_none());
+        assert!(eng
+            .observe_miss(0, c(0), BlockAddr::new(2))
+            .repartition
+            .is_none());
         assert_eq!(eng.quotas(), vec![4, 4, 4, 4]);
     }
 
@@ -461,6 +501,30 @@ mod tests {
         eng.observe_miss(0, c(2), BlockAddr::new(9));
         assert_eq!(eng.repartitions().len(), 1);
         assert_eq!(eng.repartitions()[0].gainer, c(2));
+    }
+
+    #[test]
+    fn observation_reports_shadow_hits_and_epochs() {
+        let mut eng = engine(2);
+        eng.record_eviction(0, c(0), BlockAddr::new(5));
+        let first = eng.observe_miss(0, c(0), BlockAddr::new(5));
+        assert!(first.shadow_hit, "miss matching shadow tag is a gain tick");
+        assert!(!first.epoch_ended);
+        assert_eq!(eng.epochs(), 0);
+        let second = eng.observe_miss(0, c(1), BlockAddr::new(7));
+        assert!(!second.shadow_hit);
+        assert!(second.epoch_ended, "period boundary closes an epoch");
+        assert_eq!(eng.epochs(), 1);
+    }
+
+    #[test]
+    fn frozen_period_boundary_is_not_an_epoch() {
+        let mut eng = engine(2);
+        eng.set_frozen(true);
+        let _ = eng.observe_miss(0, c(0), BlockAddr::new(1));
+        let obs = eng.observe_miss(0, c(0), BlockAddr::new(2));
+        assert!(!obs.epoch_ended, "frozen boundaries do not count as epochs");
+        assert_eq!(eng.epochs(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use simcore::config::{CacheGeometry, MachineConfig, MachineConfigBuilder};
 use simcore::error::Result;
 use simcore::types::CoreId;
+use telemetry::{collector, NullSink, Recorder, Sink, Trace, TraceMeta};
 use tracegen::spec::SpecApp;
 use tracegen::workload::{Mix, WorkloadPool};
 
@@ -100,9 +101,50 @@ pub struct MixResult {
     pub organization: &'static str,
     /// The measured window.
     pub result: CmpResult,
+    /// The recorded event trace, when a [`collector`] was active (or the
+    /// cell ran through [`run_mix_traced`]); `None` on untraced runs.
+    pub trace: Option<Trace>,
 }
 
-/// Runs one mix under one organization: warm-up, reset, measure.
+/// Section 3's run protocol with an arbitrary sink: warm-up, reset,
+/// measure.
+fn drive<S: Sink>(
+    machine: &MachineConfig,
+    org: Organization,
+    mix: &Mix,
+    exp: &ExperimentConfig,
+    sink: S,
+) -> Result<MixResult> {
+    let mut cmp = Cmp::new_with_sink(machine, org, mix, exp.seed, sink)?;
+    cmp.warm(exp.warm_instructions);
+    cmp.run(exp.warmup_cycles);
+    cmp.reset_stats();
+    cmp.run(exp.measure_cycles);
+    Ok(MixResult {
+        mix: mix.clone(),
+        organization: org.label(),
+        result: cmp.snapshot(),
+        trace: None,
+    })
+}
+
+/// The quota vector an adaptive organization starts from (empty for
+/// non-adaptive organizations): `local_assoc` blocks per set per core
+/// (the paper's 75 % private + guaranteed shared block split).
+pub fn initial_quotas(machine: &MachineConfig, org: Organization) -> Vec<u32> {
+    match org {
+        Organization::Adaptive(_) => {
+            vec![machine.l3.private.total_ways(); machine.cores]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Runs one mix under one organization: warm-up, reset, measure. When a
+/// [`collector`] is installed the run records telemetry into a ring of
+/// the collector's capacity and carries the finished [`Trace`] in
+/// [`MixResult::trace`]; otherwise the untraced ([`NullSink`]) build
+/// runs.
 ///
 /// # Errors
 ///
@@ -113,16 +155,42 @@ pub fn run_mix(
     mix: &Mix,
     exp: &ExperimentConfig,
 ) -> Result<MixResult> {
-    let mut cmp = Cmp::new(machine, org, mix, exp.seed)?;
-    cmp.warm(exp.warm_instructions);
-    cmp.run(exp.warmup_cycles);
-    cmp.reset_stats();
-    cmp.run(exp.measure_cycles);
-    Ok(MixResult {
-        mix: mix.clone(),
-        organization: org.label(),
-        result: cmp.snapshot(),
-    })
+    match collector::capacity() {
+        Some(capacity) => {
+            let (mut result, trace) = run_mix_traced(machine, org, mix, exp, capacity)?;
+            result.trace = Some(trace);
+            Ok(result)
+        }
+        None => drive(machine, org, mix, exp, NullSink),
+    }
+}
+
+/// Runs one mix with a recording sink of ring capacity `capacity`,
+/// independent of any process-wide collector, and returns the plain-data
+/// trace alongside the result. This is the entry point tests and the
+/// CLI use; [`run_mix`] routes through it when a collector is active.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Cmp::new`].
+pub fn run_mix_traced(
+    machine: &MachineConfig,
+    org: Organization,
+    mix: &Mix,
+    exp: &ExperimentConfig,
+    capacity: usize,
+) -> Result<(MixResult, Trace)> {
+    let recorder = Recorder::with_capacity(capacity);
+    let result = drive(machine, org, mix, exp, recorder.clone())?;
+    let meta = TraceMeta {
+        org: org.label().to_string(),
+        cores: machine.cores,
+        ring_capacity: capacity,
+        initial_quotas: initial_quotas(machine, org),
+    };
+    let final_quotas = result.result.quotas.clone().unwrap_or_default();
+    let trace = recorder.finish(meta, final_quotas);
+    Ok((result, trace))
 }
 
 /// One independent cell of an experiment grid: a machine, an
@@ -148,9 +216,20 @@ pub struct SimCell<'a> {
 /// Propagates the first (in cell order) configuration error from
 /// [`Cmp::new`].
 pub fn run_cells(cells: &[SimCell<'_>], exp: &ExperimentConfig) -> Result<Vec<MixResult>> {
-    simcore::parallel::map_slice(exp.jobs, cells, |c| run_mix(c.machine, c.org, c.mix, exp))
-        .into_iter()
-        .collect()
+    let results: Result<Vec<MixResult>> =
+        simcore::parallel::map_slice(exp.jobs, cells, |c| run_mix(c.machine, c.org, c.mix, exp))
+            .into_iter()
+            .collect();
+    let mut results = results?;
+    // Hand traces to the collector *after* the parallel map joined, in
+    // cell order, so the collected stream is identical for every `jobs`
+    // value.
+    for r in &mut results {
+        if let Some(trace) = r.trace.take() {
+            collector::submit(trace);
+        }
+    }
+    Ok(results)
 }
 
 /// Runs the same mix under several organizations (the Figure 6–12

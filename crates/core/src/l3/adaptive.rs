@@ -30,6 +30,7 @@ use memsim::{MainMemory, MemoryStats};
 use simcore::config::MachineConfig;
 use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, BlockAddr, CoreId, Cycle};
+use telemetry::{CoreOccupancy, Event, NullSink, Sink};
 
 use crate::engine::{AdaptiveParams, SharingEngine};
 
@@ -144,8 +145,12 @@ impl OccupancyRow {
 /// let out = l3.access(c0, Address::new(0x1000), false, Cycle::new(500));
 /// assert_eq!(out.data_ready.raw(), 514);                        // private hit
 /// ```
+/// The `S` parameter selects the telemetry sink; the default
+/// [`NullSink`] has `ENABLED == false`, so every emission site
+/// monomorphizes to nothing and the traced and untraced organizations
+/// share one source.
 #[derive(Debug)]
-pub struct AdaptiveL3 {
+pub struct AdaptiveL3<S: Sink = NullSink> {
     sets: Vec<AdaptiveSet>,
     engine: SharingEngine,
     memory: MainMemory,
@@ -160,11 +165,19 @@ pub struct AdaptiveL3 {
     stats: AdaptiveStats,
     victims_by_owner: PerCore<u64>,
     lru_fallback_victims_by_owner: PerCore<u64>,
+    sink: S,
 }
 
 impl AdaptiveL3 {
-    /// Builds the adaptive organization for the given machine.
+    /// Builds the untraced adaptive organization for the given machine.
     pub fn new(cfg: &MachineConfig, params: AdaptiveParams) -> Self {
+        AdaptiveL3::with_sink(cfg, params, NullSink)
+    }
+}
+
+impl<S: Sink> AdaptiveL3<S> {
+    /// Builds the adaptive organization emitting telemetry into `sink`.
+    pub fn with_sink(cfg: &MachineConfig, params: AdaptiveParams, sink: S) -> Self {
         let geom = cfg.l3.shared;
         let sets = geom.sets() as usize;
         let ways = geom.total_ways() as usize;
@@ -188,6 +201,7 @@ impl AdaptiveL3 {
             stats: AdaptiveStats::default(),
             victims_by_owner: PerCore::filled(cfg.cores, 0),
             lru_fallback_victims_by_owner: PerCore::filled(cfg.cores, 0),
+            sink,
         }
     }
 
@@ -249,7 +263,15 @@ impl AdaptiveL3 {
     /// Demotes `core`'s private-LRU blocks to the shared partition until
     /// its private stack fits within `capacity`. Borrows the two stacks
     /// once instead of re-indexing `private` on every loop iteration.
-    fn trim_private(set: &mut AdaptiveSet, core: CoreId, capacity: u32, demotions: &mut u64) {
+    fn trim_private(
+        set: &mut AdaptiveSet,
+        set_idx: usize,
+        core: CoreId,
+        capacity: u32,
+        demotions: &mut u64,
+        sink: &mut S,
+        now: Cycle,
+    ) {
         let stack = &mut set.private[core.index()];
         while stack.len() > capacity as usize {
             // The loop guard keeps the stack nonempty here.
@@ -258,6 +280,15 @@ impl AdaptiveL3 {
             };
             set.shared.push_mru(way);
             *demotions += 1;
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    Event::Demotion {
+                        core,
+                        set: set_idx as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -287,7 +318,7 @@ impl AdaptiveL3 {
     /// over-subscribed private partition. Needed only in the transient
     /// after quota shrinks (lazy repartitioning can leave every way
     /// privately labeled).
-    fn ensure_shared_nonempty(&mut self, set_idx: usize) {
+    fn ensure_shared_nonempty(&mut self, set_idx: usize, now: Cycle) {
         if !self.sets[set_idx].shared.is_empty() {
             return;
         }
@@ -306,10 +337,27 @@ impl AdaptiveL3 {
         if let Some(way) = set.private[core.index()].pop_lru() {
             set.shared.push_mru(way);
             self.stats.demotions += 1;
+            if S::ENABLED {
+                self.sink.emit(
+                    now,
+                    Event::Demotion {
+                        core,
+                        set: set_idx as u32,
+                    },
+                );
+            }
         }
     }
 
-    fn install(&mut self, set_idx: usize, way: usize, blk: BlockAddr, dirty: bool, core: CoreId) {
+    fn install(
+        &mut self,
+        set_idx: usize,
+        way: usize,
+        blk: BlockAddr,
+        dirty: bool,
+        core: CoreId,
+        now: Cycle,
+    ) {
         let capacity = self.engine.private_capacity(core);
         let set = &mut self.sets[set_idx];
         // Sole ownership/validity mutation point: keep the incremental
@@ -333,7 +381,15 @@ impl AdaptiveL3 {
             set.shared.push_mru(way as u8);
         } else {
             set.private[core.index()].push_mru(way as u8);
-            Self::trim_private(set, core, capacity, &mut self.stats.demotions);
+            Self::trim_private(
+                set,
+                set_idx,
+                core,
+                capacity,
+                &mut self.stats.demotions,
+                &mut self.sink,
+                now,
+            );
         }
     }
 
@@ -360,6 +416,65 @@ impl AdaptiveL3 {
         rows
     }
 
+    /// Emits the structural events of one observed miss: the shadow-tag
+    /// tick, the repartition (if any) and the per-epoch snapshot. Called
+    /// only when `S::ENABLED`; the occupancy scan is O(sets × ways), so
+    /// it must never run on the untraced path.
+    fn emit_miss_observation(
+        &mut self,
+        obs: crate::engine::MissObservation,
+        core: CoreId,
+        set_idx: usize,
+        now: Cycle,
+    ) {
+        if obs.shadow_hit {
+            self.sink.emit(
+                now,
+                Event::ShadowHit {
+                    core,
+                    set: set_idx as u32,
+                },
+            );
+        }
+        if let Some(r) = obs.repartition {
+            self.sink.emit(
+                now,
+                Event::Repartition {
+                    epoch: self.engine.epochs(),
+                    gainer: r.gainer,
+                    loser: r.loser,
+                    gain: r.gain,
+                    loss: r.loss,
+                    quotas: self.engine.quotas(),
+                },
+            );
+        }
+        if obs.epoch_ended {
+            let occupancy = self
+                .occupancy()
+                .into_iter()
+                .map(|row| CoreOccupancy {
+                    core: row.core,
+                    private_blocks: row.private_blocks,
+                    shared_blocks: row.shared_blocks,
+                })
+                .collect();
+            self.sink.emit(
+                now,
+                Event::Epoch {
+                    index: self.engine.epochs(),
+                    quotas: self.engine.quotas(),
+                    occupancy,
+                    private_hits: self.stats.private_hits,
+                    shared_hits: self.stats.shared_hits,
+                    misses: self.stats.misses,
+                    demotions: self.stats.demotions,
+                    evictions: self.stats.evictions,
+                },
+            );
+        }
+    }
+
     /// Checks structural invariants (every valid block in exactly one
     /// stack, no duplicate tags, quota consistency of the embedded
     /// engine). Bool wrapper over [`Invariant::audit`], kept for test
@@ -369,7 +484,7 @@ impl AdaptiveL3 {
     }
 }
 
-impl Invariant for AdaptiveL3 {
+impl<S: Sink> Invariant for AdaptiveL3<S> {
     fn component(&self) -> &'static str {
         "adaptive-l3"
     }
@@ -484,7 +599,7 @@ impl Invariant for AdaptiveL3 {
     }
 }
 
-impl LastLevel for AdaptiveL3 {
+impl<S: Sink> LastLevel for AdaptiveL3<S> {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         let blk = addr.block(self.offset_bits);
         let set_idx = self.set_index(blk);
@@ -497,6 +612,9 @@ impl LastLevel for AdaptiveL3 {
                 // Phase-1 tag match: fast private hit.
                 if set.private[core.index()].is_lru(way8) {
                     self.engine.record_lru_hit(core);
+                    if S::ENABLED {
+                        self.sink.emit(now, Event::LruHit { core });
+                    }
                 }
                 set.private[core.index()].touch(way8);
                 self.stats.private_hits += 1;
@@ -527,7 +645,15 @@ impl LastLevel for AdaptiveL3 {
             if capacity > 0 {
                 set.shared.remove(way8);
                 set.private[core.index()].push_mru(way8);
-                Self::trim_private(set, core, capacity, &mut self.stats.demotions);
+                Self::trim_private(
+                    set,
+                    set_idx,
+                    core,
+                    capacity,
+                    &mut self.stats.demotions,
+                    &mut self.sink,
+                    now,
+                );
             } else {
                 set.shared.touch(way8);
             }
@@ -539,9 +665,19 @@ impl LastLevel for AdaptiveL3 {
         }
 
         // Miss: gain estimation, re-evaluation tick, fetch and install.
-        self.engine.observe_miss(set_idx, core, blk);
+        let obs = self.engine.observe_miss(set_idx, core, blk);
         self.stats.misses += 1;
         let resp = self.memory.request(now, false);
+        if S::ENABLED {
+            self.emit_miss_observation(obs, core, set_idx, now);
+            self.sink.emit(
+                now,
+                Event::MemoryFill {
+                    core,
+                    queue_delay: resp.queue_delay,
+                },
+            );
+        }
 
         // The invalid-way scan only runs during cold fill; `filled`
         // short-circuits it in the steady state.
@@ -553,7 +689,7 @@ impl LastLevel for AdaptiveL3 {
         let victim_way = if let Some(w) = free_way {
             w
         } else {
-            self.ensure_shared_nonempty(set_idx);
+            self.ensure_shared_nonempty(set_idx, now);
             let (way, over_quota) = self.find_victim(set_idx, core);
             let victim = self.sets[set_idx].blocks[way];
             self.engine
@@ -569,10 +705,20 @@ impl LastLevel for AdaptiveL3 {
             } else {
                 self.lru_fallback_victims_by_owner[victim.owner] += 1;
             }
+            if S::ENABLED {
+                self.sink.emit(
+                    now,
+                    Event::SharedEviction {
+                        set: set_idx as u32,
+                        owner: victim.owner,
+                        over_quota,
+                    },
+                );
+            }
             way
         };
 
-        self.install(set_idx, victim_way, blk, write, core);
+        self.install(set_idx, victim_way, blk, write, core, now);
         L3Outcome {
             data_ready: resp.data_ready,
             source: L3Source::Memory,

@@ -18,6 +18,7 @@ use simcore::config::MachineConfig;
 use simcore::invariant::{Invariant, Violation};
 use simcore::rng::SimRng;
 use simcore::types::{Address, CoreId, Cycle};
+use telemetry::{Event, NullSink, Sink};
 
 /// Statistics specific to the cooperative scheme.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,7 +35,7 @@ pub struct CooperativeStats {
 
 /// Cooperative caching over private slices with random spilling.
 #[derive(Debug)]
-pub struct CooperativeL3 {
+pub struct CooperativeL3<S: Sink = NullSink> {
     slices: PerCore<Cache>,
     rng: SimRng,
     memory: MainMemory,
@@ -42,11 +43,20 @@ pub struct CooperativeL3 {
     local_latency: u64,
     neighbor_latency: u64,
     stats: CooperativeStats,
+    sink: S,
 }
 
 impl CooperativeL3 {
-    /// Builds the cooperative organization.
+    /// Builds the untraced cooperative organization.
     pub fn new(cfg: &MachineConfig, seed: u64) -> Self {
+        CooperativeL3::with_sink(cfg, seed, NullSink)
+    }
+}
+
+impl<S: Sink> CooperativeL3<S> {
+    /// Builds the cooperative organization emitting telemetry into
+    /// `sink`.
+    pub fn with_sink(cfg: &MachineConfig, seed: u64, sink: S) -> Self {
         CooperativeL3 {
             slices: PerCore::from_fn(cfg.cores, |_| Cache::new(cfg.l3.private)),
             rng: SimRng::seed_from(seed ^ 0xc0de_cafe),
@@ -55,6 +65,7 @@ impl CooperativeL3 {
             local_latency: cfg.l3.private.latency(),
             neighbor_latency: cfg.l3.neighbor_latency,
             stats: CooperativeStats::default(),
+            sink,
         }
     }
 
@@ -97,9 +108,26 @@ impl CooperativeL3 {
             let neighbor = self.random_neighbor(core);
             let addr = ev.addr.first_byte(offset_bits);
             self.stats.spills += 1;
+            if S::ENABLED {
+                self.sink.emit(
+                    now,
+                    Event::Spill {
+                        from: core,
+                        to: neighbor,
+                    },
+                );
+            }
             if let Some(victim) = self.slices[neighbor].fill(addr, ev.dirty, ev.owner) {
                 // The neighbor's displaced block is dropped — no ripple.
                 self.stats.ripple_drops += 1;
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        Event::Eviction {
+                            owner: victim.owner,
+                        },
+                    );
+                }
                 if victim.dirty {
                     self.memory.writeback(now);
                 }
@@ -107,6 +135,9 @@ impl CooperativeL3 {
         } else {
             // A once-spilled block is not allocated again.
             self.stats.respill_drops += 1;
+            if S::ENABLED {
+                self.sink.emit(now, Event::Eviction { owner: ev.owner });
+            }
             if ev.dirty {
                 self.memory.writeback(now);
             }
@@ -114,7 +145,7 @@ impl CooperativeL3 {
     }
 }
 
-impl Invariant for CooperativeL3 {
+impl<S: Sink> Invariant for CooperativeL3<S> {
     fn component(&self) -> &'static str {
         "cooperative-l3"
     }
@@ -133,7 +164,7 @@ impl Invariant for CooperativeL3 {
     }
 }
 
-impl LastLevel for CooperativeL3 {
+impl<S: Sink> LastLevel for CooperativeL3<S> {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         if self.slices[core].access(addr, write, core).is_hit() {
             return L3Outcome {
@@ -167,6 +198,15 @@ impl LastLevel for CooperativeL3 {
         // Miss: fetch from memory (260-cycle first chunk — the global
         // lookup precedes the memory access).
         let resp = self.memory.request(now, false);
+        if S::ENABLED {
+            self.sink.emit(
+                now,
+                Event::MemoryFill {
+                    core,
+                    queue_delay: resp.queue_delay,
+                },
+            );
+        }
         if let Some(ev) = self.slices[core].fill(addr, write, core) {
             self.handle_eviction(core, ev, now);
         }

@@ -35,6 +35,7 @@ use simcore::config::{CacheGeometry, MachineConfig};
 use simcore::error::Result;
 use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, CoreId, Cycle};
+use telemetry::{NullSink, Sink};
 
 use crate::engine::AdaptiveParams;
 
@@ -92,44 +93,60 @@ impl Organization {
 /// difference between variants is irrelevant.
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)]
-pub enum L3System {
+pub enum L3System<S: Sink = NullSink> {
     /// Private slices.
-    Private(PrivateL3),
+    Private(PrivateL3<S>),
     /// One shared cache.
-    Shared(SharedL3),
+    Shared(SharedL3<S>),
     /// The adaptive scheme.
-    Adaptive(AdaptiveL3),
+    Adaptive(AdaptiveL3<S>),
     /// Cooperative caching.
-    Cooperative(CooperativeL3),
+    Cooperative(CooperativeL3<S>),
 }
 
 impl L3System {
-    /// Builds the organization for the given machine.
+    /// Builds the untraced organization for the given machine.
     ///
     /// # Errors
     ///
     /// Returns a configuration error if derived geometries are invalid
     /// (e.g. a scaled capacity that is not a power-of-two set count).
     pub fn build(org: Organization, cfg: &MachineConfig) -> Result<Self> {
+        L3System::build_with_sink(org, cfg, NullSink)
+    }
+}
+
+impl<S: Sink> L3System<S> {
+    /// Builds the organization emitting telemetry into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if derived geometries are invalid
+    /// (e.g. a scaled capacity that is not a power-of-two set count).
+    pub fn build_with_sink(org: Organization, cfg: &MachineConfig, sink: S) -> Result<Self> {
         Ok(match org {
-            Organization::Private => L3System::Private(PrivateL3::new(cfg, cfg.l3.private)),
+            Organization::Private => {
+                L3System::Private(PrivateL3::with_sink(cfg, cfg.l3.private, sink))
+            }
             Organization::PrivateScaled { factor } => {
                 let geom = cfg.l3.private.scaled_capacity(factor)?;
-                L3System::Private(PrivateL3::new(cfg, geom))
+                L3System::Private(PrivateL3::with_sink(cfg, geom, sink))
             }
             Organization::PrivateCustom { geometry } => {
-                L3System::Private(PrivateL3::new(cfg, geometry))
+                L3System::Private(PrivateL3::with_sink(cfg, geometry, sink))
             }
-            Organization::Shared => L3System::Shared(SharedL3::new(cfg)),
-            Organization::Adaptive(params) => L3System::Adaptive(AdaptiveL3::new(cfg, params)),
+            Organization::Shared => L3System::Shared(SharedL3::with_sink(cfg, sink)),
+            Organization::Adaptive(params) => {
+                L3System::Adaptive(AdaptiveL3::with_sink(cfg, params, sink))
+            }
             Organization::Cooperative { seed } => {
-                L3System::Cooperative(CooperativeL3::new(cfg, seed))
+                L3System::Cooperative(CooperativeL3::with_sink(cfg, seed, sink))
             }
         })
     }
 
     /// The adaptive instance, when this system is adaptive.
-    pub fn as_adaptive(&self) -> Option<&AdaptiveL3> {
+    pub fn as_adaptive(&self) -> Option<&AdaptiveL3<S>> {
         match self {
             L3System::Adaptive(a) => Some(a),
             _ => None,
@@ -137,7 +154,7 @@ impl L3System {
     }
 
     /// The cooperative instance, when this system is cooperative.
-    pub fn as_cooperative(&self) -> Option<&CooperativeL3> {
+    pub fn as_cooperative(&self) -> Option<&CooperativeL3<S>> {
         match self {
             L3System::Cooperative(c) => Some(c),
             _ => None,
@@ -184,7 +201,7 @@ impl L3System {
     }
 }
 
-impl Invariant for L3System {
+impl<S: Sink> Invariant for L3System<S> {
     fn component(&self) -> &'static str {
         match self {
             L3System::Private(x) => x.component(),
@@ -204,7 +221,7 @@ impl Invariant for L3System {
     }
 }
 
-impl LastLevel for L3System {
+impl<S: Sink> LastLevel for L3System<S> {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         match self {
             L3System::Private(x) => x.access(core, addr, write, now),

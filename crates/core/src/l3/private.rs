@@ -13,25 +13,35 @@ use memsim::{MainMemory, MemoryStats};
 use simcore::config::{CacheGeometry, MachineConfig};
 use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, CoreId, Cycle};
+use telemetry::{Event, NullSink, Sink};
 
 /// Per-core private last-level slices.
 ///
 /// Also used (with a scaled or custom geometry) for the "4 x size private"
 /// yardstick of Figures 7–9 and the Figure 3 blocks-per-set sweep.
 #[derive(Debug)]
-pub struct PrivateL3 {
+pub struct PrivateL3<S: Sink = NullSink> {
     slices: PerCore<Cache>,
     latency: u64,
     memory: MainMemory,
+    sink: S,
 }
 
 impl PrivateL3 {
-    /// Creates private slices with the given per-slice geometry.
+    /// Creates untraced private slices with the given per-slice geometry.
     pub fn new(cfg: &MachineConfig, slice_geometry: CacheGeometry) -> Self {
+        PrivateL3::with_sink(cfg, slice_geometry, NullSink)
+    }
+}
+
+impl<S: Sink> PrivateL3<S> {
+    /// Creates private slices emitting telemetry into `sink`.
+    pub fn with_sink(cfg: &MachineConfig, slice_geometry: CacheGeometry, sink: S) -> Self {
         PrivateL3 {
             slices: PerCore::from_fn(cfg.cores, |_| Cache::new(slice_geometry)),
             latency: slice_geometry.latency(),
             memory: MainMemory::new(cfg.memory, slice_geometry.block_bytes()),
+            sink,
         }
     }
 
@@ -59,7 +69,7 @@ impl PrivateL3 {
     }
 }
 
-impl Invariant for PrivateL3 {
+impl<S: Sink> Invariant for PrivateL3<S> {
     fn component(&self) -> &'static str {
         "private-l3"
     }
@@ -78,7 +88,7 @@ impl Invariant for PrivateL3 {
     }
 }
 
-impl LastLevel for PrivateL3 {
+impl<S: Sink> LastLevel for PrivateL3<S> {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         let slice = &mut self.slices[core];
         if slice.access(addr, write, core).is_hit() {
@@ -88,7 +98,19 @@ impl LastLevel for PrivateL3 {
             };
         }
         let resp = self.memory.request(now, true);
+        if S::ENABLED {
+            self.sink.emit(
+                now,
+                Event::MemoryFill {
+                    core,
+                    queue_delay: resp.queue_delay,
+                },
+            );
+        }
         if let Some(ev) = self.slices[core].fill(addr, write, core) {
+            if S::ENABLED {
+                self.sink.emit(now, Event::Eviction { owner: ev.owner });
+            }
             if ev.dirty {
                 self.memory.writeback(now);
             }

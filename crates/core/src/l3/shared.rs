@@ -11,22 +11,33 @@ use memsim::{MainMemory, MemoryStats};
 use simcore::config::MachineConfig;
 use simcore::invariant::{Invariant, Violation};
 use simcore::types::{Address, CoreId, Cycle};
+use telemetry::{Event, NullSink, Sink};
 
 /// A single shared, LRU-replaced last-level cache.
 #[derive(Debug)]
-pub struct SharedL3 {
+pub struct SharedL3<S: Sink = NullSink> {
     cache: Cache,
     latency: u64,
     memory: MainMemory,
+    sink: S,
 }
 
 impl SharedL3 {
-    /// Creates the shared organization from the machine's L3 geometry.
+    /// Creates the untraced shared organization from the machine's L3
+    /// geometry.
     pub fn new(cfg: &MachineConfig) -> Self {
+        SharedL3::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: Sink> SharedL3<S> {
+    /// Creates the shared organization emitting telemetry into `sink`.
+    pub fn with_sink(cfg: &MachineConfig, sink: S) -> Self {
         SharedL3 {
             cache: Cache::new(cfg.l3.shared),
             latency: cfg.l3.shared.latency(),
             memory: MainMemory::new(cfg.memory, cfg.l3.shared.block_bytes()),
+            sink,
         }
     }
 
@@ -52,7 +63,7 @@ impl SharedL3 {
     }
 }
 
-impl Invariant for SharedL3 {
+impl<S: Sink> Invariant for SharedL3<S> {
     fn component(&self) -> &'static str {
         "shared-l3"
     }
@@ -62,7 +73,7 @@ impl Invariant for SharedL3 {
     }
 }
 
-impl LastLevel for SharedL3 {
+impl<S: Sink> LastLevel for SharedL3<S> {
     fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
         if self.cache.access(addr, write, core).is_hit() {
             return L3Outcome {
@@ -71,7 +82,19 @@ impl LastLevel for SharedL3 {
             };
         }
         let resp = self.memory.request(now, false);
+        if S::ENABLED {
+            self.sink.emit(
+                now,
+                Event::MemoryFill {
+                    core,
+                    queue_delay: resp.queue_delay,
+                },
+            );
+        }
         if let Some(ev) = self.cache.fill(addr, write, core) {
+            if S::ENABLED {
+                self.sink.emit(now, Event::Eviction { owner: ev.owner });
+            }
             if ev.dirty {
                 self.memory.writeback(now);
             }

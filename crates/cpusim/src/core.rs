@@ -21,6 +21,7 @@ use cachesim::mshr::MshrFile;
 use simcore::config::MachineConfig;
 use simcore::stats::HitMiss;
 use simcore::types::{Address, CoreId, Cycle};
+use telemetry::{Event, NullSink, Sink};
 use tracegen::op::{MicroOp, OpClass};
 use tracegen::TraceGenerator;
 
@@ -101,7 +102,10 @@ impl CoreStats {
 }
 
 /// One out-of-order core with its private L1I/L1D/L2 hierarchy.
-pub struct Core {
+///
+/// The `S` parameter selects the telemetry sink for MSHR events; the
+/// default [`NullSink`] compiles all emission sites away.
+pub struct Core<S: Sink = NullSink> {
     id: CoreId,
     cfg: MachineConfig,
     gen: TraceGenerator,
@@ -133,9 +137,10 @@ pub struct Core {
     l3_local_hits: u64,
     l3_remote_hits: u64,
     l3_misses: u64,
+    sink: S,
 }
 
-impl std::fmt::Debug for Core {
+impl<S: Sink> std::fmt::Debug for Core<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Core")
             .field("id", &self.id)
@@ -146,8 +151,15 @@ impl std::fmt::Debug for Core {
 }
 
 impl Core {
-    /// Creates a core running the given trace.
+    /// Creates an untraced core running the given trace.
     pub fn new(id: CoreId, cfg: &MachineConfig, gen: TraceGenerator) -> Self {
+        Core::with_sink(id, cfg, gen, NullSink)
+    }
+}
+
+impl<S: Sink> Core<S> {
+    /// Creates a core emitting MSHR telemetry into `sink`.
+    pub fn with_sink(id: CoreId, cfg: &MachineConfig, gen: TraceGenerator, sink: S) -> Self {
         Core {
             id,
             cfg: *cfg,
@@ -173,6 +185,7 @@ impl Core {
             l3_local_hits: 0,
             l3_remote_hits: 0,
             l3_misses: 0,
+            sink,
         }
     }
 
@@ -324,6 +337,8 @@ impl Core {
         let mut fp_mul = self.cfg.pipeline.fp_mul;
         let mut mem_ports = MEM_PORTS;
         let mshr_blocked = self.mshr.is_full();
+        // One stall event per blocked cycle, not per deferred op.
+        let mut stall_emitted = false;
 
         // Find the oldest unissued entry, then look a bounded scheduler
         // window past it.
@@ -379,7 +394,13 @@ impl Core {
                     }
                 }
                 OpClass::Load | OpClass::Store => {
-                    if mem_ports > 0 && !mshr_blocked {
+                    if mshr_blocked {
+                        if S::ENABLED && !stall_emitted {
+                            stall_emitted = true;
+                            self.sink.emit(now, Event::MshrStall { core: self.id });
+                        }
+                        false
+                    } else if mem_ports > 0 {
                         mem_ports -= 1;
                         true
                     } else {
@@ -436,6 +457,9 @@ impl Core {
         // Outstanding fill for this block? Merge: timing comes from the
         // MSHR even though the block may already be installed state-wise.
         if let Some(merge) = self.mshr.lookup(blk) {
+            if S::ENABLED {
+                self.sink.emit(now, Event::MshrMerge { core: self.id });
+            }
             let _ = self.l1d.access(addr, write, self.id);
             return merge.max(start + self.cfg.l1d.latency());
         }
@@ -452,6 +476,9 @@ impl Core {
         let l3_start = after_l1 + self.cfg.l2.latency();
         let outcome = self.l3_request(addr, write, l3_start, l3);
         self.mshr.request(blk, outcome.data_ready);
+        if S::ENABLED {
+            self.sink.emit(now, Event::MshrAlloc { core: self.id });
+        }
         self.fill_l2(addr, write, l3, now);
         self.fill_l1d(addr, write, l3, now);
         outcome.data_ready

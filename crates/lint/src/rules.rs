@@ -1,4 +1,4 @@
-//! The five project-specific rules (see DESIGN.md §"Static analysis"):
+//! The six project-specific rules (see DESIGN.md §"Static analysis"):
 //!
 //! - **L1** — no `unwrap()` / `expect()` / `panic!` / `unreachable!` in
 //!   non-test code of the simulation crates. A panic in the replacement or
@@ -16,6 +16,12 @@
 //!   parallelism goes through that runner, whose index-ordered merge is
 //!   what keeps `--jobs N` output bit-identical to serial runs; ad-hoc
 //!   threads would reintroduce scheduling-dependent results.
+//! - **L6** — no `println!` / `eprintln!` outside binary sources
+//!   (`src/bin/`, `crates/*/src/bin/`, any `main.rs`, `examples/`) and the
+//!   explicitly exempted modules. Library code reports through return
+//!   values or the telemetry subsystem; stray prints corrupt the JSONL
+//!   trace/metrics streams that figure binaries write to stdout-adjacent
+//!   files and make library output impossible to capture deterministically.
 
 use std::fmt;
 
@@ -32,6 +38,8 @@ pub enum Rule {
     L4,
     /// Determinism: no threads outside the sanctioned parallel runner.
     L5,
+    /// No print macros outside binaries/examples and exempt modules.
+    L6,
 }
 
 impl Rule {
@@ -43,6 +51,7 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         }
     }
 
@@ -54,6 +63,7 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
             _ => None,
         }
     }
@@ -101,6 +111,9 @@ pub struct Scopes {
     pub doc_paths: Vec<String>,
     /// L5: exact files allowed to spawn threads (the sanctioned runner).
     pub runner_files: Vec<String>,
+    /// L6: exact non-binary files allowed to print (e.g. the vendored
+    /// Criterion shim, whose whole job is terminal reporting).
+    pub print_files: Vec<String>,
 }
 
 impl Default for Scopes {
@@ -120,6 +133,7 @@ impl Default for Scopes {
                 "crates/core/src/engine.rs".to_string(),
             ],
             runner_files: vec!["crates/simcore/src/parallel.rs".to_string()],
+            print_files: vec!["crates/criterion/src/lib.rs".to_string()],
         }
     }
 }
@@ -143,6 +157,18 @@ impl Scopes {
 
     fn is_runner(&self, rel: &str) -> bool {
         self.runner_files.iter().any(|p| p == rel)
+    }
+
+    /// Files where printing is structurally fine: binary sources, any
+    /// `main.rs`, examples, plus the explicit `print_files` exemptions.
+    fn may_print(&self, rel: &str) -> bool {
+        rel.starts_with("src/bin/")
+            || rel.contains("/src/bin/")
+            || rel.starts_with("examples/")
+            || rel.contains("/examples/")
+            || rel.ends_with("/main.rs")
+            || rel == "main.rs"
+            || self.print_files.iter().any(|p| p == rel)
     }
 }
 
@@ -172,7 +198,10 @@ pub fn check_file(
     let doc = scopes.in_doc(rel);
     // L5 is repo-wide: every scanned file except the sanctioned runner.
     let l5 = !scopes.is_runner(rel);
-    if !sim && !stats && !doc && !l5 {
+    // L6 is repo-wide: every scanned file except binaries/examples and
+    // the explicit print exemptions.
+    let l6 = !scopes.may_print(rel);
+    if !sim && !stats && !doc && !l5 && !l6 {
         return out;
     }
 
@@ -226,6 +255,21 @@ pub fn check_file(
                         line: line_no,
                         message: format!(
                             "{pat} outside the sanctioned runner; route parallelism through simcore::parallel so results stay deterministic"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if l6 && !in_test && !inline_allowed(raw_line, Rule::L6) {
+            for pat in ["println!", "eprintln!"] {
+                if contains_token(san, pat) {
+                    out.push(Diagnostic {
+                        rule: Rule::L6,
+                        file: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "{pat} in library code; report through return values or telemetry — printing belongs to src/bin/ binaries"
                         ),
                     });
                 }
@@ -490,6 +534,39 @@ mod tests {
         assert!(check("crates/simcore/src/parallel.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod t {\n fn f() { std::thread::spawn(|| {}); }\n}\n";
         assert!(check("crates/bench/src/lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn l6_flags_prints_in_library_code() {
+        let d = check(
+            "crates/core/src/experiment.rs",
+            "fn f() { println!(\"{}\", 1); }\nfn g() { eprintln!(\"oops\"); }\n",
+        );
+        let l6: Vec<_> = d.iter().filter(|d| d.rule == Rule::L6).collect();
+        assert_eq!(l6.len(), 2);
+        assert_eq!(l6[0].line, 1);
+        assert!(l6[1].message.contains("eprintln!"));
+    }
+
+    #[test]
+    fn l6_exempts_binaries_examples_and_listed_modules() {
+        let src = "fn main() { println!(\"report\"); }\n";
+        assert!(check("src/bin/nuca-sim.rs", src).is_empty());
+        assert!(check("crates/bench/src/bin/fig6.rs", src).is_empty());
+        assert!(check("crates/lint/src/main.rs", src).is_empty());
+        assert!(check("examples/quickstart.rs", src).is_empty());
+        assert!(check("crates/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l6_skips_tests_and_honors_inline_allow() {
+        let test_src = "#[cfg(test)]\nmod t {\n fn f() { println!(\"dbg\"); }\n}\n";
+        assert!(check("crates/bench/src/report.rs", test_src).is_empty());
+        let allowed = "fn f() { println!(\"x\"); } // lint:allow(L6): legacy diagnostic\n";
+        assert!(check("crates/bench/src/report.rs", allowed).is_empty());
+        // A print inside a string literal is sanitized away.
+        let in_string = "fn f() -> &'static str { \"println!(no)\" }\n";
+        assert!(check("crates/bench/src/report.rs", in_string).is_empty());
     }
 
     #[test]

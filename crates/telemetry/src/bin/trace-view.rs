@@ -1,0 +1,249 @@
+//! `trace-view` — summarize and validate a JSONL simulator trace.
+//!
+//! ```text
+//! cargo run -p telemetry --bin trace-view -- <trace.jsonl> [options]
+//!     --check-schema   validate line schemas, seq monotonicity and the
+//!                      quota-trajectory replay; exit 1 on any violation
+//!     --tail <N>       also print the last N raw event lines per section
+//! ```
+//!
+//! The summary shows, per section: the organization, the top event
+//! counts, the quota trajectory table (one row per repartition with the
+//! epoch's gain/loss estimates) and the epoch-by-epoch quota deltas.
+
+use std::process::ExitCode;
+
+use telemetry::export::{parse_sections, validate_jsonl, TraceSection};
+use telemetry::json::Json;
+
+struct Args {
+    path: String,
+    check_schema: bool,
+    tail: usize,
+}
+
+const USAGE: &str = "usage: trace-view <trace.jsonl> [--check-schema] [--tail N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut check_schema = false;
+    let mut tail = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check-schema" => check_schema = true,
+            "--tail" => {
+                tail = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tail needs a number")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}\n{USAGE}"));
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one input file\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        path: path.ok_or(USAGE)?,
+        check_schema,
+        tail,
+    })
+}
+
+fn num(value: &Json, key: &str) -> f64 {
+    value.get(key).and_then(Json::as_num).unwrap_or(0.0)
+}
+
+fn text(value: &Json, key: &str) -> String {
+    match value.get(key) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+fn quota_vec(value: &Json, key: &str) -> Vec<u32> {
+    match value.get(key) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|i| i.as_num().map(|n| n as u32))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn print_counts(section: &TraceSection) {
+    let Some(summary) = &section.summary else {
+        println!("  (no summary line)");
+        return;
+    };
+    let mut counts: Vec<(String, f64)> = match summary.get("counts") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(k, v)| v.as_num().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    counts.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: f64 = counts.iter().map(|(_, n)| n).sum();
+    println!(
+        "  events: {} emitted, {} retained, {} dropped from ring",
+        num(summary, "emitted"),
+        num(summary, "retained"),
+        num(summary, "dropped")
+    );
+    println!("  top event counts:");
+    for (name, n) in counts.iter().take(6) {
+        let share = if total > 0.0 { n / total * 100.0 } else { 0.0 };
+        println!("    {name:<16} {n:>12} ({share:5.1}%)");
+    }
+}
+
+fn print_trajectory(section: &TraceSection) {
+    let initial = quota_vec(&section.meta, "initial_quotas");
+    if initial.is_empty() {
+        println!("  (non-adaptive organization: no quota trajectory)");
+        return;
+    }
+    let reps: Vec<&Json> = section
+        .records
+        .iter()
+        .filter(|r| text(r, "type") == "repartition")
+        .collect();
+    println!("  quota trajectory (initial {initial:?}):");
+    if reps.is_empty() {
+        println!("    (no repartitions recorded)");
+    } else {
+        println!(
+            "    {:>6} {:>10} {:>6} {:>6} {:>10} {:>10}  quotas",
+            "epoch", "cycle", "gain+", "lose-", "gain est", "loss est"
+        );
+        for r in &reps {
+            println!(
+                "    {:>6} {:>10} {:>6} {:>6} {:>10} {:>10}  {:?}",
+                num(r, "epoch"),
+                num(r, "cycle"),
+                format!("c{}", num(r, "gainer")),
+                format!("c{}", num(r, "loser")),
+                num(r, "gain"),
+                num(r, "loss"),
+                quota_vec(r, "quotas")
+            );
+        }
+    }
+    // Epoch-by-epoch deltas: quota movement between consecutive epoch
+    // snapshots (zero-delta epochs collapse into a count).
+    let epochs: Vec<&Json> = section
+        .records
+        .iter()
+        .filter(|r| text(r, "type") == "epoch")
+        .collect();
+    if !epochs.is_empty() {
+        let mut prev = initial.clone();
+        let mut quiet = 0usize;
+        println!("  epoch deltas ({} epochs):", epochs.len());
+        for e in &epochs {
+            let now = quota_vec(e, "quotas");
+            if now == prev {
+                quiet += 1;
+                continue;
+            }
+            if quiet > 0 {
+                println!("    ... {quiet} epochs unchanged");
+                quiet = 0;
+            }
+            let delta: Vec<i64> = now
+                .iter()
+                .zip(&prev)
+                .map(|(&a, &b)| i64::from(a) - i64::from(b))
+                .collect();
+            println!(
+                "    epoch {:>5}: {:?} (misses {})",
+                num(e, "index"),
+                delta,
+                num(e, "misses")
+            );
+            prev = now;
+        }
+        if quiet > 0 {
+            println!("    ... {quiet} epochs unchanged");
+        }
+    }
+    if let Some(summary) = &section.summary {
+        println!("  final quotas: {:?}", quota_vec(summary, "final_quotas"));
+    }
+}
+
+fn summarize(sections: &[TraceSection], tail: usize) {
+    for (i, section) in sections.iter().enumerate() {
+        println!(
+            "section {} — org {:?}, {} cores, ring capacity {}",
+            i + 1,
+            text(&section.meta, "org"),
+            num(&section.meta, "cores"),
+            num(&section.meta, "ring_capacity")
+        );
+        print_counts(section);
+        print_trajectory(section);
+        if tail > 0 {
+            println!("  last {tail} retained events:");
+            let start = section.records.len().saturating_sub(tail);
+            for r in &section.records[start..] {
+                println!("    {}", r.render_compact());
+            }
+        }
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match std::fs::read_to_string(&args.path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace-view: cannot read {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.check_schema {
+        match validate_jsonl(&data) {
+            Ok(report) => {
+                println!(
+                    "trace-view: schema OK — {} sections, {} lines, {} events, {} repartitions replayed",
+                    report.sections, report.lines, report.events, report.repartitions
+                );
+            }
+            Err(errors) => {
+                for e in errors.iter().take(25) {
+                    eprintln!("trace-view: {e}");
+                }
+                if errors.len() > 25 {
+                    eprintln!("trace-view: ... and {} more", errors.len() - 25);
+                }
+                eprintln!("trace-view: FAIL — {} violation(s)", errors.len());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match parse_sections(&data) {
+        Ok(sections) => {
+            summarize(&sections, args.tail);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-view: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Process-wide trace collection for the figure binaries.
+//!
+//! The experiment harness sits behind several layers of driver functions
+//! (`fig6`, `run_cells`, `run_mix`); threading a recorder through every
+//! signature would churn the whole public API for an opt-in feature. So
+//! the binaries [`install`] a collector before running their driver and
+//! [`uninstall`] it afterwards: while active, `run_mix` records each
+//! cell with its own [`Recorder`](crate::Recorder) and the runner
+//! [`submit`]s the finished [`Trace`]s *in cell order* (after the
+//! parallel map joins), so the collected sequence is identical for every
+//! `--jobs` value.
+//!
+//! The state is a plain `Mutex` — no `once_cell`, and poisoning is
+//! ignored (a trace is pure diagnostics; a panicked cell must not take
+//! the collector down with it).
+
+use std::sync::{Mutex, MutexGuard};
+
+use crate::sink::Trace;
+
+struct State {
+    capacity: usize,
+    traces: Vec<Trace>,
+}
+
+static COLLECTOR: Mutex<Option<State>> = Mutex::new(None);
+
+fn lock() -> MutexGuard<'static, Option<State>> {
+    COLLECTOR
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Activates collection; recorded cells use rings of `capacity` events.
+/// Replaces (and discards) any previously collected traces.
+pub fn install(capacity: usize) {
+    *lock() = Some(State {
+        capacity: capacity.max(1),
+        traces: Vec::new(),
+    });
+}
+
+/// Whether a collector is active.
+pub fn active() -> bool {
+    lock().is_some()
+}
+
+/// The active collector's ring capacity, or `None` when inactive.
+pub fn capacity() -> Option<usize> {
+    lock().as_ref().map(|s| s.capacity)
+}
+
+/// Appends one finished trace. A no-op when no collector is active, so
+/// submission sites need no guards of their own.
+pub fn submit(trace: Trace) {
+    if let Some(s) = lock().as_mut() {
+        s.traces.push(trace);
+    }
+}
+
+/// Removes and returns everything collected so far, leaving the
+/// collector active (for binaries exporting several figures in one run).
+pub fn drain() -> Vec<Trace> {
+    lock()
+        .as_mut()
+        .map(|s| std::mem::take(&mut s.traces))
+        .unwrap_or_default()
+}
+
+/// Deactivates the collector and returns everything it gathered.
+pub fn uninstall() -> Vec<Trace> {
+    lock().take().map(|s| s.traces).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceMeta;
+
+    fn trace(org: &str) -> Trace {
+        Trace {
+            meta: TraceMeta {
+                org: org.to_string(),
+                cores: 4,
+                ring_capacity: 8,
+                initial_quotas: Vec::new(),
+            },
+            events: Vec::new(),
+            dropped: 0,
+            emitted: 0,
+            counts: Vec::new(),
+            per_core_counts: Vec::new(),
+            final_quotas: Vec::new(),
+        }
+    }
+
+    // One test exercises the whole lifecycle: the collector is process
+    // state, so splitting this into parallel #[test]s would race.
+    #[test]
+    fn lifecycle_install_submit_drain_uninstall() {
+        assert!(!active());
+        assert_eq!(capacity(), None);
+        submit(trace("dropped-when-inactive"));
+        assert!(uninstall().is_empty());
+
+        install(64);
+        assert!(active());
+        assert_eq!(capacity(), Some(64));
+        submit(trace("private"));
+        submit(trace("adaptive"));
+        let first = drain();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].meta.org, "private");
+        assert!(active(), "drain keeps the collector active");
+
+        submit(trace("shared"));
+        let rest = uninstall();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].meta.org, "shared");
+        assert!(!active());
+
+        install(0);
+        assert_eq!(capacity(), Some(1), "capacity is clamped to one");
+        let _ = uninstall();
+    }
+}

@@ -1,0 +1,377 @@
+//! The typed event taxonomy recorded by the tracing subsystem.
+//!
+//! Every observable state change of the sharing engine and the cache
+//! hierarchy maps to one [`Event`] variant. Events split into two tiers:
+//!
+//! - **structural** events ([`Event::Repartition`], [`Event::Epoch`]) are
+//!   rare (one per 2000-miss re-evaluation period) and carry the full
+//!   decision state — they are retained for the whole run so the quota
+//!   trajectory can be replayed exactly;
+//! - **high-frequency** events (hits, demotions, evictions, MSHR and
+//!   memory traffic) are recorded into a fixed-capacity ring buffer that
+//!   keeps the most recent window (see [`crate::Tracer`]).
+
+use std::fmt;
+
+use simcore::types::{CoreId, Cycle};
+
+/// Per-core block occupancy inside one adaptive L3 snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreOccupancy {
+    /// The owning core.
+    pub core: CoreId,
+    /// Blocks the core holds inside private partitions (its own quota).
+    pub private_blocks: u64,
+    /// Blocks the core owns that currently live in shared partitions.
+    pub shared_blocks: u64,
+}
+
+/// One traced simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The sharing engine moved one block/set of quota from `loser` to
+    /// `gainer` at a re-evaluation boundary (paper §3.3).
+    Repartition {
+        /// Re-evaluation epoch that made this decision (1-based count of
+        /// completed epochs).
+        epoch: u64,
+        /// Core whose quota grew by one block per set.
+        gainer: CoreId,
+        /// Core whose quota shrank by one block per set.
+        loser: CoreId,
+        /// Estimated misses avoided by growing the gainer (shadow hits).
+        gain: u64,
+        /// Estimated extra misses for the loser (LRU hits).
+        loss: u64,
+        /// Quota vector *after* applying the move.
+        quotas: Vec<u32>,
+    },
+    /// Per-epoch time-series snapshot emitted at every re-evaluation
+    /// boundary (whether or not quotas moved).
+    Epoch {
+        /// 1-based count of completed epochs.
+        index: u64,
+        /// Quota vector at the boundary (after any repartition).
+        quotas: Vec<u32>,
+        /// Per-core block occupancy of the adaptive L3.
+        occupancy: Vec<CoreOccupancy>,
+        /// Cumulative private-partition hits.
+        private_hits: u64,
+        /// Cumulative shared-partition hits.
+        shared_hits: u64,
+        /// Cumulative misses.
+        misses: u64,
+        /// Cumulative demotions (private → shared moves).
+        demotions: u64,
+        /// Cumulative evictions.
+        evictions: u64,
+    },
+    /// A miss that hit in the requester's shadow tags — evidence that one
+    /// more block of quota would have avoided it.
+    ShadowHit {
+        /// The requesting core.
+        core: CoreId,
+        /// The set index.
+        set: u32,
+    },
+    /// A hit on the LRU block of a private partition — evidence that one
+    /// less block of quota would have cost a miss.
+    LruHit {
+        /// The core that hit.
+        core: CoreId,
+    },
+    /// A block moved from a private partition to the shared partition
+    /// (lazy repartitioning or shared-reserve refill).
+    Demotion {
+        /// Owner of the demoted block.
+        core: CoreId,
+        /// The set index.
+        set: u32,
+    },
+    /// The adaptive L3 evicted a block to make room on a miss.
+    SharedEviction {
+        /// The set index.
+        set: u32,
+        /// Owner of the evicted block.
+        owner: CoreId,
+        /// Whether the victim's owner was over quota (Algorithm 1 path)
+        /// rather than the global-LRU fallback.
+        over_quota: bool,
+    },
+    /// A non-adaptive L3 organization evicted a block on a fill.
+    Eviction {
+        /// Owner of the evicted block.
+        owner: CoreId,
+    },
+    /// The cooperative scheme spilled an evicted block to a neighbor.
+    Spill {
+        /// Core whose slice evicted the block.
+        from: CoreId,
+        /// Core that received it.
+        to: CoreId,
+    },
+    /// A new MSHR entry was allocated for a primary miss.
+    MshrAlloc {
+        /// The requesting core.
+        core: CoreId,
+    },
+    /// A secondary miss merged onto an outstanding fill.
+    MshrMerge {
+        /// The requesting core.
+        core: CoreId,
+    },
+    /// A full MSHR file blocked memory-op issue this cycle.
+    MshrStall {
+        /// The stalled core.
+        core: CoreId,
+    },
+    /// A miss went to main memory.
+    MemoryFill {
+        /// The requesting core.
+        core: CoreId,
+        /// Cycles the request waited on the busy bus/queue.
+        queue_delay: u64,
+    },
+}
+
+/// Discriminant of an [`Event`], used for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// [`Event::Repartition`].
+    Repartition,
+    /// [`Event::Epoch`].
+    Epoch,
+    /// [`Event::ShadowHit`].
+    ShadowHit,
+    /// [`Event::LruHit`].
+    LruHit,
+    /// [`Event::Demotion`].
+    Demotion,
+    /// [`Event::SharedEviction`].
+    SharedEviction,
+    /// [`Event::Eviction`].
+    Eviction,
+    /// [`Event::Spill`].
+    Spill,
+    /// [`Event::MshrAlloc`].
+    MshrAlloc,
+    /// [`Event::MshrMerge`].
+    MshrMerge,
+    /// [`Event::MshrStall`].
+    MshrStall,
+    /// [`Event::MemoryFill`].
+    MemoryFill,
+}
+
+impl EventKind {
+    /// Every kind, in taxonomy order (structural first).
+    pub const ALL: [EventKind; 12] = [
+        EventKind::Repartition,
+        EventKind::Epoch,
+        EventKind::ShadowHit,
+        EventKind::LruHit,
+        EventKind::Demotion,
+        EventKind::SharedEviction,
+        EventKind::Eviction,
+        EventKind::Spill,
+        EventKind::MshrAlloc,
+        EventKind::MshrMerge,
+        EventKind::MshrStall,
+        EventKind::MemoryFill,
+    ];
+
+    /// The snake_case name used as the JSONL `type` field.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::Repartition => "repartition",
+            EventKind::Epoch => "epoch",
+            EventKind::ShadowHit => "shadow_hit",
+            EventKind::LruHit => "lru_hit",
+            EventKind::Demotion => "demotion",
+            EventKind::SharedEviction => "shared_eviction",
+            EventKind::Eviction => "eviction",
+            EventKind::Spill => "spill",
+            EventKind::MshrAlloc => "mshr_alloc",
+            EventKind::MshrMerge => "mshr_merge",
+            EventKind::MshrStall => "mshr_stall",
+            EventKind::MemoryFill => "memory_fill",
+        }
+    }
+
+    /// Structural events carry quota-trajectory state and are retained
+    /// for the whole run instead of cycling through the ring buffer.
+    pub const fn is_structural(self) -> bool {
+        matches!(self, EventKind::Repartition | EventKind::Epoch)
+    }
+
+    /// Position inside [`EventKind::ALL`] (stable count-array index).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Looks a kind up by its JSONL `type` name.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Event {
+    /// This event's kind.
+    pub const fn kind(&self) -> EventKind {
+        match self {
+            Event::Repartition { .. } => EventKind::Repartition,
+            Event::Epoch { .. } => EventKind::Epoch,
+            Event::ShadowHit { .. } => EventKind::ShadowHit,
+            Event::LruHit { .. } => EventKind::LruHit,
+            Event::Demotion { .. } => EventKind::Demotion,
+            Event::SharedEviction { .. } => EventKind::SharedEviction,
+            Event::Eviction { .. } => EventKind::Eviction,
+            Event::Spill { .. } => EventKind::Spill,
+            Event::MshrAlloc { .. } => EventKind::MshrAlloc,
+            Event::MshrMerge { .. } => EventKind::MshrMerge,
+            Event::MshrStall { .. } => EventKind::MshrStall,
+            Event::MemoryFill { .. } => EventKind::MemoryFill,
+        }
+    }
+
+    /// The core this event is attributed to, when core-specific.
+    pub const fn core(&self) -> Option<CoreId> {
+        match self {
+            Event::Repartition { gainer, .. } => Some(*gainer),
+            Event::Epoch { .. } => None,
+            Event::ShadowHit { core, .. }
+            | Event::LruHit { core }
+            | Event::Demotion { core, .. }
+            | Event::MshrAlloc { core }
+            | Event::MshrMerge { core }
+            | Event::MshrStall { core }
+            | Event::MemoryFill { core, .. } => Some(*core),
+            Event::SharedEviction { owner, .. } | Event::Eviction { owner } => Some(*owner),
+            Event::Spill { from, .. } => Some(*from),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Repartition {
+                epoch,
+                gainer,
+                loser,
+                gain,
+                loss,
+                quotas,
+            } => write!(
+                f,
+                "repartition epoch {epoch}: {gainer} +1 (gain {gain}), {loser} -1 (loss {loss}), quotas {quotas:?}"
+            ),
+            Event::Epoch {
+                index,
+                quotas,
+                misses,
+                ..
+            } => write!(f, "epoch {index}: quotas {quotas:?}, {misses} misses"),
+            Event::ShadowHit { core, set } => write!(f, "shadow hit {core} set {set}"),
+            Event::LruHit { core } => write!(f, "lru hit {core}"),
+            Event::Demotion { core, set } => write!(f, "demotion {core} set {set}"),
+            Event::SharedEviction {
+                set,
+                owner,
+                over_quota,
+            } => write!(
+                f,
+                "shared eviction set {set} owner {owner}{}",
+                if *over_quota { " (over quota)" } else { "" }
+            ),
+            Event::Eviction { owner } => write!(f, "eviction owner {owner}"),
+            Event::Spill { from, to } => write!(f, "spill {from} -> {to}"),
+            Event::MshrAlloc { core } => write!(f, "mshr alloc {core}"),
+            Event::MshrMerge { core } => write!(f, "mshr merge {core}"),
+            Event::MshrStall { core } => write!(f, "mshr stall {core}"),
+            Event::MemoryFill { core, queue_delay } => {
+                write!(f, "memory fill {core} (+{queue_delay} queue)")
+            }
+        }
+    }
+}
+
+/// A recorded event with its global sequence number and timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Position in the emission order (0-based, gap-free at emission;
+    /// ring-buffer truncation leaves gaps in the exported stream).
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: Cycle,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[#{} @{}] {}", self.seq, self.at.raw(), self.event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_unique_and_roundtrip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn indices_match_taxonomy_order() {
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn only_repartition_and_epoch_are_structural() {
+        for kind in EventKind::ALL {
+            let structural = matches!(kind, EventKind::Repartition | EventKind::Epoch);
+            assert_eq!(kind.is_structural(), structural);
+        }
+    }
+
+    #[test]
+    fn core_attribution_covers_per_core_kinds() {
+        let c = CoreId::from_index(2);
+        assert_eq!(Event::LruHit { core: c }.core(), Some(c));
+        assert_eq!(
+            Event::Spill {
+                from: c,
+                to: CoreId::from_index(0)
+            }
+            .core(),
+            Some(c)
+        );
+        let epoch = Event::Epoch {
+            index: 1,
+            quotas: vec![4; 4],
+            occupancy: Vec::new(),
+            private_hits: 0,
+            shared_hits: 0,
+            misses: 0,
+            demotions: 0,
+            evictions: 0,
+        };
+        assert_eq!(epoch.core(), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! Hierarchical counter/gauge registry.
+//!
+//! Metric names are `/`-separated paths (`"events/lru_hit/core0"`,
+//! `"l3/miss_rate"`). The registry stores entries in first-insertion
+//! order in a plain `Vec` — no hash containers, per the workspace
+//! determinism rules — and [`Registry::to_json`] folds the paths into a
+//! nested JSON object for the `--metrics-out` export.
+
+use crate::json::Json;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A point-in-time measurement (rates, ratios, positions).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(f64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(0.0)
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&mut self, value: f64) {
+        self.0 = value;
+    }
+
+    /// The current value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// A per-core family of counters sharing one metric name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Family {
+    counters: Vec<Counter>,
+}
+
+impl Family {
+    /// A family with one counter per core.
+    pub fn new(cores: usize) -> Self {
+        Family {
+            counters: vec![Counter::new(); cores],
+        }
+    }
+
+    /// Increments the counter of `core` (ignored when out of range).
+    #[inline]
+    pub fn inc(&mut self, core: usize) {
+        if let Some(c) = self.counters.get_mut(core) {
+            c.inc();
+        }
+    }
+
+    /// The count for `core` (zero when out of range).
+    pub fn get(&self, core: usize) -> u64 {
+        self.counters.get(core).map_or(0, |c| c.get())
+    }
+
+    /// Sum over all cores.
+    pub fn total(&self) -> u64 {
+        self.counters.iter().map(|c| c.get()).sum()
+    }
+
+    /// Per-core counts in core order.
+    pub fn values(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.get()).collect()
+    }
+}
+
+/// One registered value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+/// Insertion-ordered hierarchical metric store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    entries: Vec<(String, Value)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `n` to the counter at `path`, creating it at zero first if
+    /// needed. A gauge already registered under the same path is left
+    /// untouched.
+    pub fn add(&mut self, path: &str, n: u64) {
+        match self.entries.iter_mut().find(|(k, _)| k == path) {
+            Some((_, Value::Counter(c))) => c.add(n),
+            Some((_, Value::Gauge(_))) => {}
+            None => {
+                let mut c = Counter::new();
+                c.add(n);
+                self.entries.push((path.to_string(), Value::Counter(c)));
+            }
+        }
+    }
+
+    /// Sets the gauge at `path`, creating it if needed. A counter already
+    /// registered under the same path is left untouched.
+    pub fn set(&mut self, path: &str, value: f64) {
+        match self.entries.iter_mut().find(|(k, _)| k == path) {
+            Some((_, Value::Gauge(g))) => g.set(value),
+            Some((_, Value::Counter(_))) => {}
+            None => {
+                let mut g = Gauge::new();
+                g.set(value);
+                self.entries.push((path.to_string(), Value::Gauge(g)));
+            }
+        }
+    }
+
+    /// The counter value at `path`, if a counter is registered there.
+    pub fn counter(&self, path: &str) -> Option<u64> {
+        self.entries.iter().find(|(k, _)| k == path).and_then(|e| {
+            if let Value::Counter(c) = e.1 {
+                Some(c.get())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The gauge value at `path`, if a gauge is registered there.
+    pub fn gauge(&self, path: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == path).and_then(|e| {
+            if let Value::Gauge(g) = e.1 {
+                Some(g.get())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Merges a per-core [`Family`] under `path` (total) and
+    /// `path/core<i>` (per core).
+    pub fn add_family(&mut self, path: &str, family: &Family) {
+        self.add(path, family.total());
+        for (core, value) in family.values().into_iter().enumerate() {
+            if value > 0 {
+                self.add(&format!("{path}/core{core}"), value);
+            }
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds the `/`-separated paths into a nested JSON object,
+    /// preserving first-insertion order at every level.
+    pub fn to_json(&self) -> Json {
+        let flat: Vec<(&str, Json)> = self
+            .entries
+            .iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    Value::Counter(c) => Json::num(c.get() as f64),
+                    Value::Gauge(g) => Json::num(g.get()),
+                };
+                (k.as_str(), value)
+            })
+            .collect();
+        nest(&flat)
+    }
+}
+
+/// Groups `(path, value)` pairs by their first path segment, recursing
+/// on the remainder. A path that is both a leaf and a prefix of deeper
+/// paths (`"hits"` next to `"hits/core0"`) folds its leaf value into the
+/// group as `"total"`, so the rendered object never has duplicate keys.
+fn nest(flat: &[(&str, Json)]) -> Json {
+    type Head<'a> = (&'a str, Option<Json>, Vec<(&'a str, Json)>);
+    let mut heads: Vec<Head<'_>> = Vec::new();
+    for (path, value) in flat {
+        let (head, rest) = match path.split_once('/') {
+            Some((h, r)) => (h, Some(r)),
+            None => (*path, None),
+        };
+        let idx = match heads.iter().position(|(h, _, _)| *h == head) {
+            Some(i) => i,
+            None => {
+                heads.push((head, None, Vec::new()));
+                heads.len() - 1
+            }
+        };
+        if let Some(entry) = heads.get_mut(idx) {
+            match rest {
+                None => entry.1 = Some(value.clone()),
+                Some(r) => entry.2.push((r, value.clone())),
+            }
+        }
+    }
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    for (head, leaf, children) in heads {
+        let value = match (leaf, children.is_empty()) {
+            (Some(v), true) => v,
+            (None, _) => nest(&children),
+            (Some(v), false) => {
+                let mut combined: Vec<(&str, Json)> = vec![("total", v)];
+                combined.extend(children);
+                nest(&combined)
+            }
+        };
+        pairs.push((head.to_string(), value));
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_replace() {
+        let mut reg = Registry::new();
+        reg.add("a/b", 2);
+        reg.add("a/b", 3);
+        reg.set("a/r", 0.5);
+        reg.set("a/r", 0.75);
+        assert_eq!(reg.counter("a/b"), Some(5));
+        assert_eq!(reg.gauge("a/r"), Some(0.75));
+        assert_eq!(reg.counter("a/r"), None);
+        assert_eq!(reg.gauge("a/b"), None);
+    }
+
+    #[test]
+    fn family_tracks_per_core_counts() {
+        let mut fam = Family::new(4);
+        fam.inc(0);
+        fam.inc(2);
+        fam.inc(2);
+        fam.inc(9); // out of range: ignored
+        assert_eq!(fam.total(), 3);
+        assert_eq!(fam.values(), vec![1, 0, 2, 0]);
+        let mut reg = Registry::new();
+        reg.add_family("hits", &fam);
+        assert_eq!(reg.counter("hits"), Some(3));
+        assert_eq!(reg.counter("hits/core2"), Some(2));
+        assert_eq!(reg.counter("hits/core1"), None);
+    }
+
+    #[test]
+    fn to_json_nests_by_path_segment() {
+        let mut reg = Registry::new();
+        reg.add("events/lru_hit", 7);
+        reg.add("events/lru_hit/core0", 4);
+        reg.add("trace/dropped", 0);
+        let json = reg.to_json();
+        let lru = json
+            .get("events")
+            .and_then(|e| e.get("lru_hit"))
+            .expect("events.lru_hit group");
+        assert_eq!(lru.get("total").and_then(Json::as_num), Some(7.0));
+        assert_eq!(lru.get("core0").and_then(Json::as_num), Some(4.0));
+        assert_eq!(
+            json.get("trace")
+                .and_then(|t| t.get("dropped"))
+                .and_then(Json::as_num),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut reg = Registry::new();
+        reg.add("z", 1);
+        reg.add("a", 1);
+        let json = reg.to_json();
+        let Json::Obj(pairs) = json else {
+            panic!("registry renders an object");
+        };
+        assert_eq!(pairs[0].0, "z");
+        assert_eq!(pairs[1].0, "a");
+    }
+}

@@ -1,0 +1,163 @@
+//! Quota-trajectory replay: reconstructing `SharingEngine::quotas()`
+//! from the Repartition event stream.
+//!
+//! The sharing engine only ever moves **one block/set of quota** from a
+//! loser to a gainer per re-evaluation (paper §3.3), so the full quota
+//! state at any point is `initial + Σ applied repartitions`. Replaying
+//! the structural event stream must land bit-for-bit on the engine's
+//! final `quotas()` — the property the trace-smoke CI job and the
+//! proptests enforce.
+
+use crate::event::{Event, TraceRecord};
+
+/// Replays `events` over `initial`, returning the final quota vector.
+///
+/// # Errors
+///
+/// Reports (with the offending sequence number) a gainer/loser index out
+/// of range, a quota that would underflow, an event-carried quota vector
+/// that disagrees with the replayed state, or a quota-sum change.
+pub fn replay_quotas(initial: &[u32], events: &[TraceRecord]) -> Result<Vec<u32>, String> {
+    let mut quotas = initial.to_vec();
+    let total: u64 = quotas.iter().map(|&q| u64::from(q)).sum();
+    for record in events {
+        let Event::Repartition {
+            gainer,
+            loser,
+            quotas: reported,
+            ..
+        } = &record.event
+        else {
+            continue;
+        };
+        let seq = record.seq;
+        let g = gainer.index();
+        let l = loser.index();
+        if g >= quotas.len() || l >= quotas.len() {
+            return Err(format!(
+                "event #{seq}: core out of range (gainer {g}, loser {l}, {} cores)",
+                quotas.len()
+            ));
+        }
+        if quotas.get(l).copied().unwrap_or(0) == 0 {
+            return Err(format!("event #{seq}: loser core{l} quota would underflow"));
+        }
+        if let Some(q) = quotas.get_mut(g) {
+            *q += 1;
+        }
+        if let Some(q) = quotas.get_mut(l) {
+            *q -= 1;
+        }
+        if reported != &quotas {
+            return Err(format!(
+                "event #{seq}: carried quotas {reported:?} != replayed {quotas:?}"
+            ));
+        }
+        let sum: u64 = quotas.iter().map(|&q| u64::from(q)).sum();
+        if sum != total {
+            return Err(format!(
+                "event #{seq}: quota sum changed from {total} to {sum}"
+            ));
+        }
+    }
+    Ok(quotas)
+}
+
+/// Checks that every Repartition event in `events` conserves the quota
+/// sum `total` (each carried vector sums to `total`).
+///
+/// # Errors
+///
+/// Reports the first non-conserving event with its sequence number.
+pub fn check_conservation(events: &[TraceRecord], total: u64) -> Result<(), String> {
+    for record in events {
+        if let Event::Repartition { quotas, .. } = &record.event {
+            let sum: u64 = quotas.iter().map(|&q| u64::from(q)).sum();
+            if sum != total {
+                return Err(format!(
+                    "event #{}: quotas {quotas:?} sum to {sum}, expected {total}",
+                    record.seq
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::types::{CoreId, Cycle};
+
+    fn rep(seq: u64, gainer: usize, loser: usize, quotas: Vec<u32>) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: Cycle::new(seq),
+            event: Event::Repartition {
+                epoch: seq,
+                gainer: CoreId::from_index(gainer as u8),
+                loser: CoreId::from_index(loser as u8),
+                gain: 10,
+                loss: 1,
+                quotas,
+            },
+        }
+    }
+
+    #[test]
+    fn replay_applies_moves_in_order() {
+        let events = vec![
+            rep(0, 0, 1, vec![5, 3, 4, 4]),
+            rep(1, 0, 2, vec![6, 3, 3, 4]),
+            rep(2, 3, 0, vec![5, 3, 3, 5]),
+        ];
+        let quotas = replay_quotas(&[4, 4, 4, 4], &events).unwrap();
+        assert_eq!(quotas, vec![5, 3, 3, 5]);
+    }
+
+    #[test]
+    fn replay_ignores_non_structural_events() {
+        let events = vec![
+            TraceRecord {
+                seq: 0,
+                at: Cycle::new(0),
+                event: Event::LruHit {
+                    core: CoreId::from_index(0),
+                },
+            },
+            rep(1, 1, 0, vec![3, 5, 4, 4]),
+        ];
+        assert_eq!(
+            replay_quotas(&[4, 4, 4, 4], &events).unwrap(),
+            vec![3, 5, 4, 4]
+        );
+    }
+
+    #[test]
+    fn replay_rejects_disagreeing_carried_quotas() {
+        let events = vec![rep(7, 0, 1, vec![9, 9, 9, 9])];
+        let err = replay_quotas(&[4, 4, 4, 4], &events).unwrap_err();
+        assert!(err.contains("#7"), "{err}");
+        assert!(err.contains("carried"), "{err}");
+    }
+
+    #[test]
+    fn replay_rejects_underflow_and_bad_cores() {
+        let events = vec![rep(0, 0, 1, vec![5, 0, 4, 4])];
+        assert!(replay_quotas(&[4, 0, 4, 4], &events)
+            .unwrap_err()
+            .contains("underflow"));
+        let events = vec![rep(0, 9, 1, vec![5, 3])];
+        assert!(replay_quotas(&[4, 4], &events)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn conservation_check_flags_bad_sums() {
+        let good = vec![rep(0, 0, 1, vec![5, 3, 4, 4])];
+        assert!(check_conservation(&good, 16).is_ok());
+        let bad = vec![rep(3, 0, 1, vec![5, 3, 4, 5])];
+        assert!(check_conservation(&bad, 16).unwrap_err().contains("#3"));
+    }
+}

@@ -4,14 +4,34 @@
 # JOBS controls the worker-thread count handed to each figure binary
 # (default: all cores). Results are bit-identical for any JOBS value —
 # the runner in simcore::parallel reassembles cells in index order.
+#
+# TRACE and METRICS_OUT (both optional) turn on the telemetry subsystem:
+# each figure binary then writes a per-binary JSONL event trace and/or
+# aggregated metrics document next to its text output. Set them to the
+# literal string "results" to use results/<bin>.trace.jsonl and
+# results/<bin>.metrics.json, or leave them empty to run untraced.
 set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p results
 JOBS="${JOBS:-$(nproc)}"
+TRACE="${TRACE:-}"
+METRICS_OUT="${METRICS_OUT:-}"
 echo "running figure binaries with --jobs $JOBS"
 for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 shadow_sampling ablations parallel; do
     echo "=== $bin ==="
-    cargo run --quiet --release -p nuca-bench --bin "$bin" -- --jobs "$JOBS" > "results/$bin.txt" 2>&1
+    tele=()
+    if [ "$TRACE" = "results" ]; then
+        tele+=(--trace "results/$bin.trace.jsonl")
+    elif [ -n "$TRACE" ]; then
+        tele+=(--trace "$TRACE.$bin.jsonl")
+    fi
+    if [ "$METRICS_OUT" = "results" ]; then
+        tele+=(--metrics-out "results/$bin.metrics.json")
+    elif [ -n "$METRICS_OUT" ]; then
+        tele+=(--metrics-out "$METRICS_OUT.$bin.json")
+    fi
+    cargo run --quiet --release -p nuca-bench --bin "$bin" -- \
+        --jobs "$JOBS" ${tele[@]+"${tele[@]}"} > "results/$bin.txt" 2>&1
     echo "done: results/$bin.txt"
 done
 # Refresh the machine-readable perf baseline last (also checks that the

@@ -9,6 +9,7 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use nuca_core::cmp::{Cmp, CmpResult};
@@ -16,9 +17,13 @@ use nuca_core::engine::AdaptiveParams;
 use nuca_core::l3::Organization;
 use simcore::config::MachineConfig;
 use simcore::error::ConfigError;
+use telemetry::{Recorder, Sink, Trace, TraceMeta};
 use tracegen::profile::AppProfile;
 use tracegen::spec::SpecApp;
 use tracegen::workload::{parallel_workload, WorkloadPool};
+
+/// How many trailing telemetry events a paranoid failure report dumps.
+const PARANOID_TAIL: usize = 32;
 
 /// A fully parsed simulation request.
 #[derive(Debug, Clone)]
@@ -47,6 +52,19 @@ pub struct SimRequest {
     /// Worker threads for running the organizations (`0` = one per
     /// available core). Results are bit-identical for every value.
     pub jobs: usize,
+    /// Write a JSONL event trace here (one section per organization, in
+    /// request order; identical for every `jobs` value).
+    pub trace: Option<PathBuf>,
+    /// Write the aggregated metrics JSON document here.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl SimRequest {
+    /// Whether this request records telemetry: any export target, or
+    /// `--paranoid` (so a failing audit can dump the event-ring tail).
+    pub fn recording(&self) -> bool {
+        self.trace.is_some() || self.metrics_out.is_some() || self.paranoid
+    }
 }
 
 /// Error from argument parsing.
@@ -100,7 +118,12 @@ OPTIONS:
                            (0 = one per core; output is bit-identical
                            to --jobs 1)                    [default: 1]
     --paranoid             audit L3 structural invariants after every
-                           timed step; abort on the first violation (slow)
+                           timed step; abort on the first violation (slow),
+                           dumping the tail of the telemetry event ring
+    --trace <PATH>         write a JSONL event trace covering every
+                           requested organization (sections in request
+                           order; identical for every --jobs value)
+    --metrics-out <PATH>   write the aggregated metrics JSON document
     --help                 print this text
 ";
 
@@ -123,6 +146,8 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut reeval = 2000u64;
     let mut paranoid = false;
     let mut jobs = 1usize;
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -166,6 +191,8 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--jobs" => {
                 jobs = simcore::parallel::resolve_jobs(parse_u64(value("--jobs")?)? as usize)
             }
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--tech-scaled" => tech_scaled = true,
             "--paranoid" => paranoid = true,
             "--help" | "-h" => return Err(CliError::new(USAGE)),
@@ -236,6 +263,8 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         seed,
         paranoid,
         jobs,
+        trace,
+        metrics_out,
     })
 }
 
@@ -261,31 +290,85 @@ pub fn run(req: &SimRequest) -> Result<CmpResult, CliError> {
         .organizations
         .first()
         .ok_or_else(|| CliError::new("no organization requested"))?;
-    run_one(req, org)
+    run_one(req, org).map(|(result, _)| result)
 }
 
 /// Runs every requested organization — on `req.jobs` worker threads via
 /// the deterministic runner — and returns `(label, result)` pairs in
 /// request order. Output is bit-identical for every `jobs` value.
 ///
+/// When `--trace` / `--metrics-out` were requested, this is also where
+/// the files are written: one JSONL trace with a section per
+/// organization in request order, and one metrics document.
+///
 /// # Errors
 ///
-/// Returns the first (in request order) [`CliError`] from any run.
+/// Returns the first (in request order) [`CliError`] from any run, or a
+/// file-system error from writing an export target.
 pub fn run_all(req: &SimRequest) -> Result<Vec<(&'static str, CmpResult)>, CliError> {
-    simcore::parallel::map_slice(req.jobs, &req.organizations, |&org| {
-        run_one(req, org).map(|r| (org.label(), r))
-    })
-    .into_iter()
-    .collect()
+    let outcomes: Result<Vec<_>, CliError> =
+        simcore::parallel::map_slice(req.jobs, &req.organizations, |&org| {
+            run_one(req, org).map(|(result, trace)| (org.label(), result, trace))
+        })
+        .into_iter()
+        .collect();
+    let mut results = Vec::new();
+    let mut traces: Vec<Trace> = Vec::new();
+    for (label, result, trace) in outcomes? {
+        results.push((label, result));
+        traces.extend(trace);
+    }
+    if let Some(path) = &req.trace {
+        write_export(path, &telemetry::export::render_jsonl(&traces))?;
+    }
+    if let Some(path) = &req.metrics_out {
+        write_export(path, &telemetry::export::metrics_json(&traces).render())?;
+    }
+    Ok(results)
 }
 
-fn run_one(req: &SimRequest, org: Organization) -> Result<CmpResult, CliError> {
-    let mut cmp = Cmp::with_profiles(&req.machine, org, &req.profiles, &req.forwards, req.seed)?;
+fn write_export(path: &PathBuf, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))
+}
+
+fn run_one(req: &SimRequest, org: Organization) -> Result<(CmpResult, Option<Trace>), CliError> {
+    if req.recording() {
+        let recorder = Recorder::with_capacity(Recorder::DEFAULT_CAPACITY);
+        let mut cmp = Cmp::with_profiles_and_sink(
+            &req.machine,
+            org,
+            &req.profiles,
+            &req.forwards,
+            req.seed,
+            recorder.clone(),
+        )?;
+        let result = drive(&mut cmp, req, Some(&recorder))?;
+        let meta = TraceMeta {
+            org: org.label().to_string(),
+            cores: req.machine.cores,
+            ring_capacity: Recorder::DEFAULT_CAPACITY,
+            initial_quotas: nuca_core::experiment::initial_quotas(&req.machine, org),
+        };
+        let trace = recorder.finish(meta, result.quotas.clone().unwrap_or_default());
+        Ok((result, Some(trace)))
+    } else {
+        let mut cmp =
+            Cmp::with_profiles(&req.machine, org, &req.profiles, &req.forwards, req.seed)?;
+        Ok((drive(&mut cmp, req, None)?, None))
+    }
+}
+
+fn drive<S: Sink>(
+    cmp: &mut Cmp<S>,
+    req: &SimRequest,
+    recorder: Option<&Recorder>,
+) -> Result<CmpResult, CliError> {
     cmp.warm(req.warm_instructions);
     if req.paranoid {
-        paranoid_phase(&mut cmp, req.warmup_cycles, "warm-up")?;
+        paranoid_phase(cmp, req.warmup_cycles, "warm-up", recorder)?;
         cmp.reset_stats();
-        paranoid_phase(&mut cmp, req.measure_cycles, "measurement")?;
+        paranoid_phase(cmp, req.measure_cycles, "measurement", recorder)?;
     } else {
         cmp.run(req.warmup_cycles);
         cmp.reset_stats();
@@ -294,7 +377,12 @@ fn run_one(req: &SimRequest, org: Organization) -> Result<CmpResult, CliError> {
     Ok(cmp.snapshot())
 }
 
-fn paranoid_phase(cmp: &mut Cmp, cycles: u64, phase: &str) -> Result<(), CliError> {
+fn paranoid_phase<S: Sink>(
+    cmp: &mut Cmp<S>,
+    cycles: u64,
+    phase: &str,
+    recorder: Option<&Recorder>,
+) -> Result<(), CliError> {
     cmp.run_paranoid(cycles).map_err(|(cycle, violations)| {
         use std::fmt::Write as _;
         let mut msg = format!(
@@ -304,6 +392,24 @@ fn paranoid_phase(cmp: &mut Cmp, cycles: u64, phase: &str) -> Result<(), CliErro
         );
         for v in violations {
             let _ = write!(msg, "\n  {v}");
+        }
+        if let Some(rec) = recorder {
+            let tail = rec.tail(PARANOID_TAIL);
+            let _ = write!(
+                msg,
+                "\nlast {} of {} telemetry events:",
+                tail.len(),
+                rec.emitted()
+            );
+            for r in &tail {
+                let _ = write!(
+                    msg,
+                    "\n  [seq {} cycle {}] {:?}",
+                    r.seq,
+                    r.at.raw(),
+                    r.event
+                );
+            }
         }
         CliError::new(msg)
     })
@@ -445,6 +551,65 @@ mod tests {
         assert_eq!(serial, parallel, "jobs must not change any result bit");
         let labels: Vec<_> = serial.iter().map(|(l, _)| *l).collect();
         assert_eq!(labels, ["private", "shared", "adaptive"]);
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_flags() {
+        let req = parse_args(&argv(
+            "--org adaptive --apps ammp,gzip,crafty,eon --trace t.jsonl --metrics-out m.json",
+        ))
+        .unwrap();
+        assert_eq!(req.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+        assert_eq!(
+            req.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert!(req.recording());
+        let plain = parse_args(&argv("--org private --apps ammp,gzip,crafty,eon")).unwrap();
+        assert!(!plain.recording(), "untraced run stays on the NullSink");
+        let paranoid = parse_args(&argv(
+            "--org private --apps ammp,gzip,crafty,eon --paranoid",
+        ))
+        .unwrap();
+        assert!(paranoid.recording(), "paranoid records for failure dumps");
+    }
+
+    #[test]
+    fn traced_run_exports_schema_valid_jsonl_and_metrics() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join(format!("nuca-cli-trace-{}.jsonl", std::process::id()));
+        let metrics_path = dir.join(format!("nuca-cli-metrics-{}.json", std::process::id()));
+        let mut req =
+            parse_args(&argv("--org private,adaptive --apps ammp,gzip,crafty,eon")).unwrap();
+        req.warm_instructions = 30_000;
+        req.warmup_cycles = 2_000;
+        req.measure_cycles = 20_000;
+        req.trace = Some(trace_path.clone());
+        req.metrics_out = Some(metrics_path.clone());
+        let results = run_all(&req).unwrap();
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let report = telemetry::export::validate_jsonl(&text).unwrap_or_else(|errs| {
+            panic!("trace failed validation: {errs:?}");
+        });
+        assert_eq!(report.sections, 2, "one section per organization");
+        assert!(report.events > 0);
+
+        // The adaptive section's summary carries the run's final quotas.
+        let sections = telemetry::export::parse_sections(&text).unwrap();
+        let summary = sections[1].summary.as_ref().unwrap();
+        let final_quotas: Vec<u32> = match summary.get("final_quotas") {
+            Some(telemetry::json::Json::Arr(items)) => {
+                items.iter().map(|j| j.as_num().unwrap() as u32).collect()
+            }
+            other => panic!("missing final_quotas: {other:?}"),
+        };
+        assert_eq!(Some(&final_quotas), results[1].1.quotas.as_ref());
+
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(telemetry::json::Json::parse(&metrics).is_ok());
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
     }
 
     #[test]

@@ -10,4 +10,5 @@ pub use cpusim;
 pub use memsim;
 pub use nuca_core;
 pub use simcore;
+pub use telemetry;
 pub use tracegen;
