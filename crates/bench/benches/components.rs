@@ -9,16 +9,18 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use cachesim::cache::Cache;
-use cachesim::lru::LruStack;
+use cachesim::lru::{LruStack, PackedLru};
 use cpusim::branch::BranchPredictor;
 use cpusim::core::Core;
 use cpusim::l3iface::{FixedLatencyL3, LastLevel};
+use nuca_core::cmp::Cmp;
 use nuca_core::engine::AdaptiveParams;
-use nuca_core::l3::AdaptiveL3;
+use nuca_core::l3::{AdaptiveL3, Organization};
 use simcore::config::{BranchConfig, CacheGeometry, MachineConfig};
 use simcore::rng::SimRng;
 use simcore::types::{Address, CoreId, Cycle};
 use tracegen::spec::SpecApp;
+use tracegen::workload::Mix;
 use tracegen::TraceGenerator;
 
 fn bench_lru_stack(c: &mut Criterion) {
@@ -28,6 +30,24 @@ fn bench_lru_stack(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 7) % 16;
             s.touch(black_box(i));
+        });
+    });
+    // The packed u64 permutation word against the Vec reference above:
+    // same access pattern, so the two lines are directly comparable.
+    c.bench_function("packed_lru_touch_16way", |b| {
+        let mut s = PackedLru::with_ways(16);
+        let mut i = 0u8;
+        b.iter(|| {
+            i = (i + 7) % 16;
+            s.touch(black_box(i));
+        });
+    });
+    c.bench_function("packed_lru_victim_walk_16way", |b| {
+        let mut s = PackedLru::with_ways(16);
+        b.iter(|| {
+            let victim = s.pop_lru().unwrap();
+            s.push_mru(black_box(victim));
+            victim
         });
     });
 }
@@ -216,6 +236,37 @@ fn bench_core_cycle(c: &mut Criterion) {
     });
 }
 
+fn bench_cycle_skip(c: &mut Criterion) {
+    // The event-driven run loop against the reference stepping loop on
+    // the same warmed chip: the gap between these two lines is exactly
+    // what the skip fast path buys on stall-heavy windows.
+    let cfg = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Mcf, SpecApp::Swim, SpecApp::Applu],
+        forwards: vec![0; 4],
+    };
+    for (name, skip) in [
+        ("cmp_run_window_skip", true),
+        ("cmp_run_window_step", false),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cmp = Cmp::new(&cfg, Organization::Shared, &mix, 42).unwrap();
+                    cmp.set_cycle_skip(skip);
+                    cmp.warm(2_000);
+                    cmp
+                },
+                |mut cmp| {
+                    cmp.run(20_000);
+                    cmp.now()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_lru_stack,
@@ -226,6 +277,7 @@ criterion_group!(
     bench_adaptive_l3_evict_heavy,
     bench_telemetry_overhead,
     bench_shadow_tags,
-    bench_core_cycle
+    bench_core_cycle,
+    bench_cycle_skip
 );
 criterion_main!(benches);

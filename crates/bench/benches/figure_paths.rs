@@ -22,6 +22,7 @@ fn tiny() -> ExperimentConfig {
         measure_cycles: 40_000,
         seed: 2007,
         jobs: 1,
+        cycle_skip: true,
     }
 }
 

@@ -6,8 +6,12 @@
 //! cargo run --release -p nuca-bench --bin perf             # full matrix, writes repo-root baseline
 //! cargo run --release -p nuca-bench --bin perf -- --quick  # CI smoke matrix
 //!     --jobs <N>            parallel pass thread count (0 = auto)  [default: auto]
+//!     --no-skip             run with event-driven cycle skipping disabled
 //!     --out <FILE>          where to write the JSON (- = stdout only)
 //!     --check-schema <FILE> fail if FILE's JSON schema differs from this run's
+//!     --check-regression <FILE>
+//!                           fail if this run's serial sim_cycles_per_second
+//!                           is more than 15% below FILE's
 //! ```
 //!
 //! The matrix is fixed (intensive-pool mixes x private/shared/adaptive)
@@ -31,24 +35,30 @@ use tracegen::workload::WorkloadPool;
 struct Args {
     quick: bool,
     jobs: usize,
+    cycle_skip: bool,
     out: Option<String>,
     check_schema: Option<String>,
+    check_regression: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         jobs: 0,
+        cycle_skip: true,
         out: None,
         check_schema: None,
+        check_regression: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--jobs" => args.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--no-skip" => args.cycle_skip = false,
             "--out" => args.out = it.next(),
             "--check-schema" => args.check_schema = it.next(),
+            "--check-regression" => args.check_regression = it.next(),
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
                     args.jobs = v.parse().unwrap_or(0);
@@ -81,6 +91,7 @@ fn main() {
     } else {
         (4, ExperimentConfig::default().scaled(20, 100))
     };
+    let exp = exp.with_cycle_skip(args.cycle_skip);
     let jobs = simcore::parallel::resolve_jobs(args.jobs);
     let orgs = [
         Organization::Private,
@@ -121,7 +132,23 @@ fn main() {
     let parallel_wall = t1.elapsed().as_secs_f64();
 
     let deterministic = serial == parallel;
+    let host_cores = simcore::parallel::default_jobs();
+    // On a one-core host the "parallel" pass is the serial pass with
+    // extra scheduling overhead; publishing its ratio as a speedup would
+    // be noise dressed up as data. The key stays (schema is shape, not
+    // values) but the value is honest.
     let speedup = serial_wall / parallel_wall.max(1e-9);
+    let (speedup_json, note) = if host_cores == 1 {
+        (
+            Json::Null,
+            "single-core host: the parallel pass cannot overlap work, so no speedup is reported",
+        )
+    } else {
+        (
+            Json::num(speedup),
+            "speedup compares the serial pass against the multi-threaded pass on this host",
+        )
+    };
 
     let rate = |wall: f64| {
         Json::Obj(vec![
@@ -161,22 +188,26 @@ fn main() {
                 ("seed".into(), Json::num(exp.seed as f64)),
             ]),
         ),
-        (
-            "host".into(),
-            pass("cores", simcore::parallel::default_jobs() as u64),
-        ),
+        ("host".into(), pass("cores", host_cores as u64)),
         ("jobs".into(), Json::num(jobs as f64)),
+        ("cycle_skip".into(), Json::Bool(args.cycle_skip)),
         ("serial".into(), rate(serial_wall)),
         ("parallel".into(), rate(parallel_wall)),
-        ("speedup".into(), Json::num(speedup)),
+        ("speedup".into(), speedup_json),
+        ("note".into(), Json::str(note)),
         ("deterministic".into(), Json::Bool(deterministic)),
     ]);
 
     let text = doc.render();
     print!("{text}");
+    let speedup_text = if host_cores == 1 {
+        "n/a (single-core host)".to_string()
+    } else {
+        format!("{speedup:.2}x")
+    };
     eprintln!(
         "perf: serial {serial_wall:.2}s, parallel {parallel_wall:.2}s (jobs={jobs}), \
-         speedup {speedup:.2}x, deterministic={deterministic}"
+         speedup {speedup_text}, deterministic={deterministic}"
     );
 
     let mut failed = false;
@@ -206,6 +237,45 @@ fn main() {
             }
             eprintln!("perf: FAIL — JSON schema differs from {reference}");
             failed = true;
+        }
+    }
+
+    if let Some(reference) = &args.check_regression {
+        let ref_text = std::fs::read_to_string(reference).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read regression reference {reference}: {e}");
+            std::process::exit(2);
+        });
+        let ref_doc = Json::parse(&ref_text).unwrap_or_else(|e| {
+            eprintln!("perf: regression reference {reference} is not valid JSON: {e}");
+            std::process::exit(2);
+        });
+        let ref_rate = ref_doc
+            .get("serial")
+            .and_then(|s| s.get("sim_cycles_per_second"))
+            .and_then(|v| match v {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or_else(|| {
+                eprintln!("perf: {reference} has no serial.sim_cycles_per_second");
+                std::process::exit(2);
+            });
+        let our_rate = total_sim_cycles as f64 / serial_wall.max(1e-9);
+        let ratio = our_rate / ref_rate.max(1e-9);
+        // 15% grace absorbs host-to-host and run-to-run wall-clock noise;
+        // a real hot-path regression (dropping the skip loop, re-growing
+        // per-step allocation) blows well past it.
+        if ratio < 0.85 {
+            eprintln!(
+                "perf: FAIL — serial throughput regressed: {our_rate:.0} vs \
+                 {ref_rate:.0} sim-cycles/s in {reference} ({ratio:.2}x, floor 0.85x)"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf: serial throughput {our_rate:.0} vs {ref_rate:.0} sim-cycles/s \
+                 in {reference} ({ratio:.2}x) — within the 15% regression budget"
+            );
         }
     }
 

@@ -24,6 +24,7 @@ fn tiny() -> ExperimentConfig {
         measure_cycles: 25_000,
         seed: 2007,
         jobs: 1,
+        cycle_skip: true,
     }
 }
 

@@ -4,17 +4,26 @@
 //! the plain last-level organizations the paper compares against (private
 //! slices, one shared LRU cache, and the slices of the cooperative
 //! scheme). The adaptive organization has its own bespoke set structure in
-//! the `nuca-core` crate, built from the same [`LruStack`] primitive.
+//! the `nuca-core` crate, built from the same packed-LRU primitive.
 //!
 //! Timing is handled by the callers; this type answers *what happened*
 //! (hit, miss, eviction), not *when*.
+//!
+//! # Layout
+//!
+//! The cache is stored struct-of-arrays: one flat set-major `Vec` of
+//! block addresses, one of owners, a `u32` valid/dirty bitmask per set,
+//! and one [`Recency`] word per set. A lookup touches one contiguous
+//! tag stripe plus two words — no per-set pointer chasing, no per-access
+//! allocation — which is what the per-step hot path of the event-driven
+//! run loop needs.
 
 use simcore::config::CacheGeometry;
 use simcore::invariant::{Invariant, Violation};
 use simcore::stats::HitMiss;
 use simcore::types::{Address, BlockAddr, CoreId};
 
-use crate::lru::LruStack;
+use crate::lru::Recency;
 
 /// Result of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,31 +58,6 @@ pub struct EvictedBlock {
     pub owner: CoreId,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Block {
-    valid: bool,
-    /// Full block address; comparing whole block numbers per set is exact
-    /// and sidesteps tag-width bookkeeping.
-    addr: BlockAddr,
-    dirty: bool,
-    owner: CoreId,
-}
-
-impl Block {
-    const INVALID: Block = Block {
-        valid: false,
-        addr: BlockAddr::new(0),
-        dirty: false,
-        owner: CoreId::from_index(0),
-    };
-}
-
-#[derive(Debug, Clone)]
-struct CacheSet {
-    blocks: Vec<Block>,
-    lru: LruStack,
-}
-
 /// A set-associative, write-back/write-allocate cache with LRU replacement.
 ///
 /// # Example
@@ -94,7 +78,19 @@ struct CacheSet {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: CacheGeometry,
-    sets: Vec<CacheSet>,
+    /// Associativity, cached out of `geom` for the hot path.
+    ways: usize,
+    /// Flat set-major block addresses: `tags[set * ways + way]`.
+    /// Meaningful only where the set's valid bit is set.
+    tags: Vec<BlockAddr>,
+    /// Flat set-major fetching cores, parallel to `tags`.
+    owners: Vec<CoreId>,
+    /// One valid bit per way, per set (associativity caps at 32).
+    valid: Vec<u32>,
+    /// One dirty bit per way, per set.
+    dirty: Vec<u32>,
+    /// One recency word per set (packed when the associativity fits).
+    lru: Vec<Recency>,
     stats: HitMiss,
     writebacks: u64,
 }
@@ -103,15 +99,15 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         let ways = geom.total_ways() as usize;
-        let sets = (0..geom.sets())
-            .map(|_| CacheSet {
-                blocks: vec![Block::INVALID; ways],
-                lru: LruStack::new(),
-            })
-            .collect();
+        let sets = geom.sets() as usize;
         Cache {
             geom,
-            sets,
+            ways,
+            tags: vec![BlockAddr::new(0); sets * ways],
+            owners: vec![CoreId::from_index(0); sets * ways],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            lru: vec![Recency::for_ways(ways); sets],
             stats: HitMiss::new(),
             writebacks: 0,
         }
@@ -130,23 +126,36 @@ impl Cache {
             .index_bits(0, self.geom.index_bits()) as usize
     }
 
+    /// The way holding `blk` in `set`, if resident: walk the set's valid
+    /// bits and compare tags in the flat stripe.
+    #[inline]
+    fn find(&self, set: usize, blk: BlockAddr) -> Option<usize> {
+        let base = set * self.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == blk {
+                return Some(w);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
     /// Accesses the cache: on a hit the block is promoted to MRU (and
     /// marked dirty for writes); on a miss nothing changes — callers decide
     /// whether and when to [`fill`](Self::fill).
     pub fn access(&mut self, addr: Address, write: bool, _core: CoreId) -> Lookup {
         let blk = addr.block(self.geom.offset_bits());
-        let set_idx = self.set_index(addr);
-        let set = &mut self.sets[set_idx];
-        for (w, b) in set.blocks.iter_mut().enumerate() {
-            if b.valid && b.addr == blk {
-                let was_lru = set.lru.is_lru(w as u8);
-                set.lru.touch(w as u8);
-                if write {
-                    b.dirty = true;
-                }
-                self.stats.hits += 1;
-                return Lookup::Hit { was_lru };
+        let set = self.set_index(addr);
+        if let Some(w) = self.find(set, blk) {
+            let was_lru = self.lru[set].is_lru(w as u8);
+            self.lru[set].touch(w as u8);
+            if write {
+                self.dirty[set] |= 1 << w;
             }
+            self.stats.hits += 1;
+            return Lookup::Hit { was_lru };
         }
         self.stats.misses += 1;
         Lookup::Miss
@@ -155,8 +164,7 @@ impl Cache {
     /// Probes for a block without updating recency or statistics.
     pub fn probe(&self, addr: Address) -> bool {
         let blk = addr.block(self.geom.offset_bits());
-        let set = &self.sets[self.set_index(addr)];
-        set.blocks.iter().any(|b| b.valid && b.addr == blk)
+        self.find(self.set_index(addr), blk).is_some()
     }
 
     /// Installs a block as MRU, evicting the LRU block if the set is full.
@@ -165,90 +173,85 @@ impl Cache {
     /// present just promotes it (and merges the dirty bit).
     pub fn fill(&mut self, addr: Address, dirty: bool, owner: CoreId) -> Option<EvictedBlock> {
         let blk = addr.block(self.geom.offset_bits());
-        let set_idx = self.set_index(addr);
-        let ways = self.geom.total_ways() as usize;
-        let set = &mut self.sets[set_idx];
+        let set = self.set_index(addr);
+        let base = set * self.ways;
 
         // Already present: refresh.
-        for (w, b) in set.blocks.iter_mut().enumerate() {
-            if b.valid && b.addr == blk {
-                b.dirty |= dirty;
-                set.lru.touch(w as u8);
-                return None;
-            }
+        if let Some(w) = self.find(set, blk) {
+            self.dirty[set] |= u32::from(dirty) << w;
+            self.lru[set].touch(w as u8);
+            return None;
         }
         // Free way?
-        if let Some(w) = set.blocks.iter().position(|b| !b.valid) {
-            set.blocks[w] = Block {
-                valid: true,
-                addr: blk,
-                dirty,
-                owner,
-            };
-            set.lru.push_mru(w as u8);
-            debug_assert!(set.lru.len() <= ways);
+        let full_mask = ((1u64 << self.ways) - 1) as u32;
+        let free = !self.valid[set] & full_mask;
+        if free != 0 {
+            let w = free.trailing_zeros() as usize;
+            self.tags[base + w] = blk;
+            self.owners[base + w] = owner;
+            self.valid[set] |= 1 << w;
+            self.dirty[set] = (self.dirty[set] & !(1 << w)) | (u32::from(dirty) << w);
+            self.lru[set].push_mru(w as u8);
+            debug_assert!(self.lru[set].len() <= self.ways);
             return None;
         }
         // Evict LRU. A full set always has an LRU way; fall back to way 0
         // defensively rather than aborting a long run (the Invariant audit
         // catches the corrupted stack).
-        let victim_way = usize::from(set.lru.pop_lru().unwrap_or(0));
-        let victim = set.blocks[victim_way];
-        if victim.dirty {
+        let w = usize::from(self.lru[set].pop_lru().unwrap_or(0));
+        let victim_dirty = self.dirty[set] & (1 << w) != 0;
+        if victim_dirty {
             self.writebacks += 1;
         }
-        set.blocks[victim_way] = Block {
-            valid: true,
-            addr: blk,
-            dirty,
-            owner,
+        let victim = EvictedBlock {
+            addr: self.tags[base + w],
+            dirty: victim_dirty,
+            owner: self.owners[base + w],
         };
-        set.lru.push_mru(victim_way as u8);
-        Some(EvictedBlock {
-            addr: victim.addr,
-            dirty: victim.dirty,
-            owner: victim.owner,
-        })
+        self.tags[base + w] = blk;
+        self.owners[base + w] = owner;
+        self.dirty[set] = (self.dirty[set] & !(1 << w)) | (u32::from(dirty) << w);
+        self.lru[set].push_mru(w as u8);
+        Some(victim)
     }
 
     /// Removes a block if present, returning its metadata (used when an
     /// organization migrates a block to another slice).
     pub fn invalidate(&mut self, addr: Address) -> Option<EvictedBlock> {
         let blk = addr.block(self.geom.offset_bits());
-        let set_idx = self.set_index(addr);
-        let set = &mut self.sets[set_idx];
-        for (w, b) in set.blocks.iter_mut().enumerate() {
-            if b.valid && b.addr == blk {
-                let out = EvictedBlock {
-                    addr: b.addr,
-                    dirty: b.dirty,
-                    owner: b.owner,
-                };
-                *b = Block::INVALID;
-                set.lru.remove(w as u8);
-                return Some(out);
-            }
-        }
-        None
+        let set = self.set_index(addr);
+        let w = self.find(set, blk)?;
+        let out = EvictedBlock {
+            addr: blk,
+            dirty: self.dirty[set] & (1 << w) != 0,
+            owner: self.owners[set * self.ways + w],
+        };
+        self.valid[set] &= !(1 << w);
+        self.dirty[set] &= !(1 << w);
+        self.lru[set].remove(w as u8);
+        Some(out)
     }
 
     /// The owner recorded for a resident block.
     pub fn owner_of(&self, addr: Address) -> Option<CoreId> {
         let blk = addr.block(self.geom.offset_bits());
-        let set = &self.sets[self.set_index(addr)];
-        set.blocks
-            .iter()
-            .find(|b| b.valid && b.addr == blk)
-            .map(|b| b.owner)
+        let set = self.set_index(addr);
+        self.find(set, blk)
+            .map(|w| self.owners[set * self.ways + w])
     }
 
     /// Number of valid blocks in the set containing `addr` owned by `core`.
     pub fn owned_in_set(&self, addr: Address, core: CoreId) -> usize {
-        let set = &self.sets[self.set_index(addr)];
-        set.blocks
-            .iter()
-            .filter(|b| b.valid && b.owner == core)
-            .count()
+        let set = self.set_index(addr);
+        let base = set * self.ways;
+        let mut m = self.valid[set];
+        let mut n = 0;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            n += usize::from(self.owners[base + w] == core);
+            m &= m - 1;
+        }
+        n
     }
 
     /// Hit/miss statistics since the last reset.
@@ -272,10 +275,7 @@ impl Cache {
 
     /// Total valid blocks currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.blocks.iter().filter(|b| b.valid).count())
-            .sum()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Checks internal invariants (every set's LRU stack is a permutation
@@ -293,21 +293,18 @@ impl Invariant for Cache {
 
     fn audit(&self) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (si, set) in self.sets.iter().enumerate() {
-            let valid: Vec<u8> = set
-                .blocks
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| b.valid)
-                .map(|(w, _)| w as u8)
+        for (si, (&mask, lru)) in self.valid.iter().zip(&self.lru).enumerate() {
+            let base = si * self.ways;
+            let valid: Vec<u8> = (0..self.ways as u8)
+                .filter(|&w| mask & (1 << w) != 0)
                 .collect();
-            if set.lru.len() != valid.len() {
+            if lru.len() != valid.len() {
                 out.push(
                     Violation::new(
                         self.component(),
                         format!(
                             "LRU stack tracks {} ways but {} blocks are valid",
-                            set.lru.len(),
+                            lru.len(),
                             valid.len()
                         ),
                     )
@@ -315,7 +312,7 @@ impl Invariant for Cache {
                 );
             }
             for &w in &valid {
-                if !set.lru.contains(w) {
+                if !lru.contains(w) {
                     out.push(
                         Violation::new(self.component(), "valid block missing from LRU stack")
                             .at_set(si)
@@ -326,14 +323,13 @@ impl Invariant for Cache {
             for i in 0..valid.len() {
                 for j in (i + 1)..valid.len() {
                     let (wi, wj) = (usize::from(valid[i]), usize::from(valid[j]));
-                    let (a, b) = (&set.blocks[wi], &set.blocks[wj]);
-                    if a.addr == b.addr {
+                    if self.tags[base + wi] == self.tags[base + wj] {
                         out.push(
                             Violation::new(
                                 self.component(),
                                 format!(
                                     "duplicate block address {:#x} (also in way {wi})",
-                                    b.addr.raw()
+                                    self.tags[base + wj].raw()
                                 ),
                             )
                             .at_set(si)
@@ -476,6 +472,20 @@ mod tests {
         c.fill(Address::new(0x00), false, c0());
         c.fill(Address::new(0x40), false, c0());
         assert_eq!(c.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn sixteen_way_set_fills_and_evicts() {
+        // One-set, 16-way cache: the packed-LRU word at full width.
+        let mut c = Cache::new(CacheGeometry::new(1024, 16, 64, 1).unwrap());
+        for i in 0..16u64 {
+            assert!(c.fill(Address::new(i * 1024), false, c0()).is_none());
+        }
+        assert_eq!(c.resident_blocks(), 16);
+        c.access(Address::new(0), false, c0()); // block 0 becomes MRU
+        let ev = c.fill(Address::new(16 * 1024), false, c0()).unwrap();
+        assert_eq!(ev.addr, Address::new(1024).block(6), "oldest untouched");
+        assert!(c.check_invariants());
     }
 
     #[test]

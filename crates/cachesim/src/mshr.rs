@@ -131,6 +131,21 @@ impl MshrFile {
         }
     }
 
+    /// The earliest completion time among outstanding fills — the MSHR's
+    /// contribution to the event horizon of the cycle-skipping run loop.
+    /// `None` when no fill is outstanding.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.ready_at).min()
+    }
+
+    /// Releases the registers whose fills have completed by `now` without
+    /// collecting them — the allocation-free form of
+    /// [`drain_ready`](Self::drain_ready) used on the per-cycle hot path,
+    /// where the completion order is irrelevant.
+    pub fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.ready_at > now);
+    }
+
     /// Removes and returns the blocks whose fills have completed by `now`,
     /// in completion order.
     pub fn drain_ready(&mut self, now: Cycle) -> Vec<BlockAddr> {
@@ -227,5 +242,32 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_panics() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn next_completion_tracks_earliest_fill() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_completion(), None);
+        m.request(BlockAddr::new(1), Cycle::new(30));
+        m.request(BlockAddr::new(2), Cycle::new(10));
+        assert_eq!(m.next_completion(), Some(Cycle::new(10)));
+        m.expire(Cycle::new(10));
+        assert_eq!(m.next_completion(), Some(Cycle::new(30)));
+        m.expire(Cycle::new(9999));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn expire_matches_drain_ready() {
+        let mut a = MshrFile::new(4);
+        let mut b = MshrFile::new(4);
+        for (blk, at) in [(1u64, 30u64), (2, 10), (3, 20)] {
+            a.request(BlockAddr::new(blk), Cycle::new(at));
+            b.request(BlockAddr::new(blk), Cycle::new(at));
+        }
+        a.expire(Cycle::new(20));
+        let _ = b.drain_ready(Cycle::new(20));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.lookup(BlockAddr::new(1)), b.lookup(BlockAddr::new(1)));
     }
 }

@@ -104,6 +104,78 @@ impl<T: Default> PerCore<T> {
     }
 }
 
+/// A dense core-major table: one row of `rows` slots per core, stored
+/// contiguously in a single allocation.
+///
+/// This is the struct-of-arrays counterpart of `Vec<PerCore<T>>` for
+/// per-set, per-core state (private LRU stacks, occupancy counters):
+/// instead of one small `Vec` per cache set, each core's slots for
+/// *every* set form one contiguous stripe, so an access stream from a
+/// core walks a single array.
+///
+/// # Example
+///
+/// ```
+/// use cachesim::percore::PerCoreTable;
+/// use simcore::types::CoreId;
+///
+/// let mut t: PerCoreTable<u32> = PerCoreTable::filled(2, 4, 0);
+/// *t.get_mut(CoreId::from_index(1), 3) += 5;
+/// assert_eq!(*t.get(CoreId::from_index(1), 3), 5);
+/// assert_eq!(t.row(CoreId::from_index(0)), &[0, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerCoreTable<T> {
+    rows: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> PerCoreTable<T> {
+    /// Creates a table of `cores` rows of `rows` slots, all set to
+    /// `value`.
+    pub fn filled(cores: usize, rows: usize, value: T) -> Self {
+        PerCoreTable {
+            rows,
+            data: vec![value; cores * rows],
+        }
+    }
+}
+
+impl<T> PerCoreTable<T> {
+    /// Number of cores (rows).
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.data.len().checked_div(self.rows).unwrap_or(0)
+    }
+
+    /// Number of slots per core.
+    #[inline]
+    pub fn row_len(&self) -> usize {
+        self.rows
+    }
+
+    /// The slot for `core` at `slot`.
+    #[inline]
+    pub fn get(&self, core: CoreId, slot: usize) -> &T {
+        debug_assert!(slot < self.rows);
+        &self.data[core.index() * self.rows + slot]
+    }
+
+    /// Mutable access to the slot for `core` at `slot`.
+    #[inline]
+    pub fn get_mut(&mut self, core: CoreId, slot: usize) -> &mut T {
+        debug_assert!(slot < self.rows);
+        &mut self.data[core.index() * self.rows + slot]
+    }
+
+    /// The whole contiguous stripe of `core`'s slots.
+    #[inline]
+    pub fn row(&self, core: CoreId) -> &[T] {
+        let start = core.index() * self.rows;
+        &self.data[start..start + self.rows]
+    }
+}
+
 impl<T> Index<CoreId> for PerCore<T> {
     type Output = T;
     #[inline]
@@ -173,5 +245,18 @@ mod tests {
     fn display_nonempty() {
         let t: PerCore<u8> = PerCore::filled(2, 1);
         assert_eq!(format!("{t}"), "[core0: 1, core1: 1]");
+    }
+
+    #[test]
+    fn table_rows_are_contiguous_and_independent() {
+        let mut t: PerCoreTable<u32> = PerCoreTable::filled(3, 4, 0);
+        assert_eq!(t.cores(), 3);
+        assert_eq!(t.row_len(), 4);
+        for slot in 0..4 {
+            *t.get_mut(CoreId::from_index(1), slot) = slot as u32 + 1;
+        }
+        assert_eq!(t.row(CoreId::from_index(1)), &[1, 2, 3, 4]);
+        assert_eq!(t.row(CoreId::from_index(0)), &[0, 0, 0, 0]);
+        assert_eq!(t.row(CoreId::from_index(2)), &[0, 0, 0, 0]);
     }
 }

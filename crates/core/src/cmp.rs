@@ -64,6 +64,16 @@ pub struct Cmp<S: Sink = NullSink> {
     l3: L3System<S>,
     now: Cycle,
     window_start: Cycle,
+    /// Whether [`Cmp::run`] may jump over provably-idle windows (the
+    /// event-driven fast path). The `--no-skip` escape hatch clears it.
+    cycle_skip: bool,
+    /// Per-core memo of the last [`Core::idle_until`] answer: while
+    /// `idle_wake[i] > now`, core `i` is known idle until that cycle and
+    /// need not be re-proved. Sound because idleness depends only on
+    /// core-local state and an idle core's step is a no-op, so the proof
+    /// survives other cores' activity; cleared whenever a core goes
+    /// active (0 is always stale) and at the top of [`Cmp::run`].
+    idle_wake: Vec<u64>,
 }
 
 impl Cmp {
@@ -147,7 +157,7 @@ impl<S: Sink> Cmp<S> {
             )));
         }
         let mut root = SimRng::seed_from(seed);
-        let cores = profiles
+        let cores: Vec<Core<S>> = profiles
             .iter()
             .zip(forwards)
             .enumerate()
@@ -159,12 +169,28 @@ impl<S: Sink> Cmp<S> {
                 Core::with_sink(id, cfg, gen, sink.clone())
             })
             .collect();
+        let idle_wake = vec![0; cores.len()];
         Ok(Cmp {
             cores,
             l3: L3System::build_with_sink(org, cfg, sink)?,
             now: Cycle::ZERO,
             window_start: Cycle::ZERO,
+            cycle_skip: true,
+            idle_wake,
         })
+    }
+
+    /// Enables or disables event-driven cycle skipping in
+    /// [`run`](Self::run). Disabled, `run` steps every cycle — the
+    /// reference semantics the skipping path is differentially tested
+    /// against; results are bit-identical either way.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.cycle_skip = enabled;
+    }
+
+    /// Whether [`run`](Self::run) uses the event-driven fast path.
+    pub fn cycle_skip(&self) -> bool {
+        self.cycle_skip
     }
 
     /// The current simulated time.
@@ -186,10 +212,74 @@ impl<S: Sink> Cmp<S> {
     }
 
     /// Runs for `cycles` cycles.
+    ///
+    /// With cycle skipping enabled (the default), the loop is
+    /// event-driven: whenever every core proves its next step a no-op
+    /// (see [`Core::idle_until`]), the clock jumps straight to the
+    /// earliest pending event — an MSHR/memory-fill completion, an issued
+    /// ROB head finishing, a dependency becoming ready, or fetch
+    /// resuming — instead of stepping the stalled window one cycle at a
+    /// time. Only the clock moves across a skipped window; no state
+    /// changes and no telemetry is emitted, so statistics (which derive
+    /// from `now` and committed counts), 2000-miss re-evaluation
+    /// boundaries (miss-driven, and misses only happen on stepped
+    /// cycles) and traces are identical to the stepping loop.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let target = self.now + cycles;
+        if !self.cycle_skip {
+            while self.now < target {
+                self.step();
+            }
+            return;
         }
+        // State mutations outside `run` (warming, stat resets) are not
+        // tracked by the memo, so start from a clean slate.
+        self.idle_wake.fill(0);
+        while self.now < target {
+            match self.idle_horizon() {
+                // Every wake candidate is strictly after `now`, so the
+                // jump always makes progress; an empty horizon
+                // (`u64::MAX`, a fully drained chip) clamps to `target`
+                // exactly like the stepping loop's no-op spin.
+                Some(wake) => self.now = wake.min(target),
+                None => self.step(),
+            }
+        }
+    }
+
+    /// The chip-level event horizon: `Some(wake)` when **all** cores are
+    /// provably idle at `self.now` (with `wake` the earliest cycle any of
+    /// them can act), `None` when at least one core may do work this
+    /// cycle. Cores only interact through the last-level cache and the
+    /// memory bus, and both are passive (their state changes only on
+    /// core-initiated accesses), so per-core idleness composes to
+    /// chip-level idleness.
+    ///
+    /// Idleness proofs are memoized in `idle_wake`: a stalled core is
+    /// re-proved once per stall window, not once per cycle, because a
+    /// still-valid proof (`idle_wake[i] > now`) cannot be invalidated by
+    /// anything but that core's own non-idle step.
+    fn idle_horizon(&mut self) -> Option<Cycle> {
+        let now = self.now.raw();
+        let mut wake = u64::MAX;
+        for (core, memo) in self.cores.iter().zip(&mut self.idle_wake) {
+            let w = if *memo > now {
+                *memo
+            } else {
+                match core.idle_until(self.now) {
+                    Some(t) => {
+                        *memo = t.raw();
+                        t.raw()
+                    }
+                    None => {
+                        *memo = 0;
+                        return None;
+                    }
+                }
+            };
+            wake = wake.min(w);
+        }
+        Some(Cycle::new(wake))
     }
 
     /// Audits the last-level structure right now (see
@@ -364,6 +454,33 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.per_core, b.per_core);
+    }
+
+    #[test]
+    fn cycle_skip_matches_stepping_loop_exactly() {
+        // The event-driven fast path must be *bit-identical* to the
+        // reference stepping loop: same committed counts, same hit/miss
+        // stats, same quotas, for every organization.
+        let cfg = MachineConfig::baseline();
+        for org in [
+            Organization::Private,
+            Organization::Shared,
+            Organization::adaptive(),
+            Organization::Cooperative { seed: 7 },
+        ] {
+            let run = |skip: bool| {
+                let mut cmp = Cmp::new(&cfg, org, &quick_mix(), 11).unwrap();
+                cmp.set_cycle_skip(skip);
+                cmp.warm(5_000);
+                cmp.run(8_000);
+                cmp.reset_stats();
+                cmp.run(12_000);
+                cmp.snapshot()
+            };
+            let fast = run(true);
+            let reference = run(false);
+            assert_eq!(fast, reference, "skip diverged under {}", org.label());
+        }
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct ExperimentConfig {
     /// self-contained. This is an execution policy, not part of the
     /// experiment's identity.
     pub jobs: usize,
+    /// Whether [`Cmp::run`] may use the event-driven cycle-skipping fast
+    /// path. Like `jobs`, an execution policy: results are bit-identical
+    /// either way (enforced by the differential tests and the CI
+    /// skip-equivalence job); `false` is the `--no-skip` escape hatch
+    /// that keeps the reference stepping loop alive.
+    pub cycle_skip: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -52,6 +58,7 @@ impl Default for ExperimentConfig {
             measure_cycles: 1_500_000,
             seed: 2007,
             jobs: 1,
+            cycle_skip: true,
         }
     }
 }
@@ -65,6 +72,7 @@ impl ExperimentConfig {
             measure_cycles: 150_000,
             seed: 2007,
             jobs: 1,
+            cycle_skip: true,
         }
     }
 
@@ -76,8 +84,7 @@ impl ExperimentConfig {
             warm_instructions: (self.warm_instructions * num / den).max(1),
             warmup_cycles: (self.warmup_cycles * num / den).max(1),
             measure_cycles: (self.measure_cycles * num / den).max(1),
-            seed: self.seed,
-            jobs: self.jobs,
+            ..*self
         }
     }
 
@@ -87,6 +94,16 @@ impl ExperimentConfig {
     pub fn with_jobs(&self, jobs: usize) -> Self {
         ExperimentConfig {
             jobs: simcore::parallel::resolve_jobs(jobs),
+            ..*self
+        }
+    }
+
+    /// Same experiment with the event-driven cycle-skipping fast path
+    /// enabled or disabled.
+    #[must_use]
+    pub fn with_cycle_skip(&self, enabled: bool) -> Self {
+        ExperimentConfig {
+            cycle_skip: enabled,
             ..*self
         }
     }
@@ -116,6 +133,7 @@ fn drive<S: Sink>(
     sink: S,
 ) -> Result<MixResult> {
     let mut cmp = Cmp::new_with_sink(machine, org, mix, exp.seed, sink)?;
+    cmp.set_cycle_skip(exp.cycle_skip);
     cmp.warm(exp.warm_instructions);
     cmp.run(exp.warmup_cycles);
     cmp.reset_stats();

@@ -4,9 +4,9 @@
 //! Every set of the aggregate 16-way cache is divided into per-core
 //! **private partitions** (each at most the 4 ways of the core's local
 //! slice) and one **shared partition** holding everything else. The
-//! division is *logical*: partitions are LRU stacks over way indices, and
-//! "moving" a block between partitions re-labels its way rather than
-//! copying data — the paper's lazy repartitioning.
+//! division is *logical*: partitions are recency words over way
+//! indices, and "moving" a block between partitions re-labels its way
+//! rather than copying data — the paper's lazy repartitioning.
 //!
 //! Key events (Section 2.3):
 //!
@@ -22,9 +22,20 @@
 //!   end, else the global LRU block). The victim's tag is recorded in its
 //!   owner's shadow register, feeding the gain estimator; every 2000
 //!   misses the sharing engine re-evaluates the quotas.
+//!
+//! # Layout
+//!
+//! The cache state is struct-of-arrays, sized once at construction and
+//! never reallocated: a flat set-major tag/owner stripe, `u32`
+//! valid/dirty bitmasks per set, one [`Recency`] word per set for the
+//! shared partition, and a core-major [`PerCoreTable`] holding each
+//! core's private stacks and occupancy counters for every set as one
+//! contiguous stripe. The per-access hot path (lookup, touch, victim
+//! search, install) performs no heap allocation — enforced by lint rule
+//! L7.
 
-use cachesim::lru::LruStack;
-use cachesim::percore::PerCore;
+use cachesim::lru::Recency;
+use cachesim::percore::{PerCore, PerCoreTable};
 use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
 use memsim::{MainMemory, MemoryStats};
 use simcore::config::MachineConfig;
@@ -33,61 +44,6 @@ use simcore::types::{Address, BlockAddr, CoreId, Cycle};
 use telemetry::{CoreOccupancy, Event, NullSink, Sink};
 
 use crate::engine::{AdaptiveParams, SharingEngine};
-
-#[derive(Debug, Clone, Copy)]
-struct Block {
-    valid: bool,
-    addr: BlockAddr,
-    dirty: bool,
-    owner: CoreId,
-}
-
-impl Block {
-    const INVALID: Block = Block {
-        valid: false,
-        addr: BlockAddr::new(0),
-        dirty: false,
-        owner: CoreId::from_index(0),
-    };
-}
-
-#[derive(Debug, Clone)]
-struct AdaptiveSet {
-    blocks: Vec<Block>,
-    private: Vec<LruStack>,
-    shared: LruStack,
-    /// Valid blocks owned by each core, maintained incrementally in
-    /// [`AdaptiveL3::install`] — the only place ownership or validity
-    /// changes (hit-path swaps move ways between stacks but never
-    /// change `Block::owner`). Turns Algorithm 1's per-candidate quota
-    /// check from an O(ways) rescan into an O(1) lookup; cross-checked
-    /// against a full recount by [`Invariant::audit`].
-    owned: Vec<u32>,
-    /// Count of valid blocks; once it reaches the associativity, the
-    /// miss path skips the invalid-way scan entirely (the steady state
-    /// after cold fill).
-    filled: u32,
-}
-
-impl AdaptiveSet {
-    fn new(ways: usize, cores: usize) -> Self {
-        AdaptiveSet {
-            blocks: vec![Block::INVALID; ways],
-            private: vec![LruStack::new(); cores],
-            shared: LruStack::new(),
-            owned: vec![0; cores],
-            filled: 0,
-        }
-    }
-
-    fn find(&self, addr: BlockAddr) -> Option<usize> {
-        self.blocks.iter().position(|b| b.valid && b.addr == addr)
-    }
-
-    fn owned_count(&self, owner: CoreId) -> u32 {
-        self.owned[owner.index()]
-    }
-}
 
 /// Aggregate statistics of the adaptive organization.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -151,7 +107,30 @@ impl OccupancyRow {
 /// share one source.
 #[derive(Debug)]
 pub struct AdaptiveL3<S: Sink = NullSink> {
-    sets: Vec<AdaptiveSet>,
+    /// Associativity of the aggregate cache.
+    ways: usize,
+    /// Flat set-major block addresses: `tags[set * ways + way]`.
+    /// Meaningful only where the set's valid bit is set.
+    tags: Vec<BlockAddr>,
+    /// Flat set-major fetching cores, parallel to `tags`. The owner
+    /// never changes while a block is resident (hit-path swaps move
+    /// ways between stacks but never re-label ownership).
+    owners: Vec<CoreId>,
+    /// One valid bit per way, per set.
+    valid: Vec<u32>,
+    /// One dirty bit per way, per set.
+    dirty: Vec<u32>,
+    /// The shared partition's recency word, per set.
+    shared: Vec<Recency>,
+    /// Core-major private-partition recency words: core `c`'s stack for
+    /// set `s` is `private.get(c, s)`.
+    private: PerCoreTable<Recency>,
+    /// Core-major count of valid blocks owned per set, maintained
+    /// incrementally in [`AdaptiveL3::install`] — the only place
+    /// ownership or validity changes. Turns Algorithm 1's per-candidate
+    /// quota check from an O(ways) rescan into an O(1) lookup;
+    /// cross-checked against a full recount by [`Invariant::audit`].
+    owned: PerCoreTable<u32>,
     engine: SharingEngine,
     memory: MainMemory,
     cores: usize,
@@ -160,6 +139,10 @@ pub struct AdaptiveL3<S: Sink = NullSink> {
     /// access, so the mask is hoisted out of the hot path instead of
     /// being rebuilt from the bit count each time.
     index_mask: u64,
+    /// All ways valid: `(1 << ways) - 1`, the steady state after cold
+    /// fill. Comparing the valid mask against this skips the free-way
+    /// scan entirely.
+    full_mask: u32,
     private_latency: u64,
     shared_latency: u64,
     stats: AdaptiveStats,
@@ -182,9 +165,14 @@ impl<S: Sink> AdaptiveL3<S> {
         let sets = geom.sets() as usize;
         let ways = geom.total_ways() as usize;
         AdaptiveL3 {
-            sets: (0..sets)
-                .map(|_| AdaptiveSet::new(ways, cfg.cores))
-                .collect(),
+            ways,
+            tags: vec![BlockAddr::new(0); sets * ways], // lint:allow(L7): constructor
+            owners: vec![CoreId::from_index(0); sets * ways], // lint:allow(L7): constructor
+            valid: vec![0; sets],                       // lint:allow(L7): constructor
+            dirty: vec![0; sets],                       // lint:allow(L7): constructor
+            shared: vec![Recency::for_ways(ways); sets], // lint:allow(L7): constructor
+            private: PerCoreTable::filled(cfg.cores, sets, Recency::for_ways(ways)),
+            owned: PerCoreTable::filled(cfg.cores, sets, 0),
             engine: SharingEngine::new(
                 sets,
                 cfg.cores,
@@ -196,6 +184,7 @@ impl<S: Sink> AdaptiveL3<S> {
             cores: cfg.cores,
             offset_bits: geom.offset_bits(),
             index_mask: (1u64 << geom.index_bits()) - 1,
+            full_mask: ((1u64 << ways) - 1) as u32,
             private_latency: cfg.l3.private.latency(),
             shared_latency: cfg.l3.neighbor_latency,
             stats: AdaptiveStats::default(),
@@ -260,28 +249,36 @@ impl<S: Sink> AdaptiveL3<S> {
         (blk.raw() & self.index_mask) as usize
     }
 
+    /// The way holding `blk` in `set_idx`, if resident: walk the set's
+    /// valid bits and compare tags in the flat stripe.
+    #[inline]
+    fn find(&self, set_idx: usize, blk: BlockAddr) -> Option<usize> {
+        let base = set_idx * self.ways;
+        let mut m = self.valid[set_idx];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == blk {
+                return Some(w);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
     /// Demotes `core`'s private-LRU blocks to the shared partition until
-    /// its private stack fits within `capacity`. Borrows the two stacks
-    /// once instead of re-indexing `private` on every loop iteration.
-    fn trim_private(
-        set: &mut AdaptiveSet,
-        set_idx: usize,
-        core: CoreId,
-        capacity: u32,
-        demotions: &mut u64,
-        sink: &mut S,
-        now: Cycle,
-    ) {
-        let stack = &mut set.private[core.index()];
+    /// its private stack fits within `capacity`.
+    fn trim_private(&mut self, set_idx: usize, core: CoreId, capacity: u32, now: Cycle) {
+        let stack = self.private.get_mut(core, set_idx);
+        let shared = &mut self.shared[set_idx];
         while stack.len() > capacity as usize {
             // The loop guard keeps the stack nonempty here.
             let Some(way) = stack.pop_lru() else {
                 break;
             };
-            set.shared.push_mru(way);
-            *demotions += 1;
+            shared.push_mru(way);
+            self.stats.demotions += 1;
             if S::ENABLED {
-                sink.emit(
+                self.sink.emit(
                     now,
                     Event::Demotion {
                         core,
@@ -298,20 +295,21 @@ impl<S: Sink> AdaptiveL3<S> {
     /// counted towards the requester's occupancy, so a core already at
     /// quota evicts its own LRU-most block rather than an innocent
     /// neighbor's.
-    fn find_victim(&mut self, set_idx: usize, requester: CoreId) -> (usize, bool) {
-        let set = &self.sets[set_idx];
+    fn find_victim(&self, set_idx: usize, requester: CoreId) -> (usize, bool) {
+        let base = set_idx * self.ways;
+        let shared = &self.shared[set_idx];
         if self.engine.use_algorithm1() {
-            for way in set.shared.iter_from_lru() {
-                let owner = set.blocks[way as usize].owner;
+            for way in shared.iter_from_lru() {
+                let owner = self.owners[base + way as usize];
                 let incoming = u32::from(owner == requester);
-                if set.owned_count(owner) + incoming > self.engine.quota(owner) {
+                if self.owned.get(owner, set_idx) + incoming > self.engine.quota(owner) {
                     return (way as usize, true);
                 }
             }
         }
         // `ensure_shared_nonempty` ran before this; way 0 is a defensive
         // fallback for a corrupted partition, caught by the Invariant audit.
-        (set.shared.lru().map_or(0, usize::from), false)
+        (shared.lru().map_or(0, usize::from), false)
     }
 
     /// Ensures the shared partition is nonempty by demoting from the most
@@ -319,23 +317,23 @@ impl<S: Sink> AdaptiveL3<S> {
     /// after quota shrinks (lazy repartitioning can leave every way
     /// privately labeled).
     fn ensure_shared_nonempty(&mut self, set_idx: usize, now: Cycle) {
-        if !self.sets[set_idx].shared.is_empty() {
+        if !self.shared[set_idx].is_empty() {
             return;
         }
-        let Some((core, _)) = (0..self.cores)
-            .map(|i| {
-                let c = CoreId::from_index(i as u8);
-                let over = self.sets[set_idx].private[i].len() as i64
-                    - self.engine.private_capacity(c) as i64;
-                (c, over)
-            })
-            .max_by_key(|(_, over)| *over)
-        else {
+        let mut best: Option<(CoreId, i64)> = None;
+        for i in 0..self.cores {
+            let c = CoreId::from_index(i as u8);
+            let over =
+                self.private.get(c, set_idx).len() as i64 - self.engine.private_capacity(c) as i64;
+            if best.is_none_or(|(_, b)| over > b) {
+                best = Some((c, over));
+            }
+        }
+        let Some((core, _)) = best else {
             return; // zero cores cannot occur; nothing to demote
         };
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.private[core.index()].pop_lru() {
-            set.shared.push_mru(way);
+        if let Some(way) = self.private.get_mut(core, set_idx).pop_lru() {
+            self.shared[set_idx].push_mru(way);
             self.stats.demotions += 1;
             if S::ENABLED {
                 self.sink.emit(
@@ -359,37 +357,28 @@ impl<S: Sink> AdaptiveL3<S> {
         now: Cycle,
     ) {
         let capacity = self.engine.private_capacity(core);
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let bit = 1u32 << way;
         // Sole ownership/validity mutation point: keep the incremental
         // per-core occupancy counters exact here and nowhere else.
-        let old = set.blocks[way];
-        if old.valid {
-            set.owned[old.owner.index()] = set.owned[old.owner.index()].saturating_sub(1);
+        if self.valid[set_idx] & bit != 0 {
+            let old_owner = self.owners[base + way];
+            let n = self.owned.get_mut(old_owner, set_idx);
+            *n = n.saturating_sub(1);
         } else {
-            set.filled += 1;
+            self.valid[set_idx] |= bit;
         }
-        set.owned[core.index()] += 1;
-        set.blocks[way] = Block {
-            valid: true,
-            addr: blk,
-            dirty,
-            owner: core,
-        };
+        *self.owned.get_mut(core, set_idx) += 1;
+        self.tags[base + way] = blk;
+        self.owners[base + way] = core;
+        self.dirty[set_idx] = (self.dirty[set_idx] & !bit) | (u32::from(dirty) << way);
         if capacity == 0 {
             // Quota-1 cores live entirely in the shared partition but are
             // still guaranteed this one block (Section 2.4).
-            set.shared.push_mru(way as u8);
+            self.shared[set_idx].push_mru(way as u8);
         } else {
-            set.private[core.index()].push_mru(way as u8);
-            Self::trim_private(
-                set,
-                set_idx,
-                core,
-                capacity,
-                &mut self.stats.demotions,
-                &mut self.sink,
-                now,
-            );
+            self.private.get_mut(core, set_idx).push_mru(way as u8);
+            self.trim_private(set_idx, core, capacity, now);
         }
     }
 
@@ -404,12 +393,18 @@ impl<S: Sink> AdaptiveL3<S> {
                 shared_blocks: 0,
             })
             .collect();
-        for set in &self.sets {
-            for (c, stack) in set.private.iter().enumerate() {
-                rows[c].private_blocks += stack.len() as u64;
-            }
-            for way in set.shared.iter_from_mru() {
-                let owner = set.blocks[way as usize].owner;
+        for (c, row) in rows.iter_mut().enumerate() {
+            row.private_blocks = self
+                .private
+                .row(CoreId::from_index(c as u8))
+                .iter()
+                .map(|s| s.len() as u64)
+                .sum();
+        }
+        for (set_idx, shared) in self.shared.iter().enumerate() {
+            let base = set_idx * self.ways;
+            for way in shared.iter_from_mru() {
+                let owner = self.owners[base + way as usize];
                 rows[owner.index()].shared_blocks += 1;
             }
         }
@@ -491,41 +486,47 @@ impl<S: Sink> Invariant for AdaptiveL3<S> {
 
     fn audit(&self) -> Vec<Violation> {
         let mut out = self.engine.audit();
-        for (si, set) in self.sets.iter().enumerate() {
-            let mut seen = vec![0u32; set.blocks.len()];
-            for (owner, stack) in set
-                .private
-                .iter()
-                .enumerate()
-                .map(|(c, s)| (Some(c), s))
-                .chain(std::iter::once((None, &set.shared)))
-            {
-                for w in stack.iter_from_mru() {
+        for (si, (&mask, shared)) in self.valid.iter().zip(&self.shared).enumerate() {
+            let base = si * self.ways;
+            let mut seen = vec![0u32; self.ways]; // lint:allow(L7): audit is --paranoid only
+            for c in 0..self.cores {
+                let core = CoreId::from_index(c as u8);
+                for w in self.private.get(core, si).iter_from_mru() {
                     match seen.get_mut(w as usize) {
                         Some(count) => *count += 1,
-                        None => {
-                            let mut v = Violation::new(
+                        None => out.push(
+                            Violation::new(
                                 self.component(),
                                 format!("stack references way {w} beyond associativity"),
                             )
                             .at_set(si)
-                            .at_way(usize::from(w));
-                            if let Some(c) = owner {
-                                v = v.for_core(c);
-                            }
-                            out.push(v);
-                        }
+                            .at_way(usize::from(w))
+                            .for_core(c),
+                        ),
                     }
                 }
             }
-            for (w, b) in set.blocks.iter().enumerate() {
-                let expected = u32::from(b.valid);
-                let count = seen.get(w).copied().unwrap_or(0);
+            for w in shared.iter_from_mru() {
+                match seen.get_mut(w as usize) {
+                    Some(count) => *count += 1,
+                    None => out.push(
+                        Violation::new(
+                            self.component(),
+                            format!("stack references way {w} beyond associativity"),
+                        )
+                        .at_set(si)
+                        .at_way(usize::from(w)),
+                    ),
+                }
+            }
+            for (w, &count) in seen.iter().enumerate() {
+                let valid = mask & (1 << w) != 0;
+                let expected = u32::from(valid);
                 if count != expected {
                     out.push(
                         Violation::new(
                             self.component(),
-                            if b.valid {
+                            if valid {
                                 format!("valid block appears in {count} stacks, expected exactly 1")
                             } else {
                                 format!("invalid block appears in {count} stacks, expected 0")
@@ -533,36 +534,23 @@ impl<S: Sink> Invariant for AdaptiveL3<S> {
                         )
                         .at_set(si)
                         .at_way(w)
-                        .for_core(b.owner.index()),
+                        .for_core(self.owners[base + w].index()),
                     );
                 }
             }
             // Cross-check the incremental occupancy counters against a
             // full recount — the counters feed Algorithm 1's quota
             // comparison, so drift here would silently change victims.
-            let mut recount = vec![0u32; self.cores];
-            let mut valid = 0u32;
-            for b in &set.blocks {
-                if b.valid {
-                    valid += 1;
-                    if let Some(n) = recount.get_mut(b.owner.index()) {
+            let mut recount = vec![0u32; self.cores]; // lint:allow(L7): audit is --paranoid only
+            for w in 0..self.ways {
+                if mask & (1 << w) != 0 {
+                    if let Some(n) = recount.get_mut(self.owners[base + w].index()) {
                         *n += 1;
                     }
                 }
             }
-            if valid != set.filled {
-                out.push(
-                    Violation::new(
-                        self.component(),
-                        format!(
-                            "filled counter {} != {} valid blocks recounted",
-                            set.filled, valid
-                        ),
-                    )
-                    .at_set(si),
-                );
-            }
-            for (ci, (&inc, &rec)) in set.owned.iter().zip(&recount).enumerate() {
+            for (ci, &rec) in recount.iter().enumerate() {
+                let inc = *self.owned.get(CoreId::from_index(ci as u8), si);
                 if inc != rec {
                     out.push(
                         Violation::new(
@@ -574,18 +562,18 @@ impl<S: Sink> Invariant for AdaptiveL3<S> {
                     );
                 }
             }
-            for i in 0..set.blocks.len() {
-                for j in (i + 1)..set.blocks.len() {
-                    if set.blocks[i].valid
-                        && set.blocks[j].valid
-                        && set.blocks[i].addr == set.blocks[j].addr
+            for i in 0..self.ways {
+                for j in (i + 1)..self.ways {
+                    if mask & (1 << i) != 0
+                        && mask & (1 << j) != 0
+                        && self.tags[base + i] == self.tags[base + j]
                     {
                         out.push(
                             Violation::new(
                                 self.component(),
                                 format!(
                                     "duplicate tag {:#x} (also in way {i})",
-                                    set.blocks[j].addr.raw()
+                                    self.tags[base + j].raw()
                                 ),
                             )
                             .at_set(si)
@@ -604,19 +592,19 @@ impl<S: Sink> LastLevel for AdaptiveL3<S> {
         let blk = addr.block(self.offset_bits);
         let set_idx = self.set_index(blk);
 
-        if let Some(way) = self.sets[set_idx].find(blk) {
-            let set = &mut self.sets[set_idx];
-            set.blocks[way].dirty |= write;
+        if let Some(way) = self.find(set_idx, blk) {
             let way8 = way as u8;
-            if set.private[core.index()].contains(way8) {
+            self.dirty[set_idx] |= u32::from(write) << way;
+            let private = self.private.get_mut(core, set_idx);
+            if private.contains(way8) {
                 // Phase-1 tag match: fast private hit.
-                if set.private[core.index()].is_lru(way8) {
+                if private.is_lru(way8) {
                     self.engine.record_lru_hit(core);
                     if S::ENABLED {
                         self.sink.emit(now, Event::LruHit { core });
                     }
                 }
-                set.private[core.index()].touch(way8);
+                self.private.get_mut(core, set_idx).touch(way8);
                 self.stats.private_hits += 1;
                 return L3Outcome {
                     data_ready: now + self.private_latency,
@@ -630,7 +618,7 @@ impl<S: Sink> LastLevel for AdaptiveL3<S> {
             // matter" — in which case it is served at the neighbor
             // latency and left where it is (the owner keeps its
             // protection).
-            if !set.shared.contains(way8) {
+            if !self.shared[set_idx].contains(way8) {
                 self.stats.shared_hits += 1;
                 return L3Outcome {
                     data_ready: now + self.shared_latency,
@@ -643,19 +631,11 @@ impl<S: Sink> LastLevel for AdaptiveL3<S> {
             // block.
             let capacity = self.engine.private_capacity(core);
             if capacity > 0 {
-                set.shared.remove(way8);
-                set.private[core.index()].push_mru(way8);
-                Self::trim_private(
-                    set,
-                    set_idx,
-                    core,
-                    capacity,
-                    &mut self.stats.demotions,
-                    &mut self.sink,
-                    now,
-                );
+                self.shared[set_idx].remove(way8);
+                self.private.get_mut(core, set_idx).push_mru(way8);
+                self.trim_private(set_idx, core, capacity, now);
             } else {
-                set.shared.touch(way8);
+                self.shared[set_idx].touch(way8);
             }
             self.stats.shared_hits += 1;
             return L3Outcome {
@@ -679,38 +659,36 @@ impl<S: Sink> LastLevel for AdaptiveL3<S> {
             );
         }
 
-        // The invalid-way scan only runs during cold fill; `filled`
-        // short-circuits it in the steady state.
-        let free_way = if (self.sets[set_idx].filled as usize) < self.sets[set_idx].blocks.len() {
-            self.sets[set_idx].blocks.iter().position(|b| !b.valid)
-        } else {
-            None
-        };
-        let victim_way = if let Some(w) = free_way {
-            w
+        // The free-way pick only triggers during cold fill; a full valid
+        // mask short-circuits it in the steady state.
+        let free = !self.valid[set_idx] & self.full_mask;
+        let victim_way = if free != 0 {
+            free.trailing_zeros() as usize
         } else {
             self.ensure_shared_nonempty(set_idx, now);
             let (way, over_quota) = self.find_victim(set_idx, core);
-            let victim = self.sets[set_idx].blocks[way];
+            let base = set_idx * self.ways;
+            let victim_owner = self.owners[base + way];
+            let victim_dirty = self.dirty[set_idx] & (1 << way) != 0;
             self.engine
-                .record_eviction(set_idx, victim.owner, victim.addr);
-            if victim.dirty {
+                .record_eviction(set_idx, victim_owner, self.tags[base + way]);
+            if victim_dirty {
                 self.memory.writeback(now);
             }
-            self.sets[set_idx].shared.remove(way as u8);
+            self.shared[set_idx].remove(way as u8);
             self.stats.evictions += 1;
-            self.victims_by_owner[victim.owner] += 1;
+            self.victims_by_owner[victim_owner] += 1;
             if over_quota {
                 self.stats.over_quota_evictions += 1;
             } else {
-                self.lru_fallback_victims_by_owner[victim.owner] += 1;
+                self.lru_fallback_victims_by_owner[victim_owner] += 1;
             }
             if S::ENABLED {
                 self.sink.emit(
                     now,
                     Event::SharedEviction {
                         set: set_idx as u32,
-                        owner: victim.owner,
+                        owner: victim_owner,
                         over_quota,
                     },
                 );
@@ -728,8 +706,8 @@ impl<S: Sink> LastLevel for AdaptiveL3<S> {
     fn writeback(&mut self, _core: CoreId, addr: Address, now: Cycle) {
         let blk = addr.block(self.offset_bits);
         let set_idx = self.set_index(blk);
-        if let Some(way) = self.sets[set_idx].find(blk) {
-            self.sets[set_idx].blocks[way].dirty = true;
+        if let Some(way) = self.find(set_idx, blk) {
+            self.dirty[set_idx] |= 1 << way;
         } else {
             self.memory.writeback(now);
         }
@@ -990,7 +968,7 @@ mod tests {
             l3.access(c(1), addr(0, t).with_asid(1), false, Cycle::new(t * 100));
         }
         let before: u64 = (0..3u64)
-            .filter(|&t| l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some())
+            .filter(|&t| l3.find(0, addr(0, t).with_asid(1).block(6)).is_some())
             .count() as u64;
         // Shrink core 1's quota via core 0 gains.
         for round in 0..200u64 {
@@ -1002,7 +980,7 @@ mod tests {
             );
         }
         let after: u64 = (0..3u64)
-            .filter(|&t| l3.sets[0].find(addr(0, t).with_asid(1).block(6)).is_some())
+            .filter(|&t| l3.find(0, addr(0, t).with_asid(1).block(6)).is_some())
             .count() as u64;
         assert_eq!(before, after, "quota shrink alone never invalidates blocks");
         assert!(l3.check_invariants());

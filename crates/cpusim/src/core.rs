@@ -175,7 +175,7 @@ impl<S: Sink> Core<S> {
             lsq_occupancy: 0,
             fetch_queue: VecDeque::with_capacity(cfg.pipeline.fetch_queue),
             next_seq: 1,
-            ready_ring: vec![0; RING],
+            ready_ring: vec![0; RING], // lint:allow(L7): constructor
             fetch_resume_at: Cycle::ZERO,
             waiting_branch: None,
             last_fetch_block: u64::MAX,
@@ -307,11 +307,113 @@ impl<S: Sink> Core<S> {
 
     /// Advances the core by one cycle against the given last-level cache.
     pub fn step(&mut self, now: Cycle, l3: &mut dyn LastLevel) {
-        self.mshr.drain_ready(now);
+        self.mshr.expire(now);
         self.commit(now);
         self.issue(now, l3);
         self.dispatch();
         self.fetch(now, l3);
+    }
+
+    #[inline]
+    fn dep_ready_cycle(&self, producer: u64) -> u64 {
+        if producer == 0 {
+            0
+        } else {
+            self.ready_ring[(producer as usize) % RING]
+        }
+    }
+
+    /// Proves (or refuses to prove) that [`step`](Self::step) at `now` is
+    /// a total no-op, returning the earliest cycle at which the core might
+    /// act again. `None` means the core may do work *this* cycle and must
+    /// be stepped; `Some(wake)` guarantees that every step in
+    /// `now..wake` changes no architectural state, advances no trace
+    /// stream, and emits no telemetry event, so the chip-level run loop
+    /// may jump the clock straight to `wake`.
+    ///
+    /// The proof mirrors the five pipeline stages of `step`, each of which
+    /// must be individually quiescent:
+    ///
+    /// - **MSHR expiry** acts only when a fill's `ready_at` has arrived;
+    ///   the earliest outstanding completion is a wake source.
+    /// - **Commit** acts only when the ROB head is issued and complete;
+    ///   its `ready_at` is a wake source.
+    /// - **Issue** acts as soon as *any* unissued entry in the scheduler
+    ///   window has both dependencies ready — even one that would then be
+    ///   refused a functional unit or MSHR slot (the refusal emits an
+    ///   `MshrStall` telemetry event, so such cycles must be stepped to
+    ///   keep traced runs bit-identical). Dependency-ready times from the
+    ///   ready ring are wake sources; in-flight producers (`u64::MAX`)
+    ///   are not, because the producer's own issue happens on a stepped
+    ///   cycle which re-opens the horizon.
+    /// - **Dispatch** is time-independent: it acts whenever the fetch
+    ///   queue is nonempty, the ROB has room and (for memory ops) the LSQ
+    ///   has room. Those resources only free on commit, already covered.
+    /// - **Fetch** acts whenever it is not gated by an unresolved branch,
+    ///   a full fetch queue, or `fetch_resume_at`; the latter is a wake
+    ///   source.
+    pub fn idle_until(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake = u64::MAX;
+
+        // Fetch: an unblocked front end pulls new ops every cycle.
+        if self.waiting_branch.is_none()
+            && self.fetch_queue.len() < self.cfg.pipeline.fetch_queue.max(self.cfg.pipeline.width)
+        {
+            if self.fetch_resume_at <= now {
+                return None;
+            }
+            wake = wake.min(self.fetch_resume_at.raw());
+        }
+
+        // Dispatch: blocked only by ROB/LSQ pressure, which is
+        // time-independent and only released by commit.
+        if let Some(&(op, _)) = self.fetch_queue.front() {
+            let rob_full = self.rob.len() >= self.cfg.pipeline.ruu_size;
+            let lsq_blocked = op.class.is_mem() && self.lsq_occupancy >= self.cfg.pipeline.lsq_size;
+            if !rob_full && !lsq_blocked {
+                return None;
+            }
+        }
+
+        // Commit: in-order retirement waits on the head only.
+        if let Some(e) = self.rob.front() {
+            if e.issued {
+                if e.ready_at <= now {
+                    return None;
+                }
+                wake = wake.min(e.ready_at.raw());
+            }
+        }
+
+        // MSHR: a completed fill frees a register this cycle.
+        if let Some(t) = self.mshr.next_completion() {
+            if t <= now {
+                return None;
+            }
+            wake = wake.min(t.raw());
+        }
+
+        // Issue: scan the same bounded scheduler window `issue` uses.
+        if let Some(start) = self.rob.iter().position(|e| !e.issued) {
+            let end = (start + SCHED_WINDOW).min(self.rob.len());
+            for idx in start..end {
+                let e = &self.rob[idx];
+                if e.issued {
+                    continue;
+                }
+                let ready = self
+                    .dep_ready_cycle(e.dep1)
+                    .max(self.dep_ready_cycle(e.dep2));
+                if ready <= now.raw() {
+                    return None;
+                }
+                if ready != u64::MAX {
+                    wake = wake.min(ready);
+                }
+            }
+        }
+
+        Some(Cycle::new(wake))
     }
 
     fn commit(&mut self, now: Cycle) {

@@ -7,6 +7,7 @@
 //! allow L1 crates/core/src/cmp.rs:107          -- length checked two lines above
 //! allow L2 crates/cpusim/src/scratch.rs        -- whole-file exemption
 //! stats-path crates/bench/src/report.rs        # extend the L3 scope
+//! hot-path crates/cachesim/src/cache.rs        # extend the L7 scope
 //! ```
 //!
 //! Every `allow` entry must carry a `--`-separated justification; a bare
@@ -34,6 +35,8 @@ pub struct Allowlist {
     pub entries: Vec<AllowEntry>,
     /// Extra files added to the L3 statistics scope via `stats-path`.
     pub extra_stats_paths: Vec<String>,
+    /// Extra files added to the L7 hot-path scope via `hot-path`.
+    pub extra_hot_paths: Vec<String>,
 }
 
 impl Allowlist {
@@ -53,7 +56,7 @@ impl Allowlist {
                         .next()
                         .ok_or_else(|| format!("line {line_no}: missing rule after `allow`"))?;
                     let rule = Rule::parse(rule_word).ok_or_else(|| {
-                        format!("line {line_no}: unknown rule `{rule_word}` (expected L1..L4)")
+                        format!("line {line_no}: unknown rule `{rule_word}` (expected L1..L7)")
                     })?;
                     let target = words
                         .next()
@@ -82,9 +85,15 @@ impl Allowlist {
                     })?;
                     list.extra_stats_paths.push(path.to_string());
                 }
+                Some("hot-path") => {
+                    let path = words
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: missing path after `hot-path`"))?;
+                    list.extra_hot_paths.push(path.to_string());
+                }
                 Some(other) => {
                     return Err(format!(
-                        "line {line_no}: unknown directive `{other}` (expected `allow` or `stats-path`)"
+                        "line {line_no}: unknown directive `{other}` (expected `allow`, `stats-path` or `hot-path`)"
                     ));
                 }
                 None => {}
@@ -156,5 +165,12 @@ mod tests {
     fn inline_comment_stripped() {
         let a = Allowlist::parse("stats-path a.rs # note\n").unwrap();
         assert_eq!(a.extra_stats_paths, vec!["a.rs"]);
+    }
+
+    #[test]
+    fn hot_path_extends_the_l7_scope() {
+        let a = Allowlist::parse("hot-path crates/cachesim/src/cache.rs\n").unwrap();
+        assert_eq!(a.extra_hot_paths, vec!["crates/cachesim/src/cache.rs"]);
+        assert!(Allowlist::parse("hot-path\n").is_err());
     }
 }

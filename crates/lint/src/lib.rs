@@ -45,6 +45,9 @@ pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<CheckRepo
     scopes
         .stats_files
         .extend(allow.extra_stats_paths.iter().cloned());
+    scopes
+        .hot_files
+        .extend(allow.extra_hot_paths.iter().cloned());
 
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;

@@ -27,6 +27,8 @@ RULES:
     L3  no bare `as` narrowing casts in statistics/counter paths
     L4  every pub fn in crates/core/src/l3/ and engine.rs has a doc comment
     L5  no thread::spawn/thread::scope outside crates/simcore/src/parallel.rs
+    L6  no println!/eprintln! outside binaries, examples and exempt modules
+    L7  no heap allocation (Vec::new/vec!/Box::new/clone()) in per-step hot paths
 
 EXIT CODES:
     0 clean    1 violations    2 usage or I/O error

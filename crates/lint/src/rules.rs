@@ -22,6 +22,15 @@
 //!   values or the telemetry subsystem; stray prints corrupt the JSONL
 //!   trace/metrics streams that figure binaries write to stdout-adjacent
 //!   files and make library output impossible to capture deterministically.
+//! - **L7** — no heap allocation (`Vec::new` / `vec!` / `Box::new` /
+//!   `.clone()`) in the per-step hot-path modules (the adaptive L3
+//!   victim/replacement path, the LRU recency structures, the
+//!   out-of-order core's step functions). These run once per simulated
+//!   access or cycle; a single allocation there costs more than the
+//!   whole lookup it serves, and the PR that removed them is the one
+//!   that made billion-cycle runs tractable. Cold paths inside those
+//!   files (constructors, audits, snapshots) carry inline
+//!   `lint:allow(L7)` markers with justifications.
 
 use std::fmt;
 
@@ -40,6 +49,8 @@ pub enum Rule {
     L5,
     /// No print macros outside binaries/examples and exempt modules.
     L6,
+    /// No heap allocation in per-step hot-path modules.
+    L7,
 }
 
 impl Rule {
@@ -52,6 +63,7 @@ impl Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
         }
     }
 
@@ -64,6 +76,7 @@ impl Rule {
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
             "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
             _ => None,
         }
     }
@@ -114,6 +127,10 @@ pub struct Scopes {
     /// L6: exact non-binary files allowed to print (e.g. the vendored
     /// Criterion shim, whose whole job is terminal reporting).
     pub print_files: Vec<String>,
+    /// L7: exact files whose non-test code is a per-step hot path and
+    /// must stay allocation-free. Extendable from `lint.toml` via
+    /// `hot-path` lines.
+    pub hot_files: Vec<String>,
 }
 
 impl Default for Scopes {
@@ -134,6 +151,11 @@ impl Default for Scopes {
             ],
             runner_files: vec!["crates/simcore/src/parallel.rs".to_string()],
             print_files: vec!["crates/criterion/src/lib.rs".to_string()],
+            hot_files: vec![
+                "crates/core/src/l3/adaptive.rs".to_string(),
+                "crates/cachesim/src/lru.rs".to_string(),
+                "crates/cpusim/src/core.rs".to_string(),
+            ],
         }
     }
 }
@@ -157,6 +179,10 @@ impl Scopes {
 
     fn is_runner(&self, rel: &str) -> bool {
         self.runner_files.iter().any(|p| p == rel)
+    }
+
+    fn in_hot(&self, rel: &str) -> bool {
+        self.hot_files.iter().any(|p| p == rel)
     }
 
     /// Files where printing is structurally fine: binary sources, any
@@ -201,7 +227,8 @@ pub fn check_file(
     // L6 is repo-wide: every scanned file except binaries/examples and
     // the explicit print exemptions.
     let l6 = !scopes.may_print(rel);
-    if !sim && !stats && !doc && !l5 && !l6 {
+    let hot = scopes.in_hot(rel);
+    if !sim && !stats && !doc && !l5 && !l6 && !hot {
         return out;
     }
 
@@ -270,6 +297,27 @@ pub fn check_file(
                         line: line_no,
                         message: format!(
                             "{pat} in library code; report through return values or telemetry — printing belongs to src/bin/ binaries"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if hot && !in_test && !inline_allowed(raw_line, Rule::L7) {
+            for (pat, what) in [
+                ("Vec::new", "Vec::new"),
+                ("vec!", "vec!"),
+                ("Box::new", "Box::new"),
+                (".clone()", "clone()"),
+                (".to_vec()", "to_vec()"),
+            ] {
+                if contains_token(san, pat) {
+                    out.push(Diagnostic {
+                        rule: Rule::L7,
+                        file: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "{what} in a per-step hot path; preallocate in the constructor or justify a cold path with lint:allow(L7)"
                         ),
                     });
                 }
@@ -574,5 +622,38 @@ mod tests {
         let src = "pub fn helper() {}\n";
         assert!(check("crates/core/src/cmp.rs", src).is_empty());
         assert_eq!(check("crates/core/src/l3/shared.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn l7_flags_allocation_in_hot_paths() {
+        let d = check(
+            "crates/core/src/l3/adaptive.rs",
+            "fn f() { let v: Vec<u8> = Vec::new(); }\nfn g() { let b = Box::new(1); }\n",
+        );
+        let l7: Vec<_> = d.iter().filter(|d| d.rule == Rule::L7).collect();
+        assert_eq!(l7.len(), 2);
+        assert!(l7[0].message.contains("Vec::new"));
+        let d = check(
+            "crates/cachesim/src/lru.rs",
+            "fn f(x: &S) -> S { x.clone() }\n",
+        );
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::L7).count(), 1);
+        let d = check(
+            "crates/cpusim/src/core.rs",
+            "fn f() { let v = vec![0; 4]; }\n",
+        );
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::L7).count(), 1);
+    }
+
+    #[test]
+    fn l7_only_in_hot_scope_and_honors_allow() {
+        let src = "fn f() { let v: Vec<u8> = Vec::new(); }\n";
+        assert!(check("crates/core/src/cmp.rs", src)
+            .iter()
+            .all(|d| d.rule != Rule::L7));
+        let allowed = "fn f() { let v = vec![0; 4]; } // lint:allow(L7): constructor\n";
+        assert!(check("crates/cpusim/src/core.rs", allowed).is_empty());
+        let test_src = "#[cfg(test)]\nmod t {\n fn f() { let v = vec![1]; }\n}\n";
+        assert!(check("crates/cachesim/src/lru.rs", test_src).is_empty());
     }
 }

@@ -38,14 +38,23 @@ impl CacheGeometry {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the block size or total size is not a
-    /// power of two, if the associativity is zero, or if the size is not
-    /// divisible into whole sets.
+    /// power of two, if the associativity is zero or above 32, or if the
+    /// size is not divisible into whole sets.
     pub fn new(size_bytes: u64, assoc: u32, block_bytes: u32, latency: u64) -> Result<Self> {
         if !block_bytes.is_power_of_two() {
             return Err(ConfigError::new("cache block size must be a power of two"));
         }
         if assoc == 0 {
             return Err(ConfigError::new("cache associativity must be nonzero"));
+        }
+        // Per-set validity/dirty state is a u32 bitmask, so associativity
+        // caps at 32 ways — Table 1's largest configuration is the 4-core
+        // shared L3 at 16 ways, and the robustness suite goes to 32 (the
+        // 8-core chip).
+        if assoc > 32 {
+            return Err(ConfigError::new(
+                "cache associativity above 32 is not supported (per-set bitmask encoding)",
+            ));
         }
         if size_bytes == 0 || !size_bytes.is_multiple_of(assoc as u64 * block_bytes as u64) {
             return Err(ConfigError::new(

@@ -118,8 +118,22 @@ impl SimRng {
         if p >= 1.0 {
             return 0;
         }
+        self.geometric_from_ln((1.0 - p).ln())
+    }
+
+    /// [`geometric`](Self::geometric) with the denominator `ln(1 - p)`
+    /// precomputed by the caller. Hot generators sample this once per
+    /// micro-op; hoisting the constant logarithm out of the loop halves
+    /// the transcendental work while producing bit-identical samples
+    /// (the division operands are the same values either way).
+    #[inline]
+    pub fn geometric_from_ln(&mut self, ln_one_minus_p: f64) -> u64 {
+        debug_assert!(
+            ln_one_minus_p < 0.0,
+            "ln(1-p) must be negative for p in (0, 1)"
+        );
         let u = self.next_f64().max(f64::MIN_POSITIVE);
-        (u.ln() / (1.0 - p).ln()) as u64
+        (u.ln() / ln_one_minus_p) as u64
     }
 
     /// Picks an index according to the given relative weights.

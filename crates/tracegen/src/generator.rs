@@ -38,6 +38,25 @@ pub const fn is_shared_address(addr: Address) -> bool {
     (addr.raw() & 0x00ff_ffff_ffff_ffff) >= SHARED_BASE
 }
 
+/// `x % k` for `x < 2k`: one compare instead of a 64-bit division.
+/// Callers uphold the bound; hot cursors advance by at most one stride
+/// past their span per op, so this covers every wrap in the generator.
+#[inline]
+fn wrap_once(x: u64, k: u64) -> u64 {
+    debug_assert!(x < 2 * k, "wrap_once bound violated: {x} >= 2 * {k}");
+    if x >= k {
+        x - k
+    } else {
+        x
+    }
+}
+
+/// `(x + 1) % k` for `x < k`.
+#[inline]
+fn wrap_inc(x: u64, k: u64) -> u64 {
+    wrap_once(x + 1, k)
+}
+
 /// A deterministic generator of [`MicroOp`]s for one application.
 ///
 /// # Example
@@ -79,6 +98,16 @@ pub struct TraceGenerator {
     m_l2: f64,
     m_hot: f64,
     dep_p: f64,
+    /// `ln(1 - dep_p)`, hoisted so each dependency draw costs one
+    /// logarithm instead of two (see [`SimRng::geometric_from_ln`]).
+    dep_ln: f64,
+    // Cached region extents (bytes / blocks), so the per-op path reads
+    // flat fields instead of chasing the nested profile structs.
+    code_bytes: u64,
+    l1_span: u64,
+    l2_span: u64,
+    hot_blocks: u64,
+    stream_span: u64,
 }
 
 impl TraceGenerator {
@@ -131,6 +160,12 @@ impl TraceGenerator {
             m_l2,
             m_hot,
             dep_p: 1.0 / profile.dep_mean,
+            dep_ln: (1.0 - 1.0 / profile.dep_mean).ln(),
+            code_bytes: profile.regions.code_kb * 1024,
+            l1_span: profile.regions.l1_kb * 1024,
+            l2_span: profile.regions.l2_kb * 1024,
+            hot_blocks: profile.regions.hot_kb * 16,
+            stream_span: profile.regions.stream_kb * 1024,
         }
     }
 
@@ -160,31 +195,34 @@ impl TraceGenerator {
     fn data_address(&mut self) -> Address {
         let r = self.rng.next_f64();
         let raw = if r < self.m_l1 {
-            let span = self.profile.regions.l1_kb * 1024;
-            L1_BASE + (self.rng.below(span) & !7)
+            L1_BASE + (self.rng.below(self.l1_span) & !7)
         } else if r < self.m_l2 {
-            let span = self.profile.regions.l2_kb * 1024;
-            L2_BASE + (self.rng.below(span) & !7)
+            L2_BASE + (self.rng.below(self.l2_span) & !7)
         } else if r < self.m_hot {
-            let k = self.profile.regions.hot_kb * 16; // 64-byte blocks
+            let k = self.hot_blocks; // 64-byte blocks
             let blk = if self.rng.chance(self.profile.hot_loop) {
                 // Cyclic sequential loop: the access pattern that gives
                 // LRU caches an all-or-nothing capacity cliff at K.
-                self.hot_loop_pos = (self.hot_loop_pos + 1) % k;
+                // Cursors stay in [0, k), so wrap-around is a compare
+                // instead of a 64-bit division (this path runs once per
+                // hot access; the modulo was visible in profiles).
+                self.hot_loop_pos = wrap_inc(self.hot_loop_pos, k);
                 self.hot_loop_pos
             } else {
                 // Recency draw: distance from the head drawn as
                 // K * u^hot_skew, a convex stack-distance profile
                 // (Figure 3 shapes) that still touches all K blocks.
-                self.hot_head = (self.hot_head + 1) % k;
+                self.hot_head = wrap_inc(self.hot_head, k);
                 let u = self.rng.next_f64();
-                let d = (k as f64 * u.powf(self.profile.hot_skew)) as u64 % k;
-                (self.hot_head + k - d) % k
+                // `k * u^skew < k` mathematically, but the product can
+                // round up to exactly `k`; the wrap keeps the cast in
+                // range exactly like the old `% k` did.
+                let d = wrap_once((k as f64 * u.powf(self.profile.hot_skew)) as u64, k);
+                wrap_once(self.hot_head + k - d, k)
             };
             HOT_BASE + blk * 64 + (self.rng.below(8) * 8)
         } else {
-            let span = self.profile.regions.stream_kb * 1024;
-            self.stream_offset = (self.stream_offset + 64) % span;
+            self.stream_offset = wrap_once(self.stream_offset + 64, self.stream_span);
             STREAM_BASE + self.stream_offset
         };
         Address::new(raw)
@@ -192,12 +230,16 @@ impl TraceGenerator {
 
     #[inline]
     fn dep_distance(&mut self) -> u32 {
-        1 + self.rng.geometric(self.dep_p).min(63) as u32
+        if self.dep_p >= 1.0 {
+            // Matches geometric(): p = 1 yields 0 without an RNG draw.
+            return 1;
+        }
+        1 + self.rng.geometric_from_ln(self.dep_ln).min(63) as u32
     }
 
     /// Generates the next micro-op in program order.
     pub fn next_op(&mut self) -> MicroOp {
-        let code_bytes = self.profile.regions.code_kb * 1024;
+        let code_bytes = self.code_bytes;
         let pc = Address::new(CODE_BASE + self.pc_offset);
         let r = self.rng.next_f64();
 
@@ -209,9 +251,9 @@ impl TraceGenerator {
                 // region, so all threads touch the same hot blocks.
                 let k = self.profile.shared_kb * 16;
                 let u = self.rng.next_f64();
-                let d = (k as f64 * u.powf(self.profile.hot_skew)) as u64 % k;
-                let blk = (self.shared_head + k - d) % k;
-                self.shared_head = (self.shared_head + 1) % k;
+                let d = wrap_once((k as f64 * u.powf(self.profile.hot_skew)) as u64, k);
+                let blk = wrap_once(self.shared_head + k - d, k);
+                self.shared_head = wrap_inc(self.shared_head, k);
                 Address::new(SHARED_BASE + blk * 64 + self.rng.below(8) * 8)
             } else {
                 self.data_address()
@@ -253,7 +295,9 @@ impl TraceGenerator {
         if class == OpClass::Branch && taken {
             self.pc_offset = self.rng.below(code_bytes) & !3;
         } else {
-            self.pc_offset = (self.pc_offset + 4) % code_bytes;
+            // The PC stays 4-aligned below `code_bytes` (a multiple of
+            // 1024), so sequential advance wraps by compare, not modulo.
+            self.pc_offset = wrap_once(self.pc_offset + 4, code_bytes);
         }
 
         self.ops_generated += 1;

@@ -49,6 +49,10 @@ pub struct SimRequest {
     pub seed: u64,
     /// Audit L3 structural invariants after every step (slow).
     pub paranoid: bool,
+    /// Advance time event-driven, skipping fully-stalled windows.
+    /// Execution policy only: results are bit-identical either way, and
+    /// `--no-skip` forces the reference stepping loop.
+    pub cycle_skip: bool,
     /// Worker threads for running the organizations (`0` = one per
     /// available core). Results are bit-identical for every value.
     pub jobs: usize,
@@ -120,6 +124,9 @@ OPTIONS:
     --paranoid             audit L3 structural invariants after every
                            timed step; abort on the first violation (slow),
                            dumping the tail of the telemetry event ring
+    --no-skip              disable event-driven cycle skipping and run the
+                           reference stepping loop (bit-identical output,
+                           slower; exists as a differential check)
     --trace <PATH>         write a JSONL event trace covering every
                            requested organization (sections in request
                            order; identical for every --jobs value)
@@ -145,6 +152,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut tech_scaled = false;
     let mut reeval = 2000u64;
     let mut paranoid = false;
+    let mut cycle_skip = true;
     let mut jobs = 1usize;
     let mut trace: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
@@ -195,6 +203,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--tech-scaled" => tech_scaled = true,
             "--paranoid" => paranoid = true,
+            "--no-skip" => cycle_skip = false,
             "--help" | "-h" => return Err(CliError::new(USAGE)),
             other => return Err(CliError::new(format!("unknown argument: {other}"))),
         }
@@ -262,6 +271,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         measure_cycles: measure,
         seed,
         paranoid,
+        cycle_skip,
         jobs,
         trace,
         metrics_out,
@@ -364,6 +374,7 @@ fn drive<S: Sink>(
     req: &SimRequest,
     recorder: Option<&Recorder>,
 ) -> Result<CmpResult, CliError> {
+    cmp.set_cycle_skip(req.cycle_skip);
     cmp.warm(req.warm_instructions);
     if req.paranoid {
         paranoid_phase(cmp, req.warmup_cycles, "warm-up", recorder)?;
@@ -473,6 +484,13 @@ mod tests {
         assert_eq!(req.organizations[0].label(), "adaptive");
         assert_eq!(req.seed, 2007);
         assert_eq!(req.jobs, 1);
+        assert!(req.cycle_skip);
+    }
+
+    #[test]
+    fn no_skip_selects_the_reference_stepping_loop() {
+        let req = parse_args(&argv("--org shared --apps ammp,gzip,crafty,eon --no-skip")).unwrap();
+        assert!(!req.cycle_skip);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! driven through the experiment harness.
 
 use nuca_repro::nuca_core::cmp::Cmp;
-use nuca_repro::nuca_core::experiment::{compare_schemes, run_mix, ExperimentConfig};
+use nuca_repro::nuca_core::experiment::{
+    compare_schemes, run_mix, run_mix_traced, ExperimentConfig,
+};
 use nuca_repro::nuca_core::l3::Organization;
 use nuca_repro::simcore::config::MachineConfig;
+use nuca_repro::telemetry::export::render_jsonl;
 use nuca_repro::tracegen::spec::SpecApp;
 use nuca_repro::tracegen::workload::{Mix, WorkloadPool};
 
@@ -187,4 +190,42 @@ fn eight_megabyte_l3_reduces_misses() {
         large.result.total_l3_misses() < small.result.total_l3_misses(),
         "denser cache must miss less for cache-hungry mixes"
     );
+}
+
+#[test]
+fn cycle_skip_is_invisible_end_to_end() {
+    // The event-driven fast path must be a pure execution policy: for
+    // every organization, the measured window, the figure-feeding rows
+    // and the *byte-rendered* telemetry stream match the reference
+    // stepping loop exactly.
+    let machine = MachineConfig::baseline();
+    for org in [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+    ] {
+        let (fast, fast_trace) =
+            run_mix_traced(&machine, org, &mixed(), &exp().with_cycle_skip(true), 4096).unwrap();
+        let (slow, slow_trace) =
+            run_mix_traced(&machine, org, &mixed(), &exp().with_cycle_skip(false), 4096).unwrap();
+        assert_eq!(fast.result, slow.result, "{} window differs", org.label());
+        assert_eq!(
+            render_jsonl(std::slice::from_ref(&fast_trace)),
+            render_jsonl(std::slice::from_ref(&slow_trace)),
+            "{} telemetry JSONL differs",
+            org.label()
+        );
+    }
+    // And through the multi-cell figure harness: the scheme-comparison
+    // rows (what every figure consumes) are bit-identical too.
+    let orgs = [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+    ];
+    let rows_fast =
+        compare_schemes(&machine, &orgs, &mixed(), &exp().with_cycle_skip(true)).unwrap();
+    let rows_slow =
+        compare_schemes(&machine, &orgs, &mixed(), &exp().with_cycle_skip(false)).unwrap();
+    assert_eq!(rows_fast, rows_slow);
 }

@@ -17,6 +17,7 @@ fn exp() -> ExperimentConfig {
         measure_cycles: 600_000,
         seed: 2007,
         jobs: 1,
+        cycle_skip: true,
     }
 }
 
