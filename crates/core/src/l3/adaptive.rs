@@ -171,8 +171,8 @@ impl<S: Sink> AdaptiveL3<S> {
             valid: vec![0; sets],                       // lint:allow(L7): constructor
             dirty: vec![0; sets],                       // lint:allow(L7): constructor
             shared: vec![Recency::for_ways(ways); sets], // lint:allow(L7): constructor
-            private: PerCoreTable::filled(cfg.cores, sets, Recency::for_ways(ways)),
-            owned: PerCoreTable::filled(cfg.cores, sets, 0),
+            private: PerCoreTable::filled(cfg.cores, sets, Recency::for_ways(ways)), // lint:allow(D4): constructor
+            owned: PerCoreTable::filled(cfg.cores, sets, 0), // lint:allow(D4): constructor
             engine: SharingEngine::new(
                 sets,
                 cfg.cores,
@@ -188,8 +188,8 @@ impl<S: Sink> AdaptiveL3<S> {
             private_latency: cfg.l3.private.latency(),
             shared_latency: cfg.l3.neighbor_latency,
             stats: AdaptiveStats::default(),
-            victims_by_owner: PerCore::filled(cfg.cores, 0),
-            lru_fallback_victims_by_owner: PerCore::filled(cfg.cores, 0),
+            victims_by_owner: PerCore::filled(cfg.cores, 0), // lint:allow(D4): constructor
+            lru_fallback_victims_by_owner: PerCore::filled(cfg.cores, 0), // lint:allow(D4): constructor
             sink,
         }
     }

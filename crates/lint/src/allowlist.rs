@@ -1,4 +1,5 @@
-//! The `lint.toml` allowlist: justified exemptions from rules L1–L4.
+//! The `lint.toml` allowlist: justified exemptions from rules L1–L7 and
+//! D1–D4.
 //!
 //! Grammar (line-oriented; `#` starts a comment):
 //!
@@ -56,7 +57,7 @@ impl Allowlist {
                         .next()
                         .ok_or_else(|| format!("line {line_no}: missing rule after `allow`"))?;
                     let rule = Rule::parse(rule_word).ok_or_else(|| {
-                        format!("line {line_no}: unknown rule `{rule_word}` (expected L1..L7)")
+                        format!("line {line_no}: unknown rule `{rule_word}` (expected L1..L7 or D1..D4)")
                     })?;
                     let target = words
                         .next()

@@ -1,0 +1,342 @@
+//! Intraprocedural use-def analysis for the D2 cycle-arithmetic audit.
+//!
+//! D2 flags narrowing `as` casts of cycle/quota quantities — but a cast of
+//! a value that is *provably bounded* inside the same function is fine and
+//! must not fire. This module computes, per function body, the set of
+//! locals whose defining expression bounds them:
+//!
+//! - `let w = cycle % WAYS;` — remainder bounds the value,
+//! - `let n = quota.min(cap);` — `min` against anything bounds it,
+//! - `let m = cycle & 0xff;` — masking with a literal/constant bounds it,
+//! - `let k = 3;` — literals are bounded,
+//! - `let j = w;` — copies of bounded locals stay bounded (computed to a
+//!   fixpoint so chains resolve in any order).
+//!
+//! Reassigning a bounded local from an unbounded expression (`w = cycle;`)
+//! removes it from the set — the walk is conservative: a name is bounded
+//! only if **every** definition seen in the body bounds it.
+//!
+//! The same machinery answers "is this subtraction guarded": D2 accepts a
+//! raw `a - b` on cycle quantities when the body contains an explicit
+//! ordering comparison between the operands before the subtraction (the
+//! idiomatic `if a >= b { a - b }` shape); everything else must use
+//! `saturating_sub`/`checked_sub`.
+
+use std::collections::BTreeSet;
+
+use crate::syntax::FileIndex;
+
+/// Operators/calls whose result is considered bounded for D2 purposes.
+fn expr_is_bounding(file: &FileIndex, expr: (usize, usize)) -> bool {
+    let (start, end) = expr;
+    let mut i = start;
+    while i < end {
+        let t = file.ctext(i);
+        match t {
+            "%" => return true,
+            "&" => {
+                // Masking: `x & LITERAL` or `x & CONST` (by convention,
+                // SCREAMING_CASE). A unary borrow `&x` does not bound.
+                let prevs = i > start
+                    && (matches!(
+                        file.ckind(i - 1),
+                        crate::lexer::TokenKind::Ident | crate::lexer::TokenKind::Num
+                    ) || file.ctext(i - 1) == ")");
+                let next = file.ctext(i + 1);
+                let next_is_mask = file.ckind(i + 1) == crate::lexer::TokenKind::Num
+                    || (!next.is_empty()
+                        && next
+                            .chars()
+                            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'));
+                if prevs && next_is_mask {
+                    return true;
+                }
+            }
+            // `.min(...)` method call.
+            "min" if i > start && file.ctext(i - 1) == "." && file.ctext(i + 1) == "(" => {
+                return true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Whether the expression is a bare numeric literal (with optional cast
+/// chain or parens) — trivially bounded.
+fn expr_is_literal(file: &FileIndex, expr: (usize, usize)) -> bool {
+    let (start, end) = expr;
+    (start..end).all(|i| {
+        matches!(file.ckind(i), crate::lexer::TokenKind::Num)
+            || matches!(
+                file.ctext(i),
+                "(" | ")" | "as" | "u8" | "u16" | "u32" | "u64" | "usize"
+            )
+    }) && (start..end).any(|i| matches!(file.ckind(i), crate::lexer::TokenKind::Num))
+}
+
+/// Whether the expression is a single identifier (with optional cast),
+/// returning it — used to propagate boundedness through copies.
+fn expr_single_ident(file: &FileIndex, expr: (usize, usize)) -> Option<String> {
+    let (start, end) = expr;
+    if end <= start {
+        return None;
+    }
+    if file.ckind(start) != crate::lexer::TokenKind::Ident {
+        return None;
+    }
+    let name = file.ctext(start).to_string();
+    // Allow a trailing `as <ty>` chain, nothing else.
+    let mut i = start + 1;
+    while i < end {
+        if file.ctext(i) == "as" && file.ckind(i + 1) == crate::lexer::TokenKind::Ident {
+            i += 2;
+        } else {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+/// Bounded-locals result for one function body.
+#[derive(Debug, Clone, Default)]
+pub struct Bounds {
+    bounded: BTreeSet<String>,
+}
+
+impl Bounds {
+    /// Whether local `name` is bounded at every definition in the body.
+    pub fn is_bounded(&self, name: &str) -> bool {
+        self.bounded.contains(name)
+    }
+}
+
+/// One definition site: `let [mut] name = expr;` or `name = expr;`.
+struct Def {
+    name: String,
+    expr: (usize, usize),
+}
+
+/// Collects definitions in a body span (code positions, inclusive braces).
+fn collect_defs(file: &FileIndex, body: (usize, usize)) -> Vec<Def> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    let mut i = open;
+    while i < close {
+        // `let [mut] name [: ty] = expr` — find the `=` then the `;` at
+        // the same depth.
+        let is_let = file.ctext(i) == "let";
+        let is_reassign = file.ckind(i) == crate::lexer::TokenKind::Ident
+            && file.ctext(i + 1) == "="
+            && file.ctext(i + 2) != "="
+            && (i == open || matches!(file.ctext(i - 1), "{" | "}" | ";"));
+        if is_let {
+            let mut j = i + 1;
+            if file.ctext(j) == "mut" {
+                j += 1;
+            }
+            if file.ckind(j) != crate::lexer::TokenKind::Ident {
+                i += 1;
+                continue; // destructuring lets are not tracked
+            }
+            let name = file.ctext(j).to_string();
+            // Find `=` before the terminating `;` (skip type ascription).
+            let mut k = j + 1;
+            let mut depth = 0i64;
+            let mut eq = None;
+            while k < close {
+                match file.ctext(k) {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    "=" if depth <= 0 && file.ctext(k + 1) != "=" => {
+                        eq = Some(k);
+                        break;
+                    }
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(eq) = eq {
+                let end = stmt_end(file, eq + 1, close);
+                out.push(Def {
+                    name,
+                    expr: (eq + 1, end),
+                });
+                i = end;
+                continue;
+            }
+        } else if is_reassign {
+            let name = file.ctext(i).to_string();
+            let end = stmt_end(file, i + 2, close);
+            out.push(Def {
+                name,
+                expr: (i + 2, end),
+            });
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scans forward from `from` to the `;` terminating the statement (at
+/// bracket depth 0), bounded by `close`.
+fn stmt_end(file: &FileIndex, from: usize, close: usize) -> usize {
+    let mut depth = 0i64;
+    let mut k = from;
+    while k < close {
+        match file.ctext(k) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    close
+}
+
+/// Computes the bounded-locals set for a body to a fixpoint.
+pub fn bounded_locals(file: &FileIndex, body: (usize, usize)) -> Bounds {
+    let defs = collect_defs(file, body);
+    let mut bounded: BTreeSet<String> = BTreeSet::new();
+    // Fixpoint: copies of bounded locals become bounded; a name with any
+    // unbounding definition is excluded at the end.
+    loop {
+        let mut changed = false;
+        for d in &defs {
+            if bounded.contains(&d.name) {
+                continue;
+            }
+            let is_b = expr_is_bounding(file, d.expr)
+                || expr_is_literal(file, d.expr)
+                || expr_single_ident(file, d.expr)
+                    .is_some_and(|src_name| bounded.contains(&src_name));
+            if is_b {
+                bounded.insert(d.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Conservative pass: drop names that also have an unbounding def.
+    for d in &defs {
+        let is_b = expr_is_bounding(file, d.expr)
+            || expr_is_literal(file, d.expr)
+            || expr_single_ident(file, d.expr).is_some_and(|n| bounded.contains(&n));
+        if !is_b {
+            bounded.remove(&d.name);
+        }
+    }
+    Bounds { bounded }
+}
+
+/// Whether the body contains an explicit ordering comparison mentioning
+/// both `a` and `b` (identifier text) in a small window around a `<`, `>`,
+/// `<=` or `>=` token at a code position strictly before `before`.
+///
+/// This is the guard shape D2 accepts for a raw subtraction:
+/// `if wake >= cycle { wake - cycle }` (any direction, including
+/// `debug_assert!(a >= b)`). The window is ±6 code tokens, wide enough for
+/// `self.`-qualified paths and `as` casts on either side.
+pub fn comparison_guard(
+    file: &FileIndex,
+    body: (usize, usize),
+    before: usize,
+    a: &str,
+    b: &str,
+) -> bool {
+    let (open, _) = body;
+    let end = before.min(file.code.len());
+    for i in open..end {
+        let t = file.ctext(i);
+        if t != "<" && t != ">" {
+            continue;
+        }
+        // Skip generics-ish positions: `Vec<u64>` — require the window to
+        // contain both operand idents, which generic params won't.
+        let lo = i.saturating_sub(6).max(open);
+        let hi = (i + 7).min(end);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for j in lo..hi {
+            let u = file.ctext(j);
+            if u == a {
+                saw_a = true;
+            }
+            if u == b {
+                saw_b = true;
+            }
+        }
+        if saw_a && saw_b {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::FileIndex;
+
+    fn body_of(src: &str) -> (FileIndex, (usize, usize)) {
+        let f = FileIndex::build("crates/simcore/src/x.rs", src);
+        let body = f.fns.first().and_then(|x| x.body).expect("fn body");
+        (f, body)
+    }
+
+    #[test]
+    fn modulo_min_mask_and_literal_bound() {
+        let (f, b) = body_of(
+            "fn f(cycle: u64, cap: u64) {\n let w = cycle % 16;\n let m = cycle & 0xff;\n let n = cycle.min(cap);\n let k = 3;\n let raw = cycle;\n}\n",
+        );
+        let bounds = bounded_locals(&f, b);
+        assert!(bounds.is_bounded("w"));
+        assert!(bounds.is_bounded("m"));
+        assert!(bounds.is_bounded("n"));
+        assert!(bounds.is_bounded("k"));
+        assert!(!bounds.is_bounded("raw"));
+    }
+
+    #[test]
+    fn copies_propagate_and_reassignment_unbounds() {
+        let (f, b) = body_of(
+            "fn f(cycle: u64) {\n let w = cycle % 16;\n let v = w;\n let u = v as u32;\n let mut t = cycle % 4;\n t = cycle;\n}\n",
+        );
+        let bounds = bounded_locals(&f, b);
+        assert!(bounds.is_bounded("v"), "copy of bounded is bounded");
+        assert!(bounds.is_bounded("u"), "cast copy stays bounded");
+        assert!(!bounds.is_bounded("t"), "unbounded reassignment wins");
+    }
+
+    #[test]
+    fn borrow_does_not_bound() {
+        let (f, b) = body_of("fn f(cycle: u64) {\n let r = &cycle;\n}\n");
+        let bounds = bounded_locals(&f, b);
+        assert!(!bounds.is_bounded("r"));
+    }
+
+    #[test]
+    fn guard_detection() {
+        let (f, b) = body_of(
+            "fn f(wake: u64, cycle: u64) -> u64 {\n if wake >= cycle {\n  wake - cycle\n } else {\n  0\n }\n}\n",
+        );
+        // Find the `-` position.
+        let minus = (b.0..b.1)
+            .find(|&i| f.ctext(i) == "-")
+            .expect("minus token");
+        assert!(comparison_guard(&f, b, minus, "wake", "cycle"));
+        assert!(!comparison_guard(&f, b, minus, "wake", "quota"));
+    }
+}

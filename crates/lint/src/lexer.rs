@@ -1,0 +1,489 @@
+//! A std-only Rust lexer producing a flat token stream with exact spans.
+//!
+//! This replaces the v1 "blank out strings and comments, then regex over
+//! lines" sanitizer: every construct that confused a line-oriented scanner
+//! — multi-line raw strings, nested block comments, `'a` lifetimes versus
+//! `'a'` char literals, `b"..."` byte strings, `r#ident` raw identifiers —
+//! is resolved here once, and every downstream rule works on tokens whose
+//! `line`/`col` point at the real source location. String and comment
+//! *contents* are never visible to the rules (they are opaque literal
+//! tokens), which eliminates the false-positive class that used to need
+//! `lint.toml` entries.
+//!
+//! The lexer is intentionally lossy where linting does not care: all
+//! keywords are [`TokenKind::Ident`], multi-character operators arrive as
+//! adjacent single-character [`TokenKind::Punct`] tokens (`::` is `:`,`:`),
+//! and numeric literals are a single [`TokenKind::Num`] token regardless of
+//! base or suffix. Rules match short token sequences, so this keeps both
+//! the lexer and the matchers small without losing precision.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#name`).
+    Ident,
+    /// Lifetime such as `'a` or `'_` (the quote and the name).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String or byte-string literal (`"..."`, `b"..."`), escapes resolved.
+    Str,
+    /// Raw (byte-)string literal (`r"..."`, `br##"..."##`).
+    RawStr,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `//`-to-end-of-line comment (including `///` and `//!` doc forms).
+    LineComment,
+    /// `/* ... */` comment, nesting resolved (including `/** ... */`).
+    BlockComment,
+    /// Any other single character (operators, brackets, `#`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token. Spans are byte offsets into the original source; the
+/// `line`/`col` pair is 1-based and points at the first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: usize,
+    /// 1-based byte column of `start` within its line.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text as a slice of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed input (an
+/// unterminated string or comment) produces a final token that runs to the
+/// end of the file, which is the most useful behavior for a linter that
+/// must keep going.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/col counters.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string();
+                    self.emit(TokenKind::Str, start, line, col);
+                }
+                b'r' | b'b' if self.raw_str_hashes().is_some() => {
+                    // Unwrap is avoided: re-derive the hash count.
+                    let hashes = self.raw_str_hashes().unwrap_or(0);
+                    self.raw_string(hashes);
+                    self.emit(TokenKind::RawStr, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump(); // b
+                    self.string();
+                    self.emit(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump(); // b
+                    self.char_lit();
+                    self.emit(TokenKind::Char, start, line, col);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier r#name.
+                    self.bump_n(2);
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.bump(); // '
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            self.bump();
+                        }
+                        self.emit(TokenKind::Lifetime, start, line, col);
+                    } else {
+                        self.char_lit();
+                        self.emit(TokenKind::Char, start, line, col);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokenKind::Num, start, line, col);
+                }
+                c if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                c if c < 0x80 => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+                _ => {
+                    // Multi-byte UTF-8 scalar outside any literal: consume
+                    // the whole sequence as one Punct to stay on char
+                    // boundaries.
+                    self.bump();
+                    while self.peek(0).is_some_and(|c| (c & 0xC0) == 0x80) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a `/* ... */` comment (nesting resolved) starting at `/`.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // /*
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if c == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw-string prefix (`r"`, `r#"`, `br##"`...),
+    /// returns the number of hashes.
+    fn raw_str_hashes(&self) -> Option<usize> {
+        let mut j = 0usize;
+        if self.peek(j) == Some(b'b') {
+            j += 1;
+        }
+        if self.peek(j) != Some(b'r') {
+            return None;
+        }
+        j += 1;
+        let mut hashes = 0usize;
+        while self.peek(j) == Some(b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        (self.peek(j) == Some(b'"')).then_some(hashes)
+    }
+
+    /// Consumes a raw string starting at the current `r`/`b` byte.
+    fn raw_string(&mut self, hashes: usize) {
+        // Prefix: optional b, r, hashes, opening quote.
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        self.bump(); // r
+        self.bump_n(hashes);
+        self.bump(); // "
+        while let Some(c) = self.peek(0) {
+            if c == b'"' && (1..=hashes).all(|k| self.peek(k) == Some(b'#')) {
+                self.bump_n(hashes + 1);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"..."` string starting at the opening quote.
+    fn string(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a `'...'` char literal starting at the opening quote.
+    fn char_lit(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                b'\n' => return, // malformed; don't swallow the file
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'a'` (char literal): after the
+    /// quote comes an identifier; if the char right after that identifier
+    /// is another quote, it was a one-char literal.
+    fn lifetime_ahead(&self) -> bool {
+        if !self.peek(1).is_some_and(is_ident_start) {
+            return false;
+        }
+        let mut j = 2;
+        while self.peek(j).is_some_and(is_ident_continue) {
+            j += 1;
+        }
+        self.peek(j) != Some(b'\'')
+    }
+
+    /// Consumes a numeric literal: digits, `_`, suffixes, hex/oct/bin
+    /// bodies, one fractional point when followed by a digit, and signed
+    /// exponents. Range punctuation (`0..n`) is left alone.
+    fn number(&mut self) {
+        self.bump(); // leading digit
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                let is_exp = (c == b'e' || c == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                self.bump();
+                if is_exp {
+                    self.bump(); // the sign
+                }
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let ks = kinds("pub fn f(x: u64) -> u64 { x }");
+        assert_eq!(ks[0], (TokenKind::Ident, "pub".to_string()));
+        assert_eq!(ks[1], (TokenKind::Ident, "fn".to_string()));
+        assert!(ks.iter().any(|k| k == &(TokenKind::Punct, "{".to_string())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_but_keep_spans() {
+        let src = "let s = \"panic!(\\\"no\\\")\";\nx.unwrap();";
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s.line, 1);
+        // The unwrap ident on line 2 must carry an exact location.
+        let u = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap")
+            .expect("unwrap ident");
+        assert_eq!((u.line, u.col), (2, 3));
+    }
+
+    #[test]
+    fn multiline_raw_strings_span_lines() {
+        let src = "let q = r#\"line one\nline .unwrap() two\n\"#;\nafter";
+        let toks = lex(src);
+        let raw = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::RawStr)
+            .expect("raw string");
+        assert_eq!(raw.line, 1);
+        assert!(raw.text(src).contains("unwrap"), "contents are opaque");
+        let after = toks.iter().find(|t| t.text(src) == "after").expect("after");
+        assert_eq!(after.line, 4);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_resolve() {
+        let src = "a /* one /* two */ still */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.first().map(|k| k.1.as_str()), Some("a"));
+        assert_eq!(ks.last().map(|k| k.1.as_str()), Some("b"));
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let q = '\"'; let n = '\\n'; }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!\"; let b2 = b'x'; let r = br#\"HashMap\"#; z";
+        let toks = lex(src);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "HashMap"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::RawStr).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+        assert!(toks.iter().any(|t| t.text(src) == "z"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let src = "let r#match = 1; r#match";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Ident && t.text(src) == "r#match")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..16 { let f = 1.5e-3; let h = 0xFFu64; }";
+        let nums: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "16", "1.5e-3", "0xFFu64"]);
+    }
+
+    #[test]
+    fn line_and_col_are_exact_after_multiline_tokens() {
+        let src = "/* a\nb\nc */ x = 1;\n\"s\ntr\" y";
+        let toks = lex(src);
+        let x = toks.iter().find(|t| t.text(src) == "x").expect("x");
+        assert_eq!((x.line, x.col), (3, 6));
+        let y = toks.iter().find(|t| t.text(src) == "y").expect("y");
+        assert_eq!((y.line, y.col), (5, 5));
+    }
+
+    #[test]
+    fn doc_comments_are_comment_tokens() {
+        let src = "/// docs with unwrap()\npub fn f() {}\n//! inner\n/** block doc */";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::LineComment)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed").len(), 1);
+    }
+}

@@ -1,38 +1,59 @@
 //! nuca-lint: workspace-native static analysis for the NUCA simulator.
 //!
 //! Run with `cargo run -p nuca-lint -- check` (add `--json` for machine
-//! output). The pass walks every `.rs` file in the repository, strips
-//! comments and string literals, masks test regions, and enforces the five
-//! project rules described in [`rules`]. Exemptions live in `lint.toml` at
-//! the repo root and must carry a justification; see [`allowlist`].
+//! output, `--stale-allowlist` to also fail on dead suppressions). The
+//! pass lexes every `.rs` file into a real token stream ([`lexer`]),
+//! derives item/test structure ([`syntax`]), and runs the token-level and
+//! semantic rules described in [`rules`] — L1–L7 plus the determinism and
+//! dataflow passes D1–D4. Exemptions live in `lint.toml` at the repo root
+//! and must carry a justification; see [`allowlist`].
 //!
-//! The binary is std-only by design: it must build offline, before any of
+//! The crate is std-only by design: it must build offline, before any of
 //! the simulator crates compile, so the lint wall can run first in CI.
 
 pub mod allowlist;
+pub mod dataflow;
+pub mod lexer;
 pub mod rules;
-pub mod sanitize;
-pub mod scope;
+pub mod syntax;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use allowlist::Allowlist;
-use rules::{check_file, Diagnostic, Scopes};
+use rules::{check_files, Diagnostic, Scopes};
+use syntax::FileIndex;
+
+/// An inline `lint:allow` marker that no finding matched — dead weight
+/// that silently suppresses nothing (or worse, the wrong line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleMarker {
+    /// File containing the marker.
+    pub file: String,
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// Rule named by the marker.
+    pub rule: rules::Rule,
+}
 
 /// Result of a full `check` run.
 #[derive(Debug, Clone)]
 pub struct CheckReport {
-    /// Surviving (non-allowlisted) findings, sorted by file then line.
+    /// Surviving (non-suppressed) findings, sorted by file/line/col.
     pub diagnostics: Vec<Diagnostic>,
     /// How many `.rs` files were scanned.
     pub files_scanned: usize,
-    /// How many findings the allowlist suppressed.
+    /// How many findings inline markers + the allowlist suppressed.
     pub suppressed: usize,
+    /// Inline markers that suppressed nothing.
+    pub stale_markers: Vec<StaleMarker>,
+    /// `lint.toml` `allow` entries (as written) that suppressed nothing.
+    pub stale_entries: Vec<String>,
 }
 
-/// Directory names never descended into.
-const SKIP_DIRS: [&str; 4] = ["target", ".git", "results", "node_modules"];
+/// Directory names never descended into. `fixtures` keeps the golden-file
+/// corpus under `crates/lint/tests/fixtures/` out of workspace scans.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "results", "node_modules", "fixtures"];
 
 /// Runs the full analysis over the tree rooted at `root`.
 ///
@@ -53,28 +74,100 @@ pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<CheckRepo
     collect_rs_files(root, &mut files)?;
     files.sort();
 
-    let mut diagnostics = Vec::new();
-    let mut suppressed = 0usize;
+    let mut indexes = Vec::with_capacity(files.len());
     for path in &files {
         let rel = relative_slash(root, path);
         let raw = fs::read_to_string(path)
             .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
-        let sanitized = sanitize::sanitize(&raw);
-        let mask = scope::test_line_mask(&sanitized);
-        for d in check_file(&rel, &raw, &sanitized, &mask, &scopes) {
-            if allow.is_allowed(d.rule, &d.file, d.line) {
-                suppressed += 1;
-            } else {
-                diagnostics.push(d);
+        indexes.push(FileIndex::build(&rel, &raw));
+    }
+
+    Ok(filter_report(
+        check_files(&indexes, &scopes),
+        &indexes,
+        &allow,
+    ))
+}
+
+/// Applies inline markers then the allowlist to raw findings, tracking
+/// which suppressions actually fired so dead ones can be reported.
+fn filter_report(raw: Vec<Diagnostic>, indexes: &[FileIndex], allow: &Allowlist) -> CheckReport {
+    let mut marker_used = vec![Vec::new(); indexes.len()];
+    for (fi, f) in indexes.iter().enumerate() {
+        marker_used[fi] = vec![false; f.allows.len()];
+    }
+    let mut entry_used = vec![false; allow.entries.len()];
+
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        let inline = indexes.iter().enumerate().find_map(|(fi, f)| {
+            if f.rel != d.file {
+                return None;
+            }
+            f.allows
+                .iter()
+                .position(|a| a.rule == d.rule && a.line == d.line)
+                .map(|ai| (fi, ai))
+        });
+        if let Some((fi, ai)) = inline {
+            if let Some(slot) = marker_used.get_mut(fi).and_then(|v| v.get_mut(ai)) {
+                *slot = true;
+            }
+            suppressed += 1;
+            continue;
+        }
+        let entry = allow.entries.iter().position(|e| {
+            e.rule == d.rule && e.file == d.file && e.line.is_none_or(|l| l == d.line)
+        });
+        if let Some(ei) = entry {
+            if let Some(slot) = entry_used.get_mut(ei) {
+                *slot = true;
+            }
+            suppressed += 1;
+            continue;
+        }
+        diagnostics.push(d);
+    }
+
+    let mut stale_markers = Vec::new();
+    for (fi, f) in indexes.iter().enumerate() {
+        for (ai, a) in f.allows.iter().enumerate() {
+            let used = marker_used
+                .get(fi)
+                .and_then(|v| v.get(ai))
+                .copied()
+                .unwrap_or(false);
+            if !used {
+                stale_markers.push(StaleMarker {
+                    file: f.rel.clone(),
+                    line: a.line,
+                    rule: a.rule,
+                });
             }
         }
     }
-    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(CheckReport {
+    let stale_entries = allow
+        .entries
+        .iter()
+        .zip(entry_used.iter())
+        .filter(|(_, used)| !**used)
+        .map(|(e, _)| {
+            let target = match e.line {
+                Some(l) => format!("{}:{l}", e.file),
+                None => e.file.clone(),
+            };
+            format!("allow {} {target}", e.rule)
+        })
+        .collect();
+
+    CheckReport {
         diagnostics,
-        files_scanned: files.len(),
+        files_scanned: indexes.len(),
         suppressed,
-    })
+        stale_markers,
+        stale_entries,
+    }
 }
 
 fn load_allowlist(root: &Path, explicit: Option<&Path>) -> Result<Allowlist, String> {
@@ -122,45 +215,92 @@ fn relative_slash(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Human-readable report.
-pub fn render_text(report: &CheckReport) -> String {
+/// Human-readable report. `stale` adds the dead-suppression section (the
+/// `--stale-allowlist` mode).
+pub fn render_text(report: &CheckReport, stale: bool) -> String {
     let mut out = String::new();
     for d in &report.diagnostics {
         out.push_str(&d.to_string());
         out.push('\n');
     }
-    if report.diagnostics.is_empty() {
+    if stale {
+        for m in &report.stale_markers {
+            out.push_str(&format!(
+                "stale-marker: {}:{}: lint:allow({}) suppresses nothing — delete it\n",
+                m.file, m.line, m.rule
+            ));
+        }
+        for e in &report.stale_entries {
+            out.push_str(&format!(
+                "stale-entry: lint.toml: `{e}` suppresses nothing — delete it\n"
+            ));
+        }
+    }
+    let dirty = !report.diagnostics.is_empty()
+        || (stale && (!report.stale_markers.is_empty() || !report.stale_entries.is_empty()));
+    if dirty {
         out.push_str(&format!(
-            "nuca-lint: clean ({} files scanned, {} finding(s) allowlisted)\n",
-            report.files_scanned, report.suppressed
-        ));
-    } else {
-        out.push_str(&format!(
-            "nuca-lint: {} violation(s) across {} files scanned ({} allowlisted)\n",
+            "nuca-lint: {} violation(s) across {} files scanned ({} suppressed)\n",
             report.diagnostics.len(),
             report.files_scanned,
             report.suppressed
+        ));
+    } else {
+        out.push_str(&format!(
+            "nuca-lint: clean ({} files scanned, {} finding(s) suppressed)\n",
+            report.files_scanned, report.suppressed
         ));
     }
     out
 }
 
-/// Machine-readable report:
-/// `{"violations":[{"rule":..,"file":..,"line":..,"message":..}],"count":N,
-///   "files_scanned":N,"suppressed":N}`.
+/// Machine-readable report, schema version 2 (stable):
+///
+/// ```json
+/// {"version":2,
+///  "violations":[{"rule":"L1","file":"...","line":1,"col":12,
+///                 "snippet":"...","message":"..."}],
+///  "stale_markers":[{"file":"...","line":3,"rule":"L7"}],
+///  "stale_entries":["allow L1 crates/..."],
+///  "count":1,"files_scanned":N,"suppressed":N}
+/// ```
+///
+/// Consumers (CI problem-matcher, editors) may rely on every listed key
+/// being present; new keys may be added, existing ones never change type.
 pub fn render_json(report: &CheckReport) -> String {
-    let mut out = String::from("{\"violations\":[");
+    let mut out = String::from("{\"version\":2,\"violations\":[");
     for (i, d) in report.diagnostics.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"snippet\":\"{}\",\"message\":\"{}\"}}",
             d.rule,
             json_escape(&d.file),
             d.line,
+            d.col,
+            json_escape(&d.snippet),
             json_escape(&d.message)
         ));
+    }
+    out.push_str("],\"stale_markers\":[");
+    for (i, m) in report.stale_markers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+            json_escape(&m.file),
+            m.line,
+            m.rule
+        ));
+    }
+    out.push_str("],\"stale_entries\":[");
+    for (i, e) in report.stale_entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(e)));
     }
     out.push_str(&format!(
         "],\"count\":{},\"files_scanned\":{},\"suppressed\":{}}}",
@@ -193,12 +333,10 @@ mod tests {
     use super::*;
     use rules::Rule;
 
-    fn tmp_tree(files: &[(&str, &str)]) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "nuca-lint-test-{}-{:p}",
-            std::process::id(),
-            &files
-        ));
+    fn tmp_tree(label: &str, files: &[(&str, &str)]) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nuca-lint-test-{}-{label}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
         for (rel, content) in files {
             let p = dir.join(rel);
             if let Some(parent) = p.parent() {
@@ -211,51 +349,136 @@ mod tests {
 
     #[test]
     fn end_to_end_finds_and_allowlists() {
-        let root = tmp_tree(&[
-            (
-                "crates/core/src/cmp.rs",
-                "fn a() { x.unwrap(); }\nfn b() { y.unwrap(); }\n",
-            ),
-            (
-                "lint.toml",
-                "allow L1 crates/core/src/cmp.rs:2 -- demo exemption\n",
-            ),
-        ]);
+        let root = tmp_tree(
+            "e2e",
+            &[
+                (
+                    "crates/core/src/cmp.rs",
+                    "fn a() { x.unwrap(); }\nfn b() { y.unwrap(); }\n",
+                ),
+                (
+                    "lint.toml",
+                    "allow L1 crates/core/src/cmp.rs:2 -- demo exemption\n",
+                ),
+            ],
+        );
         let report = run_check(&root, None).unwrap();
         assert_eq!(report.diagnostics.len(), 1);
         assert_eq!(report.diagnostics[0].line, 1);
         assert_eq!(report.suppressed, 1);
+        assert!(report.stale_entries.is_empty());
         fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn json_is_well_formed_enough() {
+    fn inline_marker_suppresses_and_string_marker_does_not() {
+        let root = tmp_tree(
+            "inline",
+            &[(
+                "crates/core/src/cmp.rs",
+                "fn a() { x.unwrap(); } // lint:allow(L1): boot-only path\nfn b() { let s = \"lint:allow(L1)\"; y.unwrap(); }\n",
+            )],
+        );
+        let report = run_check(&root, None).unwrap();
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].line, 2);
+        assert_eq!(report.suppressed, 1);
+        assert!(report.stale_markers.is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_marker_and_entry_are_reported() {
+        let root = tmp_tree(
+            "stale",
+            &[
+                (
+                    "crates/core/src/cmp.rs",
+                    "fn clean() {} // lint:allow(L1): nothing here fires\n",
+                ),
+                (
+                    "lint.toml",
+                    "allow L2 crates/core/src/cmp.rs -- no HashMap anywhere\n",
+                ),
+            ],
+        );
+        let report = run_check(&root, None).unwrap();
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.stale_markers.len(), 1);
+        assert_eq!(report.stale_markers[0].rule, Rule::L1);
+        assert_eq!(report.stale_entries.len(), 1);
+        assert!(report.stale_entries[0].contains("allow L2"));
+        let text = render_text(&report, true);
+        assert!(text.contains("stale-marker"));
+        assert!(text.contains("stale-entry"));
+        // Without --stale-allowlist the same report renders clean.
+        assert!(render_text(&report, false).contains("clean"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn json_v2_schema_has_all_keys() {
         let report = CheckReport {
             diagnostics: vec![Diagnostic {
                 rule: Rule::L2,
                 file: "crates/x/src/a.rs".into(),
                 line: 3,
+                col: 5,
+                snippet: "use std::collections::HashMap;".into(),
                 message: "say \"hi\"".into(),
             }],
             files_scanned: 7,
             suppressed: 0,
+            stale_markers: vec![StaleMarker {
+                file: "crates/x/src/b.rs".into(),
+                line: 9,
+                rule: Rule::L7,
+            }],
+            stale_entries: vec!["allow L1 crates/x/src/c.rs:2".into()],
         };
         let j = render_json(&report);
+        assert!(j.starts_with("{\"version\":2,"));
         assert!(j.contains("\"rule\":\"L2\""));
+        assert!(j.contains("\"col\":5"));
+        assert!(j.contains("\"snippet\":\"use std::collections::HashMap;\""));
         assert!(j.contains("\\\"hi\\\""));
+        assert!(j.contains(
+            "\"stale_markers\":[{\"file\":\"crates/x/src/b.rs\",\"line\":9,\"rule\":\"L7\"}]"
+        ));
+        assert!(j.contains("\"stale_entries\":[\"allow L1 crates/x/src/c.rs:2\"]"));
         assert!(j.contains("\"count\":1"));
         assert!(j.ends_with("}\n"));
     }
 
     #[test]
-    fn skips_target_dir() {
-        let root = tmp_tree(&[
-            ("target/debug/build/gen.rs", "fn a() { x.unwrap(); }\n"),
-            ("src/lib.rs", "fn clean() {}\n"),
-        ]);
+    fn skips_target_and_fixture_dirs() {
+        let root = tmp_tree(
+            "skips",
+            &[
+                ("target/debug/build/gen.rs", "fn a() { x.unwrap(); }\n"),
+                (
+                    "crates/lint/tests/fixtures/l1.rs",
+                    "fn a() { x.unwrap(); }\n",
+                ),
+                ("src/lib.rs", "fn clean() {}\n"),
+            ],
+        );
         let report = run_check(&root, None).unwrap();
         assert!(report.diagnostics.is_empty());
         assert_eq!(report.files_scanned, 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn multiline_raw_string_does_not_shift_later_findings() {
+        // v1 regression: a rule token inside a multi-line raw string used
+        // to either fire at the wrong line or hide the real finding below.
+        let src = "const DOC: &str = r#\"\nexample: x.unwrap()\npanic!(\"not real\")\n\"#;\nfn f() { real.unwrap(); }\n";
+        let root = tmp_tree("drift", &[("crates/core/src/cmp.rs", src)]);
+        let report = run_check(&root, None).unwrap();
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].line, 5);
+        assert_eq!(report.diagnostics[0].snippet, "fn f() { real.unwrap(); }");
         fs::remove_dir_all(&root).unwrap();
     }
 }

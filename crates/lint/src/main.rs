@@ -1,7 +1,8 @@
 //! CLI for the nuca-lint static-analysis pass.
 //!
 //! ```text
-//! cargo run -p nuca-lint -- check [--json] [--root DIR] [--allowlist FILE]
+//! cargo run -p nuca-lint -- check [--json] [--stale-allowlist]
+//!                                 [--root DIR] [--allowlist FILE]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -16,7 +17,9 @@ USAGE:
     nuca-lint check [OPTIONS]
 
 OPTIONS:
-    --json              emit machine-readable JSON instead of text
+    --json              emit machine-readable JSON (schema v2)
+    --stale-allowlist   also fail on lint.toml entries or inline
+                        lint:allow(...) markers that suppress nothing
     --root DIR          repository root to scan (default: autodetected)
     --allowlist FILE    allowlist file (default: <root>/lint.toml)
     -h, --help          show this help
@@ -26,9 +29,13 @@ RULES:
     L2  no HashMap/HashSet in simulator state (nondeterministic iteration)
     L3  no bare `as` narrowing casts in statistics/counter paths
     L4  every pub fn in crates/core/src/l3/ and engine.rs has a doc comment
-    L5  no thread::spawn/thread::scope outside crates/simcore/src/parallel.rs
+    L5  no thread::spawn/scope outside crates/simcore/src/parallel/mod.rs
     L6  no println!/eprintln! outside binaries, examples and exempt modules
     L7  no heap allocation (Vec::new/vec!/Box::new/clone()) in per-step hot paths
+    D1  no clock/env/randomness/host-parallelism/hash-order in sim crates
+    D2  cycle arithmetic: guarded subtraction, bounded narrowing casts
+    D3  telemetry emitters are generic over Sink, never hardwire Recorder
+    D4  hot-path allocation audit extended one call level deep
 
 EXIT CODES:
     0 clean    1 violations    2 usage or I/O error
@@ -36,6 +43,7 @@ EXIT CODES:
 
 struct Args {
     json: bool,
+    stale: bool,
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
 }
@@ -53,12 +61,14 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     }
     let mut args = Args {
         json: false,
+        stale: false,
         root: None,
         allowlist: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => args.json = true,
+            "--stale-allowlist" => args.stale = true,
             "--root" => {
                 let v = it.next().ok_or("--root needs a directory argument")?;
                 args.root = Some(PathBuf::from(v));
@@ -104,12 +114,15 @@ fn main() -> ExitCode {
             if args.json {
                 print!("{}", nuca_lint::render_json(&report));
             } else {
-                print!("{}", nuca_lint::render_text(&report));
+                print!("{}", nuca_lint::render_text(&report, args.stale));
             }
-            if report.diagnostics.is_empty() {
-                ExitCode::SUCCESS
-            } else {
+            let dirty = !report.diagnostics.is_empty()
+                || (args.stale
+                    && (!report.stale_markers.is_empty() || !report.stale_entries.is_empty()));
+            if dirty {
                 ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
             }
         }
         Err(e) => {

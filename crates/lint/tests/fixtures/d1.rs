@@ -1,0 +1,24 @@
+//=== file: crates/cpusim/src/fetch.rs
+fn stamp(&mut self) {
+    self.t0 = std::time::Instant::now();
+}
+fn wall(&self) -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+fn from_host(&mut self) {
+    if let Ok(v) = std::env::var("NUCA_CORES") {
+        self.cores = v.len();
+    }
+}
+fn jitter(&mut self) -> u64 {
+    rand::random::<u64>()
+}
+fn width(&self) -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+//=== file: crates/tracegen/src/mix.rs
+use std::collections::HashMap;
+fn blend(&self) -> u64 {
+    let streams: HashMap<u32, u64> = self.streams();
+    streams.values().sum()
+}

@@ -1,0 +1,28 @@
+//=== file: crates/cpusim/src/wakeup.rs
+fn raw_latency(&self, wake_cycle: u64, now_cycle: u64) -> u64 {
+    wake_cycle - now_cycle
+}
+fn guarded_latency(&self, wake_cycle: u64, now_cycle: u64) -> u64 {
+    if wake_cycle >= now_cycle {
+        wake_cycle - now_cycle
+    } else {
+        0
+    }
+}
+fn saturating_latency(&self, wake_cycle: u64, now_cycle: u64) -> u64 {
+    wake_cycle.saturating_sub(now_cycle)
+}
+fn unrelated_math(&self, a: u64, b: u64) -> u64 {
+    a - b
+}
+fn raw_narrow(&self, cycle: u64) -> u32 {
+    cycle as u32
+}
+fn bounded_narrow(&self, cycle: u64) -> u32 {
+    let cycle_low = cycle % 16;
+    cycle_low as u32
+}
+// A parenthesized bounding expression is conservatively accepted too:
+fn inline_bounded(&self, quota: u64) -> u8 {
+    (quota % 256) as u8
+}

@@ -1,0 +1,15 @@
+//=== file: crates/cachesim/src/probe.rs
+struct Probe {
+    recorder: Recorder,
+}
+fn log_into(rec: &mut Recorder) {}
+fn make() -> Recorder {
+    Recorder::with_capacity(64)
+}
+fn optional(slot: Option<Recorder>) {}
+// Constructing at the collection boundary is legal; only *type*
+// positions hardwire the sink:
+fn boundary() {
+    let r = Recorder::with_capacity(Recorder::DEFAULT_CAPACITY);
+}
+fn generic_is_the_fix<S: Sink>(sink: &mut S) {}

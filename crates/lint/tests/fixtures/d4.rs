@@ -1,0 +1,13 @@
+//=== file: crates/cachesim/src/tables.rs
+pub fn grow_shadow(sets: usize) -> Vec<u64> {
+    vec![0; sets]
+}
+pub fn pure_mask(ways: usize) -> u64 {
+    (1u64 << ways) - 1
+}
+//=== file: crates/cpusim/src/core.rs
+fn step(&mut self) {
+    let shadow = grow_shadow(self.sets);
+    let mask = pure_mask(self.ways);
+    self.apply(shadow, mask);
+}

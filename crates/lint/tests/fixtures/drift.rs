@@ -1,0 +1,12 @@
+//=== file: crates/core/src/l3/doc_tables.rs
+const USAGE_DOC: &str = r#"
+worked example (not code):
+    let hit = table.lookup(addr).unwrap();
+    panic!("this line once produced a misreported finding")
+"#;
+/* block comment spanning
+   several lines, mentioning HashMap and
+   thread::spawn without firing */
+fn real_finding_below(&self) -> u64 {
+    self.table.last().copied().unwrap()
+}

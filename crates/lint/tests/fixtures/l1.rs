@@ -1,0 +1,28 @@
+//=== file: crates/core/src/l3/policy.rs
+fn lookup(&self, way: usize) -> u64 {
+    self.table.get(way).copied().unwrap()
+}
+fn decode(&self, raw: u64) -> Kind {
+    let k = self.kinds.get(&raw).expect("kind registered");
+    k
+}
+fn impossible(&self) {
+    panic!("partition state corrupted");
+}
+fn also_impossible(&self) {
+    unreachable!()
+}
+// Decoys the v1 line scanner tripped over:
+fn doc_example() -> &'static str {
+    "call .unwrap() at your peril; panic!(\"not code\")"
+}
+fn ok_variants(&self) -> u64 {
+    self.table.first().copied().unwrap_or(0)
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        build().unwrap();
+    }
+}

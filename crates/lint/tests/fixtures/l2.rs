@@ -1,0 +1,10 @@
+//=== file: crates/cachesim/src/directory.rs
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct Directory {
+    sharers: HashMap<u64, u32>,
+}
+// Mentioning "HashMap" in a comment or string is not a finding:
+const NOTE: &str = "HashMap is banned here";
+use std::collections::BTreeMap; // the sanctioned ordered map

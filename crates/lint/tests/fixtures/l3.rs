@@ -1,0 +1,13 @@
+//=== file: crates/simcore/src/stats.rs
+fn truncating(total: u64) -> u32 {
+    total as u32
+}
+fn float_path(ipc: f64) -> u64 {
+    (ipc * 1000.0).round() as u64
+}
+fn widening_is_fine(hits: u32) -> u64 {
+    hits as u64
+}
+fn words_containing_as(assign: u64) -> u64 {
+    assign
+}

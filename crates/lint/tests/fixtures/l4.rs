@@ -1,0 +1,13 @@
+//=== file: crates/core/src/engine.rs
+/// Documented: returns the current epoch quota for `core`.
+pub fn quota(&self, core: usize) -> usize {
+    self.quotas[core]
+}
+pub fn undocumented_api(&self) -> u64 {
+    self.cycle
+}
+fn private_needs_no_docs(&self) {}
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_are_exempt() {}
+}

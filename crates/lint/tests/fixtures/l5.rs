@@ -1,0 +1,13 @@
+//=== file: crates/bench/src/campaign.rs
+fn fan_out(&self) {
+    std::thread::spawn(|| run_cell());
+}
+fn scoped(&self) {
+    std::thread::scope(|s| {
+        s.spawn(|| run_cell());
+    });
+}
+// thread::sleep is not a spawn and does not fire:
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,15 @@
+//=== file: crates/core/src/experiment.rs
+fn report(&self) {
+    println!("ipc = {}", self.ipc);
+}
+fn warn(&self) {
+    eprintln!("quota drift detected");
+}
+// A format! is not a print:
+fn label(&self) -> String {
+    format!("core{}", self.id)
+}
+//=== file: src/bin/nuca-sim.rs
+fn main() {
+    println!("binaries may print");
+}

@@ -1,0 +1,21 @@
+//=== file: crates/cachesim/src/lru.rs
+fn touch(&mut self, way: usize) {
+    let mut order = Vec::new();
+    order.push(way);
+}
+fn snapshot(&self) -> Vec<u64> {
+    self.tags.to_vec()
+}
+fn boxed(&self) -> Box<u64> {
+    Box::new(self.tags[0])
+}
+fn dup(&self) -> Recency {
+    self.recency.clone()
+}
+fn macro_alloc(&self) -> Vec<u8> {
+    vec![0; self.ways]
+}
+// Reading a preallocated buffer is fine:
+fn read(&self, i: usize) -> u64 {
+    self.tags[i]
+}

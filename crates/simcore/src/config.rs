@@ -75,6 +75,36 @@ impl CacheGeometry {
         })
     }
 
+    /// Const constructor for statically-known geometries (the Table 1
+    /// constants). Enforces the same invariants as [`CacheGeometry::new`];
+    /// used to initialize a `const`, a violation is a compile error rather
+    /// than a runtime panic.
+    const fn checked(size_bytes: u64, assoc: u32, block_bytes: u32, latency: u64) -> Self {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "cache block size must be a power of two"
+        );
+        assert!(
+            assoc != 0 && assoc <= 32,
+            "cache associativity must be in 1..=32"
+        );
+        assert!(
+            size_bytes != 0 && size_bytes.is_multiple_of(assoc as u64 * block_bytes as u64),
+            "cache size must be a nonzero multiple of associativity times block size"
+        );
+        let sets = size_bytes / (assoc as u64 * block_bytes as u64);
+        assert!(
+            sets.is_power_of_two(),
+            "number of cache sets must be a power of two"
+        );
+        CacheGeometry {
+            size_bytes,
+            assoc,
+            block_bytes,
+            latency,
+        }
+    }
+
     /// Total capacity in bytes.
     #[inline]
     pub const fn size_bytes(&self) -> u64 {
@@ -176,19 +206,24 @@ pub struct PipelineConfig {
     pub mispredict_penalty: u64,
 }
 
+impl PipelineConfig {
+    /// The Table 1 baseline pipeline.
+    pub const TABLE1: Self = PipelineConfig {
+        ruu_size: 128,
+        lsq_size: 64,
+        fetch_queue: 4,
+        width: 4,
+        int_alus: 4,
+        fp_alus: 4,
+        int_mul: 1,
+        fp_mul: 1,
+        mispredict_penalty: 7,
+    };
+}
+
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig {
-            ruu_size: 128,
-            lsq_size: 64,
-            fetch_queue: 4,
-            width: 4,
-            int_alus: 4,
-            fp_alus: 4,
-            int_mul: 1,
-            fp_mul: 1,
-            mispredict_penalty: 7,
-        }
+        PipelineConfig::TABLE1
     }
 }
 
@@ -209,16 +244,21 @@ pub struct BranchConfig {
     pub btb_assoc: usize,
 }
 
+impl BranchConfig {
+    /// The Table 1 baseline combined predictor.
+    pub const TABLE1: Self = BranchConfig {
+        bimodal_entries: 4096,
+        level2_entries: 1024,
+        history_bits: 10,
+        chooser_entries: 4096,
+        btb_entries: 512,
+        btb_assoc: 4,
+    };
+}
+
 impl Default for BranchConfig {
     fn default() -> Self {
-        BranchConfig {
-            bimodal_entries: 4096,
-            level2_entries: 1024,
-            history_bits: 10,
-            chooser_entries: 4096,
-            btb_entries: 512,
-            btb_assoc: 4,
-        }
+        BranchConfig::TABLE1
     }
 }
 
@@ -231,12 +271,17 @@ pub struct TlbConfig {
     pub miss_penalty: u64,
 }
 
+impl TlbConfig {
+    /// The Table 1 baseline TLB.
+    pub const TABLE1: Self = TlbConfig {
+        entries: 128,
+        miss_penalty: 30,
+    };
+}
+
 impl Default for TlbConfig {
     fn default() -> Self {
-        TlbConfig {
-            entries: 128,
-            miss_penalty: 30,
-        }
+        TlbConfig::TABLE1
     }
 }
 
@@ -259,14 +304,19 @@ pub struct MemoryConfig {
     pub chunk_bytes: u32,
 }
 
+impl MemoryConfig {
+    /// The Table 1 baseline memory timing.
+    pub const TABLE1: Self = MemoryConfig {
+        first_chunk_shared: 260,
+        first_chunk_private: 258,
+        inter_chunk: 4,
+        chunk_bytes: 8,
+    };
+}
+
 impl Default for MemoryConfig {
     fn default() -> Self {
-        MemoryConfig {
-            first_chunk_shared: 260,
-            first_chunk_private: 258,
-            inter_chunk: 4,
-            chunk_bytes: 8,
-        }
+        MemoryConfig::TABLE1
     }
 }
 
@@ -360,17 +410,31 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// The baseline 4-core machine of Table 1 as a compile-time constant.
+    ///
+    /// Every geometry goes through [`CacheGeometry::checked`], so an
+    /// invalid constant fails the build instead of erroring at runtime;
+    /// the cross-field invariants are pinned by unit test against
+    /// [`MachineConfigBuilder`].
+    pub const TABLE1: Self = MachineConfig {
+        cores: 4,
+        pipeline: PipelineConfig::TABLE1,
+        branch: BranchConfig::TABLE1,
+        l1i: CacheGeometry::checked(64 * 1024, 2, 64, 2),
+        l1d: CacheGeometry::checked(64 * 1024, 2, 64, 3),
+        l2: CacheGeometry::checked(256 * 1024, 4, 64, 9),
+        l3: L3Config {
+            shared: CacheGeometry::checked(4 * 1024 * 1024, 16, 64, 19),
+            private: CacheGeometry::checked(1024 * 1024, 4, 64, 14),
+            neighbor_latency: 19,
+        },
+        tlb: TlbConfig::TABLE1,
+        memory: MemoryConfig::TABLE1,
+    };
+
     /// The baseline 4-core configuration of Table 1.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the baseline constants are statically valid (checked
-    /// by unit test).
-    #[allow(clippy::expect_used)] // statically-valid constants, see lint.toml
-    pub fn baseline() -> Self {
-        MachineConfigBuilder::new()
-            .build()
-            .expect("baseline Table 1 config is valid")
+    pub const fn baseline() -> Self {
+        Self::TABLE1
     }
 
     /// Returns a copy with the L3 capacity multiplied by `factor`
@@ -660,6 +724,15 @@ mod tests {
         assert_eq!(m.memory.first_chunk_private, 258);
         assert_eq!(m.memory.inter_chunk, 4);
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn const_baseline_equals_builder_output() {
+        // The compile-time TABLE1 constant and the runtime builder must
+        // describe the same machine, so neither can silently drift.
+        let built = MachineConfigBuilder::new().build().unwrap();
+        assert_eq!(MachineConfig::TABLE1, built);
+        MachineConfig::TABLE1.validate().unwrap();
     }
 
     #[test]

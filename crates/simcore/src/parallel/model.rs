@@ -1,0 +1,285 @@
+//! Exhaustive schedule exploration for the parallel runner's
+//! claim/reassemble protocol.
+//!
+//! [`explore`] runs the *same* protocol pieces the production runner uses
+//! — [`super::AtomicSource`], [`super::WorkerState`],
+//! [`super::reassemble`] — under a virtual scheduler instead of real
+//! threads: a bounded DFS that, at every protocol state, branches on
+//! *which worker performs the next claim*. Because a worker's entire
+//! visible interaction with shared state is the single atomic claim
+//! (`fetch_add`), interleaving at claim granularity covers every behavior
+//! the real scoped-thread runner can exhibit under sequential
+//! consistency; everything between two claims of one worker touches only
+//! worker-local state.
+//!
+//! On every terminal schedule the explorer asserts the runner's two
+//! correctness claims:
+//!
+//! 1. **index-ordered reassembly** — the merged pairs form exactly
+//!    `0..n`, each index claimed once;
+//! 2. **bit-identical output** — the reassembled result vector equals the
+//!    serial reference `(0..n).map(f)`.
+//!
+//! A violation is reported as a [`ScheduleViolation`] carrying the exact
+//! schedule (sequence of worker ids) that produced it, so a failure is a
+//! replayable counterexample rather than a flaky test.
+//!
+//! The schedule count is `workers^n · workers!`, so this is a small-grid
+//! tool by design: 3 workers × 9 cells explores 118,098 schedules in
+//! well under a second. Loom-style partial-order reduction
+//! is deliberately absent — the state space is small enough that the
+//! unreduced DFS stays trivially fast, and the unreduced form is easier
+//! to audit.
+
+use super::{reassemble, AtomicSource, WorkerState};
+
+/// A counterexample: the schedule (worker id per step) under which the
+/// protocol produced a wrong result, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleViolation {
+    /// Worker id chosen at each step, in order.
+    pub schedule: Vec<usize>,
+    /// What the terminal check found.
+    pub kind: ViolationKind,
+}
+
+/// The class of protocol failure a schedule exposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The per-worker pairs were not a permutation of `0..n`.
+    NotAPermutation,
+    /// Reassembled output differed from the serial reference at an index.
+    OutputDiverged {
+        /// First index where the outputs differ.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ViolationKind::NotAPermutation => write!(
+                f,
+                "schedule {:?}: claimed indices are not a permutation of the grid",
+                self.schedule
+            ),
+            ViolationKind::OutputDiverged { index } => write!(
+                f,
+                "schedule {:?}: output diverges from the serial reference at cell {index}",
+                self.schedule
+            ),
+        }
+    }
+}
+
+/// Summary of one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// How many complete schedules were checked.
+    pub schedules: usize,
+    /// Whether the schedule bound stopped the search before exhaustion.
+    pub truncated: bool,
+}
+
+/// One node of the scheduler DFS: the shared source plus each worker's
+/// local state and liveness.
+#[derive(Clone)]
+struct ModelState<R> {
+    source: AtomicSource,
+    workers: Vec<WorkerState<R>>,
+    live: Vec<bool>,
+    schedule: Vec<usize>,
+}
+
+/// Runs the claim/reassemble protocol through every interleaving of
+/// `workers` virtual workers over the `n`-cell grid computed by `f`,
+/// checking index-ordered reassembly and bit-identical output on each
+/// complete schedule.
+///
+/// `bound` caps the number of complete schedules checked (`None` =
+/// exhaustive); when the cap fires, [`Exploration::truncated`] is set so
+/// a caller can never mistake a bounded pass for a proof.
+///
+/// Returns the first violating schedule as an error, which makes a CI
+/// failure directly replayable.
+pub fn explore<R, F>(
+    workers: usize,
+    n: usize,
+    f: F,
+    bound: Option<usize>,
+) -> Result<Exploration, ScheduleViolation>
+where
+    R: Clone + PartialEq,
+    F: Fn(usize) -> R,
+{
+    let expected: Vec<R> = (0..n).map(&f).collect();
+    let workers = workers.max(1);
+    let mut summary = Exploration {
+        schedules: 0,
+        truncated: false,
+    };
+    let root = ModelState {
+        source: AtomicSource::new(n),
+        workers: (0..workers).map(|_| WorkerState::new()).collect(),
+        live: vec![true; workers],
+        schedule: Vec::new(),
+    };
+    dfs(root, &f, &expected, n, bound, &mut summary)?;
+    Ok(summary)
+}
+
+/// Depth-first interleaving search. Each recursion level branches on the
+/// live worker that takes the next claim step; a worker observing a
+/// drained source becomes done. Terminal states (all workers done) run
+/// the reassembly checks.
+fn dfs<R, F>(
+    state: ModelState<R>,
+    f: &F,
+    expected: &[R],
+    n: usize,
+    bound: Option<usize>,
+    summary: &mut Exploration,
+) -> Result<(), ScheduleViolation>
+where
+    R: Clone + PartialEq,
+    F: Fn(usize) -> R,
+{
+    if bound.is_some_and(|b| summary.schedules >= b) {
+        summary.truncated = true;
+        return Ok(());
+    }
+    if state.live.iter().all(|l| !l) {
+        summary.schedules += 1;
+        return check_terminal(state, expected, n);
+    }
+    for w in 0..state.workers.len() {
+        if !state.live[w] {
+            continue;
+        }
+        let mut next = state.clone();
+        next.schedule.push(w);
+        if let Some(slot) = next.workers.get_mut(w) {
+            if !slot.step(&next.source, f) {
+                next.live[w] = false;
+            }
+        }
+        dfs(next, f, expected, n, bound, summary)?;
+    }
+    Ok(())
+}
+
+/// The two per-schedule assertions: permutation reassembly and
+/// bit-identical output.
+fn check_terminal<R: Clone + PartialEq>(
+    state: ModelState<R>,
+    expected: &[R],
+    n: usize,
+) -> Result<(), ScheduleViolation> {
+    let locals: Vec<Vec<(usize, R)>> = state
+        .workers
+        .into_iter()
+        .map(WorkerState::into_local)
+        .collect();
+    let Some(out) = reassemble(locals, n) else {
+        return Err(ScheduleViolation {
+            schedule: state.schedule,
+            kind: ViolationKind::NotAPermutation,
+        });
+    };
+    if let Some(index) = (0..n).find(|&i| out.get(i) != expected.get(i)) {
+        return Err(ScheduleViolation {
+            schedule: state.schedule,
+            kind: ViolationKind::OutputDiverged { index },
+        });
+    }
+    Ok(())
+}
+
+/// Closed form for the number of complete schedules [`explore`] visits:
+/// interleavings of `w` workers' step sequences, where each worker takes
+/// some claims (a composition of `n`) plus one final drained step.
+/// Exposed so tests can assert the DFS is genuinely exhaustive rather
+/// than silently pruning.
+pub fn schedule_count(workers: usize, n: usize) -> usize {
+    // While work remains, every step is a successful claim by any of the
+    // `w` live workers (`w^n` orderings); once the source drains, each
+    // worker must still observe the drain once, in any order (`w!`
+    // orderings). Saturating keeps an oversized request from wrapping —
+    // the DFS would never finish such a space anyway.
+    let w = workers.max(1);
+    let claims = (0..n).fold(1usize, |acc, _| acc.saturating_mul(w));
+    let drains = (1..=w).fold(1usize, |acc, k| acc.saturating_mul(k));
+    claims.saturating_mul(drains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_two_workers_four_cells() {
+        let ex = explore(2, 4, |i| (i as u64).wrapping_mul(0x9e37_79b9), None)
+            .expect("no schedule may violate the protocol");
+        assert!(!ex.truncated);
+        assert_eq!(ex.schedules, schedule_count(2, 4));
+        assert!(ex.schedules > 1, "must branch, got {}", ex.schedules);
+    }
+
+    #[test]
+    fn exhaustive_three_workers_3x3_grid() {
+        let ex = explore(3, 9, |i| i * i, None).expect("no schedule may violate");
+        assert!(!ex.truncated);
+        assert_eq!(ex.schedules, schedule_count(3, 9));
+    }
+
+    #[test]
+    fn bounded_run_reports_truncation() {
+        let ex = explore(3, 9, |i| i, Some(100)).expect("prefix schedules are clean");
+        assert!(ex.truncated);
+        assert_eq!(ex.schedules, 100);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let ex = explore(2, 0, |i| i, None).expect("empty grid");
+        assert_eq!(ex.schedules, 2, "two drain orders and nothing else");
+        let ex = explore(1, 5, |i| i, None).expect("single worker");
+        assert_eq!(ex.schedules, 1, "serial order is the only schedule");
+    }
+
+    #[test]
+    fn schedule_count_matches_hand_enumeration() {
+        // 1 worker, n cells: exactly one schedule.
+        assert_eq!(schedule_count(1, 3), 1);
+        // 2 workers, 0 cells: both drain, in either order: 2 schedules.
+        assert_eq!(schedule_count(2, 0), 2);
+        // 2 workers, 1 cell: claim by A or B, then two drain orders = 2*2.
+        assert_eq!(schedule_count(2, 1), 4);
+    }
+
+    #[test]
+    fn a_broken_reassembly_is_caught_with_a_replayable_schedule() {
+        // Sabotage: a worker pool where one worker's local pairs collide
+        // (simulated by a source that double-hands-out index 0).
+        struct DoubleSource {
+            inner: std::sync::atomic::AtomicUsize,
+        }
+        impl crate::parallel::WorkSource for DoubleSource {
+            fn claim(&self) -> Option<usize> {
+                let i = self
+                    .inner
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Hand out 0 twice, then drain: [0, 0, None...]
+                (i < 2).then_some(0)
+            }
+        }
+        let src = DoubleSource {
+            inner: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let f = |i: usize| i;
+        let mut w = crate::parallel::WorkerState::new();
+        while w.step(&src, &f) {}
+        let out = crate::parallel::reassemble(vec![w.into_local()], 2);
+        assert_eq!(out, None, "duplicate claims must be rejected");
+    }
+}
