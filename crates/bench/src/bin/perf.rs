@@ -7,6 +7,10 @@
 //! cargo run --release -p nuca-bench --bin perf -- --quick  # CI smoke matrix
 //!     --jobs <N>            parallel pass thread count (0 = auto)  [default: auto]
 //!     --no-skip             run with event-driven cycle skipping disabled
+//!     --sample-sets <K>     set-sampling shift for the accuracy pass   [default: 4]
+//!     --max-sample-error <PCT>
+//!                           fail if the sampled pass's worst hmean-IPC
+//!                           error vs the full serial pass exceeds PCT %
 //!     --out <FILE>          where to write the JSON (- = stdout only)
 //!     --check-schema <FILE> fail if FILE's JSON schema differs from this run's
 //!     --check-regression <FILE>
@@ -19,6 +23,13 @@
 //! with the host, the schema must not. The serial pass is the reference
 //! semantics: the run also verifies the parallel pass produced
 //! bit-identical results and records that as `"deterministic"`.
+//!
+//! Schema v2 (this file) extends v1 with a per-organization breakdown of
+//! the serial pass and a `sampling` section: the same matrix re-run
+//! under `--sample-sets`, reporting its throughput and its worst/mean
+//! harmonic-mean-IPC error against the full serial pass. Accuracy gates
+//! CI the same way speed does — `--max-sample-error` is the error
+//! analogue of `--check-regression`.
 
 // Figure-harness binary: failing fast on experiment errors is intended.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -26,7 +37,7 @@
 use std::time::Instant;
 
 use nuca_bench::json::Json;
-use nuca_core::experiment::{run_cells, ExperimentConfig, SimCell};
+use nuca_core::experiment::{run_cells, ExperimentConfig, MixResult, SimCell};
 use nuca_core::l3::Organization;
 use simcore::config::MachineConfig;
 use tracegen::spec::SpecApp;
@@ -36,6 +47,8 @@ struct Args {
     quick: bool,
     jobs: usize,
     cycle_skip: bool,
+    sample_shift: u32,
+    max_sample_error: Option<f64>,
     out: Option<String>,
     check_schema: Option<String>,
     check_regression: Option<String>,
@@ -46,6 +59,8 @@ fn parse_args() -> Args {
         quick: false,
         jobs: 0,
         cycle_skip: true,
+        sample_shift: 4,
+        max_sample_error: None,
         out: None,
         check_schema: None,
         check_regression: None,
@@ -56,6 +71,12 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--jobs" => args.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
             "--no-skip" => args.cycle_skip = false,
+            "--sample-sets" => {
+                args.sample_shift = it.next().and_then(|v| v.parse().ok()).unwrap_or(4);
+            }
+            "--max-sample-error" => {
+                args.max_sample_error = it.next().and_then(|v| v.parse().ok());
+            }
             "--out" => args.out = it.next(),
             "--check-schema" => args.check_schema = it.next(),
             "--check-regression" => args.check_regression = it.next(),
@@ -81,6 +102,23 @@ fn pass(label: &str, n: u64) -> Json {
     Json::Obj(vec![(label.to_string(), Json::num(n as f64))])
 }
 
+/// Worst and mean relative harmonic-mean-IPC error of `sampled` against
+/// the reference `full` results (cell-aligned).
+fn sampling_error(full: &[MixResult], sampled: &[MixResult]) -> (f64, f64) {
+    let mut max_err = 0.0f64;
+    let mut sum_err = 0.0f64;
+    let mut n = 0usize;
+    for (f, s) in full.iter().zip(sampled) {
+        if f.result.hmean_ipc > 0.0 {
+            let e = ((s.result.hmean_ipc - f.result.hmean_ipc) / f.result.hmean_ipc).abs();
+            max_err = max_err.max(e);
+            sum_err += e;
+            n += 1;
+        }
+    }
+    (max_err, if n > 0 { sum_err / n as f64 } else { 0.0 })
+}
+
 fn main() {
     let tele = nuca_bench::trace_out::TelemetryArgs::parse();
     tele.install();
@@ -100,11 +138,15 @@ fn main() {
     ];
     let mixes =
         WorkloadPool::random_mixes(&SpecApp::intensive_pool(), machine.cores, n_mixes, exp.seed);
-    let cells: Vec<SimCell<'_>> = mixes
+    // Org-major cell order so the serial pass can time each
+    // organization's slice contiguously; the parallel pass runs the same
+    // list, so the determinism comparison is order-for-order.
+    let machine_ref = &machine;
+    let cells: Vec<SimCell<'_>> = orgs
         .iter()
-        .flat_map(|mix| {
-            orgs.iter().map(|&org| SimCell {
-                machine: &machine,
+        .flat_map(|&org| {
+            mixes.iter().map(move |mix| SimCell {
+                machine: machine_ref,
                 org,
                 mix,
             })
@@ -112,6 +154,7 @@ fn main() {
         .collect();
     let sim_cycles_per_cell = exp.warmup_cycles + exp.measure_cycles;
     let total_sim_cycles = sim_cycles_per_cell * cells.len() as u64;
+    let org_sim_cycles = sim_cycles_per_cell * mixes.len() as u64;
 
     eprintln!(
         "perf: {} cells ({} mixes x {} orgs), {} sim-cycles each, jobs={jobs}",
@@ -121,15 +164,44 @@ fn main() {
         sim_cycles_per_cell
     );
 
+    // Serial pass, timed one organization slice at a time so the report
+    // can break sim-cycles/s down per organization (the three last-level
+    // designs stress very different code paths).
     let serial_exp = exp.with_jobs(1);
-    let t0 = Instant::now();
-    let serial = run_cells(&cells, &serial_exp).expect("serial pass runs");
-    let serial_wall = t0.elapsed().as_secs_f64();
+    let mut serial: Vec<MixResult> = Vec::with_capacity(cells.len());
+    let mut per_org: Vec<(String, Json)> = Vec::new();
+    let mut serial_wall = 0.0f64;
+    for (i, org) in orgs.iter().enumerate() {
+        let slice = &cells[i * mixes.len()..(i + 1) * mixes.len()];
+        let t = Instant::now();
+        let results = run_cells(slice, &serial_exp).expect("serial pass runs");
+        let wall = t.elapsed().as_secs_f64();
+        serial_wall += wall;
+        serial.extend(results);
+        per_org.push((
+            org.label().to_string(),
+            Json::Obj(vec![
+                ("wall_seconds".into(), Json::num(wall)),
+                (
+                    "sim_cycles_per_second".into(),
+                    Json::num(org_sim_cycles as f64 / wall.max(1e-9)),
+                ),
+            ]),
+        ));
+    }
 
     let parallel_exp = exp.with_jobs(jobs);
     let t1 = Instant::now();
     let parallel = run_cells(&cells, &parallel_exp).expect("parallel pass runs");
     let parallel_wall = t1.elapsed().as_secs_f64();
+
+    // Sampled pass: the same matrix with only 1/2^shift of the L3 sets
+    // simulated, compared cell-for-cell against the full serial results.
+    let sampled_exp = serial_exp.with_sample_sets(Some(args.sample_shift));
+    let t2 = Instant::now();
+    let sampled = run_cells(&cells, &sampled_exp).expect("sampled pass runs");
+    let sampled_wall = t2.elapsed().as_secs_f64();
+    let (max_err, mean_err) = sampling_error(&serial, &sampled);
 
     let deterministic = serial == parallel;
     let host_cores = simcore::parallel::default_jobs();
@@ -151,20 +223,30 @@ fn main() {
     };
 
     let rate = |wall: f64| {
-        Json::Obj(vec![
-            ("wall_seconds".into(), Json::num(wall)),
+        vec![
+            ("wall_seconds".to_string(), Json::num(wall)),
             (
-                "cells_per_second".into(),
+                "cells_per_second".to_string(),
                 Json::num(cells.len() as f64 / wall.max(1e-9)),
             ),
             (
-                "sim_cycles_per_second".into(),
+                "sim_cycles_per_second".to_string(),
                 Json::num(total_sim_cycles as f64 / wall.max(1e-9)),
             ),
-        ])
+        ]
     };
+    let mut serial_json = rate(serial_wall);
+    serial_json.push(("per_organization".into(), Json::Obj(per_org)));
+    let mut sampling_json = rate(sampled_wall);
+    sampling_json.insert(0, ("shift".into(), Json::num(args.sample_shift as f64)));
+    sampling_json.push((
+        "speedup_vs_serial".into(),
+        Json::num(serial_wall / sampled_wall.max(1e-9)),
+    ));
+    sampling_json.push(("max_rel_error_hmean_ipc".into(), Json::num(max_err)));
+    sampling_json.push(("mean_rel_error_hmean_ipc".into(), Json::num(mean_err)));
     let doc = Json::Obj(vec![
-        ("schema_version".into(), Json::num(1.0)),
+        ("schema_version".into(), Json::num(2.0)),
         ("bench".into(), Json::str("nuca-bench perf")),
         ("quick".into(), Json::Bool(args.quick)),
         (
@@ -191,9 +273,10 @@ fn main() {
         ("host".into(), pass("cores", host_cores as u64)),
         ("jobs".into(), Json::num(jobs as f64)),
         ("cycle_skip".into(), Json::Bool(args.cycle_skip)),
-        ("serial".into(), rate(serial_wall)),
-        ("parallel".into(), rate(parallel_wall)),
+        ("serial".into(), Json::Obj(serial_json)),
+        ("parallel".into(), Json::Obj(rate(parallel_wall))),
         ("speedup".into(), speedup_json),
+        ("sampling".into(), Json::Obj(sampling_json)),
         ("note".into(), Json::str(note)),
         ("deterministic".into(), Json::Bool(deterministic)),
     ]);
@@ -209,11 +292,34 @@ fn main() {
         "perf: serial {serial_wall:.2}s, parallel {parallel_wall:.2}s (jobs={jobs}), \
          speedup {speedup_text}, deterministic={deterministic}"
     );
+    eprintln!(
+        "perf: sampled (shift {}) {sampled_wall:.2}s ({:.2}x vs serial), \
+         hmean-IPC error max {:.2}% mean {:.2}%",
+        args.sample_shift,
+        serial_wall / sampled_wall.max(1e-9),
+        max_err * 100.0,
+        mean_err * 100.0
+    );
 
     let mut failed = false;
     if !deterministic {
         eprintln!("perf: FAIL — parallel results differ from serial results");
         failed = true;
+    }
+
+    if let Some(limit_pct) = args.max_sample_error {
+        if max_err * 100.0 > limit_pct {
+            eprintln!(
+                "perf: FAIL — sampled pass error {:.2}% exceeds the {limit_pct}% budget",
+                max_err * 100.0
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf: sampled pass error {:.2}% within the {limit_pct}% budget",
+                max_err * 100.0
+            );
+        }
     }
 
     if let Some(reference) = &args.check_schema {

@@ -47,7 +47,7 @@ pub fn experiment_config() -> ExperimentConfig {
         Some(pct) if pct > 0 && pct != 100 => base.scaled(pct, 100),
         _ => base,
     };
-    base.with_jobs(jobs())
+    base.with_jobs(jobs()).with_sample_sets(sample_sets())
 }
 
 /// Worker-thread count for simulation grids: `--jobs N` on the command
@@ -70,6 +70,27 @@ pub fn jobs() -> usize {
             .and_then(|s| s.parse::<usize>().ok())
     });
     simcore::parallel::resolve_jobs(requested.unwrap_or(0))
+}
+
+/// Set-sampling shift for simulation grids: `--sample-sets K` on the
+/// command line beats `NUCA_BENCH_SAMPLE_SETS`; absent both, sampling is
+/// off and every set is simulated. Shared by every figure binary and
+/// `perf`, like [`jobs`].
+pub fn sample_sets() -> Option<u32> {
+    let mut argv = std::env::args().skip(1);
+    let mut requested = None;
+    while let Some(arg) = argv.next() {
+        if arg == "--sample-sets" {
+            requested = argv.next().and_then(|v| v.parse::<u32>().ok());
+        } else if let Some(v) = arg.strip_prefix("--sample-sets=") {
+            requested = v.parse::<u32>().ok();
+        }
+    }
+    requested.or_else(|| {
+        std::env::var("NUCA_BENCH_SAMPLE_SETS")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+    })
 }
 
 /// Reads the per-figure mix count honoring `NUCA_BENCH_MIXES`.

@@ -24,6 +24,12 @@ use simcore::stats::HitMiss;
 use simcore::types::{Address, BlockAddr, CoreId};
 
 use crate::lru::Recency;
+use crate::swar::{self, TagFilter};
+
+/// Associativity at or above which lookups go through the SWAR digest
+/// filter. Below this a scalar walk of at most three tags is already
+/// cheaper than maintaining and probing packed digests.
+const WIDE_PROBE_MIN_WAYS: usize = 4;
 
 /// Result of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +97,10 @@ pub struct Cache {
     dirty: Vec<u32>,
     /// One recency word per set (packed when the associativity fits).
     lru: Vec<Recency>,
+    /// Packed per-way tag digests for the SWAR wide probe.
+    filter: TagFilter,
+    /// Whether `find` consults the filter (associativity ≥ 4).
+    wide: bool,
     stats: HitMiss,
     writebacks: u64,
 }
@@ -103,11 +113,13 @@ impl Cache {
         Cache {
             geom,
             ways,
-            tags: vec![BlockAddr::new(0); sets * ways],
-            owners: vec![CoreId::from_index(0); sets * ways],
-            valid: vec![0; sets],
-            dirty: vec![0; sets],
-            lru: vec![Recency::for_ways(ways); sets],
+            tags: vec![BlockAddr::new(0); sets * ways], // lint:allow(L7): constructor
+            owners: vec![CoreId::from_index(0); sets * ways], // lint:allow(L7): constructor
+            valid: vec![0; sets],                       // lint:allow(L7): constructor
+            dirty: vec![0; sets],                       // lint:allow(L7): constructor
+            lru: vec![Recency::for_ways(ways); sets],   // lint:allow(L7): constructor
+            filter: TagFilter::new(sets, ways),
+            wide: ways >= WIDE_PROBE_MIN_WAYS,
             stats: HitMiss::new(),
             writebacks: 0,
         }
@@ -126,12 +138,19 @@ impl Cache {
             .index_bits(0, self.geom.index_bits()) as usize
     }
 
-    /// The way holding `blk` in `set`, if resident: walk the set's valid
-    /// bits and compare tags in the flat stripe.
+    /// The way holding `blk` in `set`, if resident. Wide caches first
+    /// narrow the valid mask to SWAR digest candidates (one or two packed
+    /// `u64` compares across all ways), then confirm each candidate with an
+    /// exact tag compare; the confirm step makes the filter strictly exact,
+    /// and candidate bits are walked in the same low-to-high way order as
+    /// the scalar loop, so results are bit-identical.
     #[inline]
     fn find(&self, set: usize, blk: BlockAddr) -> Option<usize> {
         let base = set * self.ways;
         let mut m = self.valid[set];
+        if self.wide {
+            m &= self.filter.candidates(set, swar::digest(blk.raw()));
+        }
         while m != 0 {
             let w = m.trailing_zeros() as usize;
             if self.tags[base + w] == blk {
@@ -188,6 +207,7 @@ impl Cache {
         if free != 0 {
             let w = free.trailing_zeros() as usize;
             self.tags[base + w] = blk;
+            self.filter.record(set, w, swar::digest(blk.raw()));
             self.owners[base + w] = owner;
             self.valid[set] |= 1 << w;
             self.dirty[set] = (self.dirty[set] & !(1 << w)) | (u32::from(dirty) << w);
@@ -209,6 +229,7 @@ impl Cache {
             owner: self.owners[base + w],
         };
         self.tags[base + w] = blk;
+        self.filter.record(set, w, swar::digest(blk.raw()));
         self.owners[base + w] = owner;
         self.dirty[set] = (self.dirty[set] & !(1 << w)) | (u32::from(dirty) << w);
         self.lru[set].push_mru(w as u8);
@@ -292,7 +313,7 @@ impl Invariant for Cache {
     }
 
     fn audit(&self) -> Vec<Violation> {
-        let mut out = Vec::new();
+        let mut out = Vec::new(); // lint:allow(L7): cold diagnostics path
         for (si, (&mask, lru)) in self.valid.iter().zip(&self.lru).enumerate() {
             let base = si * self.ways;
             let valid: Vec<u8> = (0..self.ways as u8)
@@ -315,6 +336,14 @@ impl Invariant for Cache {
                 if !lru.contains(w) {
                     out.push(
                         Violation::new(self.component(), "valid block missing from LRU stack")
+                            .at_set(si)
+                            .at_way(usize::from(w)),
+                    );
+                }
+                let d = swar::digest(self.tags[base + usize::from(w)].raw());
+                if self.wide && self.filter.candidates(si, d) & (1u32 << w) == 0 {
+                    out.push(
+                        Violation::new(self.component(), "SWAR digest stale for valid way")
                             .at_set(si)
                             .at_way(usize::from(w)),
                     );

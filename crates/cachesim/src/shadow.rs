@@ -16,6 +16,7 @@ use simcore::rng::SimRng;
 use simcore::types::{BlockAddr, CoreId};
 
 use crate::percore::PerCore;
+use crate::swar;
 
 /// Which subset of sets carries shadow-tag registers.
 ///
@@ -51,7 +52,8 @@ impl SetSampling {
     /// The full-coverage configuration.
     pub const ALL: SetSampling = SetSampling::LowestIndex { shift: 0 };
 
-    fn shift(&self) -> u32 {
+    /// log2 of the sampling ratio (`shift = 4` samples 1/16 of sets).
+    pub fn shift(&self) -> u32 {
         match self {
             SetSampling::LowestIndex { shift }
             | SetSampling::Random { shift, .. }
@@ -60,7 +62,10 @@ impl SetSampling {
     }
 
     /// Computes the monitored-set membership for a cache of `sets` sets.
-    fn membership(&self, sets: usize) -> Vec<bool> {
+    /// Also used by the set-sampled *full* simulation (`SampledL3`), which
+    /// generalizes this table's §4.6 sampling to the whole last-level
+    /// cache.
+    pub fn membership(&self, sets: usize) -> Vec<bool> {
         let target = (sets >> self.shift()).max(1);
         match *self {
             SetSampling::LowestIndex { .. } => (0..sets).map(|i| i < target).collect(),
@@ -139,6 +144,15 @@ pub struct ShadowTags {
     /// A flat `u64` array keeps the per-miss probe a single load and
     /// compare (no `Option` discriminant in the hot path).
     tags: Vec<u64>,
+    /// Packed one-byte digests of the registers, *slot-major*: word
+    /// `slot * dwords_per_slot + core/8` holds core `core`'s digest in
+    /// byte `core % 8`. All cores' digests for one set share a word, so
+    /// the common non-matching miss probe reads this one word instead of
+    /// reaching into the core-major tag stripe — the same SWAR wide
+    /// compare the cache lookups use (`cachesim::swar`).
+    digests: Vec<u64>,
+    /// `⌈cores / 8⌉` digest words per monitored set.
+    dwords_per_slot: usize,
     hits: PerCore<u64>,
 }
 
@@ -185,12 +199,18 @@ impl ShadowTags {
             }
         }
         assert!(monitored_sets > 0, "sampling leaves no monitored sets");
+        let dwords_per_slot = cores.div_ceil(swar::LANES);
         ShadowTags {
             cores,
             monitored_sets,
             factor: (sets / monitored_sets) as u64,
             slot_of,
             tags: vec![EMPTY_TAG; cores * monitored_sets],
+            // Zero digests with EMPTY_TAG registers are safe: an empty
+            // register can never pass the exact confirm, so any digest
+            // verdict for it is correct.
+            digests: vec![0; monitored_sets * dwords_per_slot],
+            dwords_per_slot,
             hits: PerCore::filled(cores, 0),
         }
     }
@@ -219,20 +239,38 @@ impl ShadowTags {
         core.index() * self.monitored_sets + self.slot_of[set] as usize
     }
 
+    #[inline]
+    fn dword(&self, set: usize, core: CoreId) -> usize {
+        self.slot_of[set] as usize * self.dwords_per_slot + core.index() / swar::LANES
+    }
+
     /// Records the tag of a block evicted on behalf of `owner` from `set`.
     /// Ignored for unmonitored sets.
     pub fn record_eviction(&mut self, set: usize, owner: CoreId, addr: BlockAddr) {
         if self.monitors(set) {
             let slot = self.slot(set, owner);
             self.tags[slot] = addr.raw();
+            let idx = self.dword(set, owner);
+            let shift = (owner.index() % swar::LANES) * 8;
+            self.digests[idx] = (self.digests[idx] & !(0xffu64 << shift))
+                | (u64::from(swar::digest(addr.raw())) << shift);
         }
     }
 
     /// Called on a last-level miss by `requester` in `set` for `addr`.
     /// Returns `true` (and counts a shadow hit) when the shadow tag
     /// matches, i.e. one more block per set would have made this a hit.
+    ///
+    /// The probe first compares one-byte digests in the slot-major packed
+    /// word; only a digest match (1/256 of misses plus true hits) loads
+    /// the full register from the core-major tag stripe.
     pub fn check_miss(&mut self, set: usize, requester: CoreId, addr: BlockAddr) -> bool {
         if !self.monitors(set) {
+            return false;
+        }
+        let word = self.digests[self.dword(set, requester)];
+        let lane = (requester.index() % swar::LANES) * 8;
+        if (word >> lane) as u8 != swar::digest(addr.raw()) {
             return false;
         }
         let slot = self.slot(set, requester);
@@ -242,6 +280,37 @@ impl ShadowTags {
         } else {
             false
         }
+    }
+
+    /// Bitmask of cores whose shadow register in `set` holds `addr` —
+    /// one SWAR pass over the set's packed digest words (all cores at
+    /// once), candidates confirmed with exact tag compares. `0` for
+    /// unmonitored sets. Read-only: no hit counters are touched.
+    pub fn matching_cores(&self, set: usize, addr: BlockAddr) -> u64 {
+        if !self.monitors(set) {
+            return 0;
+        }
+        let base = self.slot_of[set] as usize * self.dwords_per_slot;
+        let d = swar::digest(addr.raw());
+        let mut candidates = 0u64;
+        for k in 0..self.dwords_per_slot {
+            candidates |=
+                u64::from(swar::match_mask(self.digests[base + k], d)) << (k * swar::LANES);
+        }
+        let mut confirmed = 0u64;
+        let mut m = candidates;
+        while m != 0 {
+            let c = m.trailing_zeros() as usize;
+            // Lanes past the core count carry zero digests; the bounds
+            // check plus exact confirm keeps them out of the result.
+            if c < self.cores
+                && self.tags[c * self.monitored_sets + self.slot_of[set] as usize] == addr.raw()
+            {
+                confirmed |= 1u64 << c;
+            }
+            m &= m - 1;
+        }
+        confirmed
     }
 
     /// Raw shadow-hit count for `core` since the last reset.
@@ -377,6 +446,42 @@ mod tests {
         // Consecutive monitored sets differ by the same prime stride (5 for 64>>2=16 -> 64/16=4 -> next prime 5).
         for w in monitored.windows(2) {
             assert_eq!(w[1] - w[0], 5);
+        }
+    }
+
+    #[test]
+    fn matching_cores_reports_exact_bitmask() {
+        let mut st = ShadowTags::new(64, 4, 0);
+        let a = BlockAddr::new(0x123);
+        st.record_eviction(5, c(1), a);
+        st.record_eviction(5, c(3), a);
+        st.record_eviction(5, c(2), BlockAddr::new(0x456));
+        assert_eq!(st.matching_cores(5, a), 0b1010);
+        assert_eq!(st.matching_cores(5, BlockAddr::new(0x456)), 0b0100);
+        assert_eq!(st.matching_cores(5, BlockAddr::new(0x789)), 0);
+        assert_eq!(st.matching_cores(6, a), 0, "other sets untouched");
+        assert_eq!(st.hits(c(1)), 0, "read-only probe");
+    }
+
+    #[test]
+    fn digest_fast_reject_never_loses_hits() {
+        use simcore::rng::SimRng;
+        let mut st = ShadowTags::new(32, 4, 1);
+        let mut model = vec![u64::MAX; 4 * 32];
+        let mut rng = SimRng::seed_from(17);
+        for _ in 0..5_000 {
+            let set = rng.below(32) as usize;
+            let core = rng.below(4) as u8;
+            let a = BlockAddr::new(rng.below(1 << 16));
+            if rng.chance(0.5) {
+                st.record_eviction(set, c(core), a);
+                if st.monitors(set) {
+                    model[usize::from(core) * 32 + set] = a.raw();
+                }
+            } else {
+                let expect = st.monitors(set) && model[usize::from(core) * 32 + set] == a.raw();
+                assert_eq!(st.check_miss(set, c(core), a), expect);
+            }
         }
     }
 

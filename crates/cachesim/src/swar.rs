@@ -1,0 +1,201 @@
+//! SWAR wide-way tag probes.
+//!
+//! The set-major SoA tag arrays (PR 5) store one 64-bit block address per
+//! way, so the tags themselves cannot be packed into SIMD-within-a-register
+//! lanes. What *can* be packed is a one-byte **digest** of each tag: a
+//! [`TagFilter`] keeps one digest byte per way, eight ways per `u64` word,
+//! and a probe compares all ≤16 ways against a broadcast digest in one or
+//! two chunked `u64` passes (splat + XOR + zero-byte trick — the same SWAR
+//! idiom as `PackedLru`'s nibble permutations). The resulting candidate
+//! bitmask is ANDed with the set's valid mask and each surviving candidate
+//! is confirmed with an exact tag compare, so the filter is *strictly
+//! exact*: it can never change which way a lookup finds, only how many
+//! full-width tag words the lookup has to load. On a miss — the common case
+//! in a last-level cache — the probe usually touches one filter word and
+//! zero tag words instead of walking the whole stripe.
+//!
+//! # Encoding
+//!
+//! - `digest(t) = (t * PHI64) >> 56` — the top byte of a Fibonacci-hash
+//!   multiply, so single-bit address differences flip digest bits with high
+//!   probability (false-candidate rate ≈ 1/256 per way).
+//! - Filter word `k` of a set holds the digests of ways `8k..8k+8`, way
+//!   `8k + j` in byte `j` (little-endian lane order, matching
+//!   `trailing_zeros` way iteration).
+//! - `match_mask(word, d)` broadcasts `d` to all eight lanes, XORs (a
+//!   matching lane becomes `0x00`), applies the zero-byte detector
+//!   `(x - LO) & !x & HI`, and gathers the per-lane `0x80` flags into the
+//!   low eight bits with a carry-free multiply.
+//!
+//! Stale digests of invalidated ways are left in place; callers mask
+//! candidates with the set's valid bits, which is both cheaper and exactly
+//! what the scalar loop did.
+
+/// Ways per filter word (one digest byte per way).
+pub const LANES: usize = 8;
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+/// Gathers the eight `0x01` lane flags of `z >> 7` into the top byte.
+/// Partial products land at bit `8i + 7(j + 1)`; no two collide, so the
+/// multiply is carry-free.
+const GATHER: u64 = 0x0102_0408_1020_4080;
+/// 2^64 / φ — the Fibonacci hashing multiplier.
+const PHI64: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One-byte digest of a block address (top byte of a Fibonacci-hash
+/// multiply).
+#[inline]
+#[must_use]
+pub const fn digest(block: u64) -> u8 {
+    (block.wrapping_mul(PHI64) >> 56) as u8
+}
+
+/// Bitmask of lanes in `word` equal to `digest` (bit `j` set ⇔ byte `j`
+/// matches).
+#[inline]
+#[must_use]
+pub const fn match_mask(word: u64, digest: u8) -> u32 {
+    let x = word ^ (digest as u64).wrapping_mul(LO);
+    let zero = x.wrapping_sub(LO) & !x & HI;
+    ((zero >> 7).wrapping_mul(GATHER) >> 56) as u32
+}
+
+/// Packed per-way tag digests for a whole cache: `sets × ⌈ways/8⌉` words,
+/// set-major. See the module docs for the encoding.
+#[derive(Debug, Clone)]
+pub struct TagFilter {
+    /// `words[set * words_per_set + k]` holds ways `8k..8k+8` of `set`.
+    words: Vec<u64>,
+    words_per_set: usize,
+}
+
+impl TagFilter {
+    /// Creates an all-zero filter for `sets` sets of `ways` ways.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        let words_per_set = ways.div_ceil(LANES);
+        TagFilter {
+            words: vec![0; sets * words_per_set], // lint:allow(L7): constructor
+            words_per_set,
+        }
+    }
+
+    /// Records the digest for a way; must be called at every tag-write
+    /// site so the filter never misses a resident block.
+    #[inline]
+    pub fn record(&mut self, set: usize, way: usize, digest: u8) {
+        let idx = set * self.words_per_set + way / LANES;
+        let shift = (way % LANES) * 8;
+        self.words[idx] = (self.words[idx] & !(0xffu64 << shift)) | ((digest as u64) << shift);
+    }
+
+    /// Candidate ways of `set` whose digest equals `digest`. Supersets the
+    /// true match set; callers AND with the valid mask and confirm with an
+    /// exact tag compare.
+    #[inline]
+    #[must_use]
+    pub fn candidates(&self, set: usize, digest: u8) -> u32 {
+        let base = set * self.words_per_set;
+        let mut out = match_mask(self.words[base], digest);
+        let mut k = 1;
+        while k < self.words_per_set {
+            out |= match_mask(self.words[base + k], digest) << (k * LANES);
+            k += 1;
+        }
+        out
+    }
+
+    /// Bits of storage the filter occupies (for cost accounting).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_mask_finds_every_lane() {
+        for lane in 0..LANES {
+            let word = 0xabu64 << (lane * 8);
+            assert_eq!(match_mask(word, 0xab), 1 << lane, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn match_mask_handles_zero_digest() {
+        // An all-zero word matches digest 0 in every lane.
+        assert_eq!(match_mask(0, 0), 0xff);
+        assert_eq!(match_mask(LO, 0), 0);
+    }
+
+    #[test]
+    fn match_mask_multiple_lanes() {
+        let word = 0x00cd_0000_cd00_00cdu64;
+        assert_eq!(match_mask(word, 0xcd), 0b0100_1001);
+    }
+
+    #[test]
+    fn digest_spreads_low_bit_differences() {
+        // Neighbouring block addresses must not share a digest run.
+        let d: Vec<u8> = (0..32u64).map(digest).collect();
+        let distinct = {
+            let mut s = d.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        };
+        assert!(distinct >= 24, "only {distinct} distinct digests of 32");
+    }
+
+    #[test]
+    fn filter_record_and_probe_round_trip() {
+        let mut f = TagFilter::new(4, 16);
+        f.record(2, 0, digest(100));
+        f.record(2, 9, digest(100));
+        f.record(2, 15, digest(7));
+        let c = f.candidates(2, digest(100));
+        assert_eq!(c & 0b11, 0b01);
+        assert!(c & (1 << 9) != 0);
+        // Other sets stay silent for a non-zero digest.
+        assert_ne!(digest(100), 0);
+        assert_eq!(f.candidates(1, digest(100)), 0);
+    }
+
+    #[test]
+    fn record_overwrites_previous_digest() {
+        let mut f = TagFilter::new(1, 8);
+        f.record(0, 3, 0x11);
+        f.record(0, 3, 0x22);
+        assert_eq!(f.candidates(0, 0x11) & (1 << 3), 0);
+        assert!(f.candidates(0, 0x22) & (1 << 3) != 0);
+    }
+
+    #[test]
+    fn candidates_superset_exhaustive_small() {
+        // Against a brute-force model over random states.
+        use simcore::rng::SimRng;
+        let mut rng = SimRng::seed_from(7);
+        let mut f = TagFilter::new(8, 16);
+        let mut model = [[0u8; 16]; 8];
+        for _ in 0..2_000 {
+            let set = (rng.below(8)) as usize;
+            let way = (rng.below(16)) as usize;
+            let d = digest(rng.below(1 << 20));
+            f.record(set, way, d);
+            model[set][way] = d;
+            let probe = digest(rng.below(1 << 20));
+            let got = f.candidates(set, probe);
+            for (w, &md) in model[set].iter().enumerate() {
+                if md == probe {
+                    assert!(got & (1 << w) != 0, "missed way {w}");
+                } else {
+                    assert_eq!(got & (1 << w), 0, "false lane {w}");
+                }
+            }
+        }
+    }
+}

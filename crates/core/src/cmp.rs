@@ -11,6 +11,7 @@
 use std::borrow::Borrow;
 
 use cpusim::core::{Core, CoreStats};
+use cpusim::l3iface::{L3Batch, L3Op, LastLevel, OPS_PER_WARM_OP};
 use memsim::MemoryStats;
 use simcore::config::MachineConfig;
 use simcore::error::{ConfigError, Result};
@@ -22,7 +23,7 @@ use telemetry::{NullSink, Sink};
 use tracegen::workload::Mix;
 use tracegen::TraceGenerator;
 
-use crate::l3::{L3System, Organization};
+use crate::l3::{L3System, Organization, SamplingReport};
 
 /// Results of one measurement window on a [`Cmp`].
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,8 @@ pub struct CmpResult {
     pub memory: MemoryStats,
     /// Adaptive quota snapshot, when the organization is adaptive.
     pub quotas: Option<Vec<u32>>,
+    /// Set-sampling accuracy summary, when the run was set-sampled.
+    pub sampling: Option<SamplingReport>,
 }
 
 impl CmpResult {
@@ -318,11 +321,49 @@ impl<S: Sink> Cmp<S> {
     /// state updates but no pipeline timing (one instruction per core per
     /// cycle of pacing, so the shared bus sees a realistic request
     /// spacing). Mirrors the paper's long fast-forward before measuring.
+    ///
+    /// Each core's L3-bound requests are collected into an [`L3Batch`]
+    /// and drained through the organization in one pass per pacing
+    /// iteration instead of interleaving organization calls with
+    /// private-hierarchy work. The drain is bit-identical to the
+    /// one-at-a-time loop kept as [`warm_reference`](Self::warm_reference)
+    /// because (a) the warm path discards L3 timing — only the outcome
+    /// *source* feeds per-core counters — so deferring an access never
+    /// changes the issuing core's subsequent behavior (L1/L2/TLB state is
+    /// core-private and independent of L3 outcomes); (b) the batch is
+    /// drained in exact push order — core-major, each access followed by
+    /// its dependent writeback — which is the order the reference loop
+    /// issues them, so the organization and memory channel see the same
+    /// request sequence; and (c) every request in one batch carries the
+    /// same `now`. Same-set conflicts therefore cannot be reordered: two
+    /// requests to one set drain in the same relative order the reference
+    /// path would have issued them.
     pub fn warm(&mut self, instructions_per_core: u64) {
         // Equal instruction pacing distorts the per-wall-clock estimator
         // counters, so quota adaptation pauses during functional warm-up;
         // the timed phase adapts from the initial 75 %/25 % partitioning
         // exactly as the paper's runs do.
+        self.l3.set_adaptation_frozen(true);
+        let mut batch = L3Batch::new();
+        for _ in 0..instructions_per_core {
+            for i in 0..self.cores.len() {
+                if batch.remaining() < OPS_PER_WARM_OP {
+                    self.drain_warm_batch(&mut batch);
+                }
+                self.cores[i].warm_op_batched(self.now, &mut batch);
+            }
+            self.drain_warm_batch(&mut batch);
+            self.now += 1;
+        }
+        self.l3.quiesce(self.now);
+        self.l3.set_adaptation_frozen(false);
+    }
+
+    /// The one-at-a-time reference warm loop the batched
+    /// [`warm`](Self::warm) is differentially tested (and benchmarked)
+    /// against. Bit-identical results by construction — see `warm` for
+    /// the argument.
+    pub fn warm_reference(&mut self, instructions_per_core: u64) {
         self.l3.set_adaptation_frozen(true);
         for _ in 0..instructions_per_core {
             for core in &mut self.cores {
@@ -332,6 +373,23 @@ impl<S: Sink> Cmp<S> {
         }
         self.l3.quiesce(self.now);
         self.l3.set_adaptation_frozen(false);
+    }
+
+    /// Walks the queued warm requests through the organization in push
+    /// order and routes each access outcome back to its issuing core.
+    fn drain_warm_batch(&mut self, batch: &mut L3Batch) {
+        for op in batch.ops() {
+            match *op {
+                L3Op::Access { core, addr, write } => {
+                    let out = self.l3.access(core, addr, write, self.now);
+                    self.cores[core.index()].note_l3_outcome(out.source);
+                }
+                L3Op::Writeback { core, addr } => {
+                    self.l3.writeback(core, addr, self.now);
+                }
+            }
+        }
+        batch.clear();
     }
 
     /// Marks the warm-up boundary: all statistics restart here while
@@ -358,6 +416,7 @@ impl<S: Sink> Cmp<S> {
             amean_ipc: arithmetic_mean(&ipc),
             memory: self.l3.memory_stats(),
             quotas: self.l3.as_adaptive().map(|a| a.quotas()),
+            sampling: self.l3.sampling_report(),
             per_core,
             ipc,
         }
@@ -454,6 +513,36 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.per_core, b.per_core);
+    }
+
+    #[test]
+    fn batched_warm_matches_one_at_a_time() {
+        // The batched warm drain must evolve core counters, organization
+        // state and the memory channel bit-identically to the reference
+        // one-at-a-time loop, for every organization.
+        let cfg = MachineConfig::baseline();
+        for org in [
+            Organization::Private,
+            Organization::Shared,
+            Organization::adaptive(),
+            Organization::Cooperative { seed: 7 },
+        ] {
+            let run = |batched: bool| {
+                let mut cmp = Cmp::new(&cfg, org, &quick_mix(), 13).unwrap();
+                if batched {
+                    cmp.warm(8_000);
+                } else {
+                    cmp.warm_reference(8_000);
+                }
+                // Run a timed window on top so divergence in warmed
+                // architectural state (not just counters) is caught too.
+                cmp.run(6_000);
+                cmp.snapshot()
+            };
+            let batched = run(true);
+            let reference = run(false);
+            assert_eq!(batched, reference, "warm diverged under {}", org.label());
+        }
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct ExperimentConfig {
     /// skip-equivalence job); `false` is the `--no-skip` escape hatch
     /// that keeps the reference stepping loop alive.
     pub cycle_skip: bool,
+    /// Set-sampled simulation: `Some(k)` simulates `1/2^k` of the
+    /// last-level sets in full detail and charges the rest a calibrated
+    /// latency estimate (see [`crate::l3::SampledL3`]). Unlike `jobs`
+    /// and `cycle_skip` this *is* part of the experiment's identity —
+    /// results are estimates with the confidence bounds carried in
+    /// [`CmpResult::sampling`]. `None` simulates every set.
+    pub sample_shift: Option<u32>,
 }
 
 impl Default for ExperimentConfig {
@@ -59,6 +66,7 @@ impl Default for ExperimentConfig {
             seed: 2007,
             jobs: 1,
             cycle_skip: true,
+            sample_shift: None,
         }
     }
 }
@@ -73,6 +81,7 @@ impl ExperimentConfig {
             seed: 2007,
             jobs: 1,
             cycle_skip: true,
+            sample_shift: None,
         }
     }
 
@@ -107,6 +116,17 @@ impl ExperimentConfig {
             ..*self
         }
     }
+
+    /// Same experiment with set-sampled simulation: only `1/2^shift` of
+    /// the last-level sets are simulated in full detail (`None` turns
+    /// sampling off).
+    #[must_use]
+    pub fn with_sample_sets(&self, shift: Option<u32>) -> Self {
+        ExperimentConfig {
+            sample_shift: shift,
+            ..*self
+        }
+    }
 }
 
 /// Result of running one mix under one organization.
@@ -132,6 +152,14 @@ fn drive<S: Sink>(
     exp: &ExperimentConfig,
     sink: S,
 ) -> Result<MixResult> {
+    // Sampling is requested per experiment but built per machine: copy
+    // the machine and set the L3 sampling knob so `L3System::build` adds
+    // the estimator wrapper.
+    let mut machine = *machine;
+    if exp.sample_shift.is_some() {
+        machine.l3.sample_shift = exp.sample_shift;
+    }
+    let machine = &machine;
     let mut cmp = Cmp::new_with_sink(machine, org, mix, exp.seed, sink)?;
     cmp.set_cycle_skip(exp.cycle_skip);
     cmp.warm(exp.warm_instructions);

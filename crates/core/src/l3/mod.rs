@@ -22,11 +22,13 @@
 mod adaptive;
 mod cooperative;
 mod private;
+mod sampled;
 mod shared;
 
 pub use adaptive::{AdaptiveL3, AdaptiveStats, OccupancyRow};
 pub use cooperative::{CooperativeL3, CooperativeStats};
 pub use private::PrivateL3;
+pub use sampled::{SampledL3, SamplingReport};
 pub use shared::SharedL3;
 
 use cpusim::l3iface::{L3Outcome, LastLevel};
@@ -102,6 +104,9 @@ pub enum L3System<S: Sink = NullSink> {
     Adaptive(AdaptiveL3<S>),
     /// Cooperative caching.
     Cooperative(CooperativeL3<S>),
+    /// Any of the above behind the set-sampling estimator (built when
+    /// [`simcore::config::L3Config::sample_shift`] is set).
+    Sampled(SampledL3<S>),
 }
 
 impl L3System {
@@ -124,7 +129,7 @@ impl<S: Sink> L3System<S> {
     /// Returns a configuration error if derived geometries are invalid
     /// (e.g. a scaled capacity that is not a power-of-two set count).
     pub fn build_with_sink(org: Organization, cfg: &MachineConfig, sink: S) -> Result<Self> {
-        Ok(match org {
+        let built = match org {
             Organization::Private => {
                 L3System::Private(PrivateL3::with_sink(cfg, cfg.l3.private, sink))
             }
@@ -142,22 +147,55 @@ impl<S: Sink> L3System<S> {
             Organization::Cooperative { seed } => {
                 L3System::Cooperative(CooperativeL3::with_sink(cfg, seed, sink))
             }
+        };
+        Ok(match cfg.l3.sample_shift {
+            Some(shift) => L3System::Sampled(SampledL3::new(Box::new(built), cfg, shift)),
+            None => built,
         })
     }
 
-    /// The adaptive instance, when this system is adaptive.
+    /// The adaptive instance, when this system is adaptive (looking
+    /// through the sampling wrapper if present).
     pub fn as_adaptive(&self) -> Option<&AdaptiveL3<S>> {
         match self {
             L3System::Adaptive(a) => Some(a),
+            L3System::Sampled(s) => s.inner().as_adaptive(),
             _ => None,
         }
     }
 
-    /// The cooperative instance, when this system is cooperative.
+    /// The cooperative instance, when this system is cooperative
+    /// (looking through the sampling wrapper if present).
     pub fn as_cooperative(&self) -> Option<&CooperativeL3<S>> {
         match self {
             L3System::Cooperative(c) => Some(c),
+            L3System::Sampled(s) => s.inner().as_cooperative(),
             _ => None,
+        }
+    }
+
+    /// The set-sampling accuracy report, when sampling is active.
+    pub fn sampling_report(&self) -> Option<SamplingReport> {
+        match self {
+            L3System::Sampled(s) => Some(s.report()),
+            _ => None,
+        }
+    }
+
+    /// Issues a real line fill on the organization's memory bus without
+    /// touching any cache state, returning when the data would arrive.
+    /// The set-sampling estimator charges one of these for every
+    /// estimated access it attributes to memory, so bus occupancy and
+    /// queueing stay fully modeled even though 15/16 of the sets are
+    /// never simulated — without this, sampled runs of bus-bound mixes
+    /// overestimate IPC by integer factors.
+    pub(crate) fn phantom_memory_fill(&mut self, now: Cycle) -> Cycle {
+        match self {
+            L3System::Private(x) => x.memory_mut().request(now, true).data_ready,
+            L3System::Shared(x) => x.memory_mut().request(now, false).data_ready,
+            L3System::Adaptive(x) => x.memory_mut().request(now, false).data_ready,
+            L3System::Cooperative(x) => x.memory_mut().request(now, false).data_ready,
+            L3System::Sampled(x) => x.inner_mut().phantom_memory_fill(now),
         }
     }
 
@@ -168,14 +206,22 @@ impl<S: Sink> L3System<S> {
             L3System::Shared(x) => x.memory_stats(),
             L3System::Adaptive(x) => x.memory_stats(),
             L3System::Cooperative(x) => x.memory_stats(),
+            L3System::Sampled(x) => x.memory_stats(),
         }
     }
 
     /// Freezes or unfreezes adaptive-quota re-evaluation (no-op for
     /// non-adaptive organizations).
     pub fn set_adaptation_frozen(&mut self, frozen: bool) {
-        if let L3System::Adaptive(a) = self {
-            a.set_adaptation_frozen(frozen);
+        match self {
+            L3System::Adaptive(a) => a.set_adaptation_frozen(frozen),
+            L3System::Sampled(s) => {
+                // The warm phase's inflated queueing latencies must not
+                // calibrate the estimator either.
+                s.set_calibration_frozen(frozen);
+                s.inner_mut().set_adaptation_frozen(frozen);
+            }
+            _ => {}
         }
     }
 
@@ -187,6 +233,7 @@ impl<S: Sink> L3System<S> {
             L3System::Shared(x) => x.quiesce(now),
             L3System::Adaptive(x) => x.quiesce(now),
             L3System::Cooperative(x) => x.quiesce(now),
+            L3System::Sampled(x) => x.inner_mut().quiesce(now),
         }
     }
 
@@ -197,6 +244,7 @@ impl<S: Sink> L3System<S> {
             L3System::Shared(x) => x.reset_stats(),
             L3System::Adaptive(x) => x.reset_stats(),
             L3System::Cooperative(x) => x.reset_stats(),
+            L3System::Sampled(x) => x.reset_stats(),
         }
     }
 }
@@ -208,6 +256,7 @@ impl<S: Sink> Invariant for L3System<S> {
             L3System::Shared(x) => x.component(),
             L3System::Adaptive(x) => x.component(),
             L3System::Cooperative(x) => x.component(),
+            L3System::Sampled(x) => x.component(),
         }
     }
 
@@ -217,6 +266,7 @@ impl<S: Sink> Invariant for L3System<S> {
             L3System::Shared(x) => x.audit(),
             L3System::Adaptive(x) => x.audit(),
             L3System::Cooperative(x) => x.audit(),
+            L3System::Sampled(x) => x.audit(),
         }
     }
 }
@@ -228,6 +278,7 @@ impl<S: Sink> LastLevel for L3System<S> {
             L3System::Shared(x) => x.access(core, addr, write, now),
             L3System::Adaptive(x) => x.access(core, addr, write, now),
             L3System::Cooperative(x) => x.access(core, addr, write, now),
+            L3System::Sampled(x) => x.access(core, addr, write, now),
         }
     }
 
@@ -237,6 +288,7 @@ impl<S: Sink> LastLevel for L3System<S> {
             L3System::Shared(x) => x.writeback(core, addr, now),
             L3System::Adaptive(x) => x.writeback(core, addr, now),
             L3System::Cooperative(x) => x.writeback(core, addr, now),
+            L3System::Sampled(x) => x.writeback(core, addr, now),
         }
     }
 }

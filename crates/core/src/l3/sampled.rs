@@ -1,0 +1,419 @@
+//! Set-sampled last-level simulation with SMARTS-style error bounds.
+//!
+//! [`SampledL3`] wraps any built [`L3System`] and simulates only a
+//! `1/2^shift` subset of the last-level sets in full detail. Accesses to
+//! sampled sets go straight through to the wrapped organization; accesses
+//! to unsampled sets are charged a *calibrated estimate* instead of being
+//! simulated:
+//!
+//! - **Source attribution** is proportional: the estimator tracks how
+//!   many sampled accesses resolved locally / remotely / in memory and
+//!   deals unsampled accesses to the three sources so the attributed
+//!   distribution follows the sampled one (a deterministic
+//!   largest-remainder draw — no randomness, so runs stay bit-identical
+//!   across reruns and job counts).
+//! - **Hit latency** is the running integer mean of sampled latencies
+//!   for the attributed source (before any sampled hit has calibrated
+//!   it, the fallback is the neighbor-partition latency).
+//! - **Memory-attributed estimates charge the real bus**: they issue a
+//!   phantom line fill on the wrapped organization's memory channel, so
+//!   occupancy and queueing congestion — the dominant timing effect in
+//!   memory-bound mixes — stay fully modeled; only the cache lookup
+//!   itself is skipped.
+//! - **Writebacks** to unsampled sets are dropped — the blocks they
+//!   would dirty are never simulated.
+//!
+//! Set membership is decided in the *shared-geometry index frame*
+//! (the aggregate L3's set bits) regardless of which organization is
+//! wrapped, so every organization samples the same address sub-space and
+//! cross-organization comparisons stay apples-to-apples.
+//!
+//! The error model follows SMARTS (Wunderlich et al., ISCA 2003):
+//! sampled latencies are accumulated as integer sum and sum of squares,
+//! and [`SamplingReport`] derives the standard error of the mean and a
+//! 95 % confidence half-width at reporting time — the only place floats
+//! appear. `shift = 0` yields full membership: every access is forwarded
+//! and results are bit-identical to the unwrapped organization, which is
+//! what the differential tests pin.
+
+use cachesim::shadow::SetSampling;
+use cpusim::l3iface::{L3Outcome, L3Source, LastLevel};
+use memsim::MemoryStats;
+use simcore::config::MachineConfig;
+use simcore::invariant::{Invariant, Violation};
+use simcore::types::{Address, CoreId, Cycle};
+use telemetry::{NullSink, Sink};
+
+use super::L3System;
+
+/// `L3Source` as a dense index: local, remote, memory.
+const SOURCES: [L3Source; 3] = [L3Source::LocalHit, L3Source::RemoteHit, L3Source::Memory];
+
+const fn source_index(source: L3Source) -> usize {
+    match source {
+        L3Source::LocalHit => 0,
+        L3Source::RemoteHit => 1,
+        L3Source::Memory => 2,
+    }
+}
+
+/// Accuracy summary of one set-sampled measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingReport {
+    /// The configured shift: `1/2^shift` of the sets are simulated.
+    pub shift: u32,
+    /// Number of sets simulated in full detail.
+    pub sampled_sets: u64,
+    /// Total last-level sets in the shared-geometry frame.
+    pub total_sets: u64,
+    /// Accesses that hit a sampled set (simulated fully).
+    pub sampled_accesses: u64,
+    /// Accesses charged the calibrated estimate.
+    pub estimated_accesses: u64,
+    /// Mean simulated latency over the window's sampled accesses.
+    pub mean_latency: f64,
+    /// SMARTS standard error of that mean.
+    pub std_error: f64,
+    /// Relative 95 % confidence half-width: `1.96 * std_error /
+    /// mean_latency` (0 when no sampled accesses were observed).
+    pub relative_error: f64,
+}
+
+/// A set-sampling wrapper around a built last-level organization (see
+/// the module docs for the estimation model).
+#[derive(Debug)]
+pub struct SampledL3<S: Sink = NullSink> {
+    inner: Box<L3System<S>>,
+    /// Shared-frame membership: `membership[set]` ⇔ simulate fully.
+    membership: Vec<bool>,
+    offset_bits: u32,
+    index_mask: u64,
+    shift: u32,
+    sampled_sets: u64,
+    /// Cold-start latency estimate: a memory round trip.
+    cold_latency: u64,
+    /// Cold-start estimate for an attributed hit before any sampled hit
+    /// has calibrated the mean: the neighbor/shared-partition latency.
+    hit_fallback: u64,
+    /// While set (the functional warm phase), sampled latencies are NOT
+    /// recorded into the calibration: warm-up paces one instruction per
+    /// core per cycle, far above bus bandwidth, so its `data_ready`
+    /// values carry an unbounded queueing backlog that the full
+    /// simulation discards — calibrating on them would poison the timed
+    /// phase's estimates.
+    calibration_frozen: bool,
+    /// Calibration accumulators, per source — cumulative across the
+    /// whole run so estimates stay warm over the reset boundary.
+    counts: [u64; 3],
+    lat_sum: [u64; 3],
+    /// How many estimates each source has absorbed (largest-remainder
+    /// state).
+    attributed: [u64; 3],
+    /// Window counters, reset at the warm-up boundary.
+    window_sampled: u64,
+    window_estimated: u64,
+    window_lat_sum: u64,
+    window_lat_sq: u128,
+}
+
+impl<S: Sink> SampledL3<S> {
+    /// Fixed seed for the membership draw: the sampled-set selection is
+    /// part of the simulator's definition, not of any experiment, so it
+    /// never varies with the experiment seed.
+    const MEMBERSHIP_SEED: u64 = 0x54e7_5a3b;
+
+    /// Wraps `inner`, sampling `1/2^shift` of the sets of `cfg`'s shared
+    /// L3 geometry. Membership is a seeded uniform draw rather than a
+    /// lowest-index prefix: trace address streams are structured, so a
+    /// contiguous prefix of sets is *not* representative of the whole
+    /// index space (its hit rate is biased), while a spread selection
+    /// keeps the sampled miss rate tracking the true one.
+    pub fn new(inner: Box<L3System<S>>, cfg: &MachineConfig, shift: u32) -> Self {
+        let sets = cfg.l3.shared.sets() as usize;
+        let membership = SetSampling::Random {
+            shift,
+            seed: Self::MEMBERSHIP_SEED,
+        }
+        .membership(sets);
+        let sampled_sets = membership.iter().filter(|&&m| m).count() as u64;
+        SampledL3 {
+            inner,
+            membership,
+            offset_bits: cfg.l3.shared.offset_bits(),
+            index_mask: (1u64 << cfg.l3.shared.index_bits()) - 1,
+            shift,
+            sampled_sets,
+            cold_latency: cfg.memory.first_chunk_shared,
+            hit_fallback: cfg.l3.neighbor_latency,
+            calibration_frozen: false,
+            counts: [0; 3],
+            lat_sum: [0; 3],
+            attributed: [0; 3],
+            window_sampled: 0,
+            window_estimated: 0,
+            window_lat_sum: 0,
+            window_lat_sq: 0,
+        }
+    }
+
+    /// The wrapped organization.
+    pub fn inner(&self) -> &L3System<S> {
+        &self.inner
+    }
+
+    /// The wrapped organization, mutably.
+    pub fn inner_mut(&mut self) -> &mut L3System<S> {
+        &mut self.inner
+    }
+
+    /// The configured sampling shift.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Freezes or unfreezes latency calibration (see the field docs —
+    /// driven by the chip's warm phase, in step with quota freezing).
+    pub fn set_calibration_frozen(&mut self, frozen: bool) {
+        self.calibration_frozen = frozen;
+    }
+
+    #[inline]
+    fn sampled(&self, addr: Address) -> bool {
+        let set = (addr.block(self.offset_bits).raw() & self.index_mask) as usize;
+        self.membership[set]
+    }
+
+    /// Deterministic largest-remainder draw: attribute the next estimate
+    /// to the source with the largest deficit between its sampled share
+    /// and its attributed share (ties break toward the lower index, i.e.
+    /// faster sources).
+    fn pick_source(&self) -> usize {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return source_index(L3Source::Memory);
+        }
+        let drawn: u64 = self.attributed.iter().sum::<u64>() + 1;
+        let mut best = 0usize;
+        let mut best_deficit = i128::MIN;
+        for s in 0..SOURCES.len() {
+            // counts[s]/total - attributed[s]/drawn, scaled by total*drawn.
+            let deficit = (self.counts[s] as i128) * (drawn as i128)
+                - (self.attributed[s] as i128) * (total as i128);
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Resets the window accuracy counters (calibration carries over).
+    pub fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.window_sampled = 0;
+        self.window_estimated = 0;
+        self.window_lat_sum = 0;
+        self.window_lat_sq = 0;
+    }
+
+    /// Memory-channel statistics of the wrapped organization.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.inner.memory_stats()
+    }
+
+    /// Accuracy summary of the current window.
+    pub fn report(&self) -> SamplingReport {
+        let n = self.window_sampled;
+        let mean = if n > 0 {
+            self.window_lat_sum as f64 / n as f64
+        } else {
+            0.0
+        };
+        let std_error = if n > 1 {
+            let sum = self.window_lat_sum as f64;
+            let sq = self.window_lat_sq as f64;
+            let var = ((sq - sum * sum / n as f64) / (n as f64 - 1.0)).max(0.0);
+            (var / n as f64).sqrt()
+        } else {
+            0.0
+        };
+        let relative_error = if mean > 0.0 {
+            1.96 * std_error / mean
+        } else {
+            0.0
+        };
+        SamplingReport {
+            shift: self.shift,
+            sampled_sets: self.sampled_sets,
+            total_sets: self.membership.len() as u64,
+            sampled_accesses: self.window_sampled,
+            estimated_accesses: self.window_estimated,
+            mean_latency: mean,
+            std_error,
+            relative_error,
+        }
+    }
+}
+
+impl<S: Sink> LastLevel for SampledL3<S> {
+    fn access(&mut self, core: CoreId, addr: Address, write: bool, now: Cycle) -> L3Outcome {
+        if self.sampled(addr) {
+            let out = self.inner.access(core, addr, write, now);
+            if !self.calibration_frozen {
+                let lat = out.data_ready.since(now);
+                let s = source_index(out.source);
+                self.counts[s] += 1;
+                self.lat_sum[s] += lat;
+                self.window_sampled += 1;
+                self.window_lat_sum += lat;
+                self.window_lat_sq += (lat as u128) * (lat as u128);
+            }
+            out
+        } else if self.calibration_frozen {
+            // Warm phase: timing is discarded and the bus is quiesced at
+            // the warm/timed boundary, so skip attribution and bus
+            // charging and return the flat fallback.
+            L3Outcome {
+                data_ready: now + self.cold_latency,
+                source: L3Source::Memory,
+            }
+        } else {
+            let s = self.pick_source();
+            self.attributed[s] += 1;
+            self.window_estimated += 1;
+            let source = SOURCES[s];
+            let data_ready = if source == L3Source::Memory {
+                // A real bus transaction: exact occupancy and queueing,
+                // only the cache lookup itself is skipped.
+                self.inner.phantom_memory_fill(now)
+            } else {
+                let lat = self.lat_sum[s]
+                    .checked_div(self.counts[s])
+                    .unwrap_or(self.hit_fallback);
+                now + lat
+            };
+            L3Outcome { data_ready, source }
+        }
+    }
+
+    fn writeback(&mut self, core: CoreId, addr: Address, now: Cycle) {
+        if self.sampled(addr) {
+            self.inner.writeback(core, addr, now);
+        }
+    }
+}
+
+impl<S: Sink> Invariant for SampledL3<S> {
+    fn component(&self) -> &'static str {
+        "sampled-l3"
+    }
+
+    fn audit(&self) -> Vec<Violation> {
+        self.inner.audit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::l3::Organization;
+    use simcore::rng::SimRng;
+
+    fn wrapped(shift: u32) -> SampledL3 {
+        let cfg = MachineConfig::baseline();
+        let inner = L3System::build(Organization::Shared, &cfg).unwrap();
+        SampledL3::new(Box::new(inner), &cfg, shift)
+    }
+
+    #[test]
+    fn shift_zero_forwards_everything() {
+        let cfg = MachineConfig::baseline();
+        let mut bare = L3System::build(Organization::Shared, &cfg).unwrap();
+        let mut sampled = wrapped(0);
+        let mut rng = SimRng::seed_from(42);
+        for i in 0..5_000u64 {
+            let addr = Address::new((rng.next_u64() % (1 << 24)) & !0x3f);
+            let now = Cycle::new(i * 3);
+            let a = bare.access(CoreId::from_index(0), addr, false, now);
+            let b = sampled.access(CoreId::from_index(0), addr, false, now);
+            assert_eq!(a, b, "shift 0 must be the identity wrapper");
+        }
+        let r = sampled.report();
+        assert_eq!(r.estimated_accesses, 0);
+        assert_eq!(r.sampled_sets, r.total_sets);
+    }
+
+    #[test]
+    fn membership_fraction_matches_shift() {
+        let s = wrapped(4);
+        let r = s.report();
+        assert_eq!(r.total_sets, 4096);
+        assert_eq!(r.sampled_sets, 256);
+    }
+
+    #[test]
+    fn unsampled_accesses_are_estimated_deterministically() {
+        let run = || {
+            let mut s = wrapped(2);
+            let mut rng = SimRng::seed_from(7);
+            let mut out = Vec::new();
+            for i in 0..20_000u64 {
+                let addr = Address::new((rng.next_u64() % (1 << 26)) & !0x3f);
+                out.push(s.access(CoreId::from_index(0), addr, false, Cycle::new(i)));
+            }
+            (out, s.report())
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b, "estimation must be deterministic");
+        assert_eq!(ra, rb);
+        assert!(ra.sampled_accesses > 0 && ra.estimated_accesses > 0);
+        // A quarter of the sets are sampled, so roughly a quarter of a
+        // uniform stream should be simulated.
+        let frac =
+            ra.sampled_accesses as f64 / (ra.sampled_accesses + ra.estimated_accesses) as f64;
+        assert!((0.15..0.35).contains(&frac), "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn attribution_tracks_sampled_distribution() {
+        let mut s = wrapped(1);
+        let mut rng = SimRng::seed_from(11);
+        for i in 0..50_000u64 {
+            let addr = Address::new((rng.next_u64() % (1 << 22)) & !0x3f);
+            s.access(CoreId::from_index(0), addr, false, Cycle::new(i));
+        }
+        let total: u64 = s.counts.iter().sum();
+        let drawn: u64 = s.attributed.iter().sum();
+        assert!(total > 0 && drawn > 0);
+        for src in 0..3 {
+            let sampled_share = s.counts[src] as f64 / total as f64;
+            let drawn_share = s.attributed[src] as f64 / drawn as f64;
+            assert!(
+                (sampled_share - drawn_share).abs() < 0.02,
+                "source {src}: sampled {sampled_share:.3} vs attributed {drawn_share:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_error_fields_are_finite_and_sane() {
+        let mut s = wrapped(3);
+        let mut rng = SimRng::seed_from(5);
+        for i in 0..30_000u64 {
+            let addr = Address::new((rng.next_u64() % (1 << 25)) & !0x3f);
+            s.access(CoreId::from_index(0), addr, false, Cycle::new(i));
+        }
+        let r = s.report();
+        assert!(r.mean_latency > 0.0);
+        assert!(r.std_error.is_finite() && r.std_error >= 0.0);
+        assert!(r.relative_error.is_finite() && r.relative_error >= 0.0);
+        // With tens of thousands of samples the standard error of the
+        // mean is far below the mean itself.
+        assert!(
+            r.relative_error < 0.5,
+            "relative error {}",
+            r.relative_error
+        );
+    }
+}

@@ -26,7 +26,7 @@ use tracegen::op::{MicroOp, OpClass};
 use tracegen::TraceGenerator;
 
 use crate::branch::BranchPredictor;
-use crate::l3iface::{L3Outcome, L3Source, LastLevel};
+use crate::l3iface::{DirectPort, L3Batch, L3Outcome, L3Source, LastLevel, WarmPort};
 use crate::tlb::Tlb;
 
 /// Number of L2 miss-status registers per core.
@@ -266,6 +266,20 @@ impl<S: Sink> Core<S> {
     /// working sets cheaply before a timed measurement window, mirroring
     /// the paper's long fast-forward.
     pub fn warm_op(&mut self, now: Cycle, l3: &mut dyn LastLevel) {
+        self.warm_op_port(now, &mut DirectPort { l3 });
+    }
+
+    /// [`warm_op`](Self::warm_op) with the L3-bound requests deferred
+    /// into `batch` instead of served immediately. Safe because the warm
+    /// path discards L3 timing and the private L1/L2 hierarchy never
+    /// depends on an L3 outcome; the chip applies the batched outcomes to
+    /// this core's counters via
+    /// [`note_l3_outcome`](Self::note_l3_outcome) when it drains.
+    pub fn warm_op_batched(&mut self, now: Cycle, batch: &mut L3Batch) {
+        self.warm_op_port(now, batch);
+    }
+
+    fn warm_op_port(&mut self, now: Cycle, port: &mut impl WarmPort) {
         let mut op = self.gen.next_op();
         op.pc = op.pc.with_asid(self.id.asid());
         let block = op.pc.block(self.cfg.l1i.offset_bits()).raw();
@@ -274,8 +288,8 @@ impl<S: Sink> Core<S> {
             self.itlb.access(op.pc);
             if !self.l1i.access(op.pc, false, self.id).is_hit() {
                 if !self.l2.access(op.pc, false, self.id).is_hit() {
-                    let _ = self.l3_request(op.pc, false, now, l3);
-                    self.fill_l2(op.pc, false, l3, now);
+                    self.warm_l3_request(op.pc, false, now, port);
+                    self.fill_l2_port(op.pc, false, port, now);
                 }
                 self.l1i.fill(op.pc, false, self.id);
             }
@@ -293,16 +307,38 @@ impl<S: Sink> Core<S> {
                     self.dtlb.access(addr);
                     if !self.l1d.access(addr, write, self.id).is_hit() {
                         if !self.l2.access(addr, write, self.id).is_hit() {
-                            let _ = self.l3_request(addr, write, now, l3);
-                            self.fill_l2(addr, write, l3, now);
+                            self.warm_l3_request(addr, write, now, port);
+                            self.fill_l2_port(addr, write, port, now);
                         }
-                        self.fill_l1d(addr, write, l3, now);
+                        self.fill_l1d(addr, write);
                     }
                 }
             }
             _ => {}
         }
         self.committed += 1;
+    }
+
+    /// Issues a warm-path L3 request through `port`, counting the
+    /// outcome now if the port resolved it (direct) or leaving the count
+    /// to the batch drain (deferred).
+    fn warm_l3_request(&mut self, addr: Address, write: bool, at: Cycle, port: &mut impl WarmPort) {
+        if let Some(outcome) = port.access(self.id, addr, write, at) {
+            self.note_l3_outcome(outcome.source);
+        }
+    }
+
+    /// Applies the source classification of one drained batched request
+    /// to this core's L3 counters — the counterpart of the counting done
+    /// inline on the direct path.
+    #[inline]
+    pub fn note_l3_outcome(&mut self, source: L3Source) {
+        self.l3_accesses += 1;
+        match source {
+            L3Source::LocalHit => self.l3_local_hits += 1,
+            L3Source::RemoteHit => self.l3_remote_hits += 1,
+            L3Source::Memory => self.l3_misses += 1,
+        }
     }
 
     /// Advances the core by one cycle against the given last-level cache.
@@ -571,7 +607,7 @@ impl<S: Sink> Core<S> {
         }
         let after_l1 = start + self.cfg.l1d.latency();
         if self.l2.access(addr, write, self.id).is_hit() {
-            self.fill_l1d(addr, write, l3, now);
+            self.fill_l1d(addr, write);
             return after_l1 + self.cfg.l2.latency();
         }
         // L2 miss: go to the last-level organization.
@@ -582,7 +618,7 @@ impl<S: Sink> Core<S> {
             self.sink.emit(now, Event::MshrAlloc { core: self.id });
         }
         self.fill_l2(addr, write, l3, now);
-        self.fill_l1d(addr, write, l3, now);
+        self.fill_l1d(addr, write);
         outcome.data_ready
     }
 
@@ -594,16 +630,11 @@ impl<S: Sink> Core<S> {
         l3: &mut dyn LastLevel,
     ) -> L3Outcome {
         let outcome = l3.access(self.id, addr, write, at);
-        self.l3_accesses += 1;
-        match outcome.source {
-            L3Source::LocalHit => self.l3_local_hits += 1,
-            L3Source::RemoteHit => self.l3_remote_hits += 1,
-            L3Source::Memory => self.l3_misses += 1,
-        }
+        self.note_l3_outcome(outcome.source);
         outcome
     }
 
-    fn fill_l1d(&mut self, addr: Address, dirty: bool, l3: &mut dyn LastLevel, now: Cycle) {
+    fn fill_l1d(&mut self, addr: Address, dirty: bool) {
         if let Some(ev) = self.l1d.fill(addr, dirty, self.id) {
             if ev.dirty {
                 // Dirty L1 victim merges into L2.
@@ -612,13 +643,15 @@ impl<S: Sink> Core<S> {
                     // The merge itself displaced an L2 block; handled the
                     // same as any L2 eviction below (rare).
                 }
-                let _ = now;
-                let _ = l3;
             }
         }
     }
 
     fn fill_l2(&mut self, addr: Address, dirty: bool, l3: &mut dyn LastLevel, now: Cycle) {
+        self.fill_l2_port(addr, dirty, &mut DirectPort { l3 }, now);
+    }
+
+    fn fill_l2_port(&mut self, addr: Address, dirty: bool, port: &mut impl WarmPort, now: Cycle) {
         if let Some(ev) = self.l2.fill(addr, dirty, self.id) {
             let victim = ev.addr.first_byte(self.cfg.l2.offset_bits());
             // Maintain inclusion: drop the L1 copies.
@@ -626,7 +659,7 @@ impl<S: Sink> Core<S> {
             let _ = self.l1i.invalidate(victim);
             let victim_dirty = ev.dirty || l1_victim.map(|b| b.dirty).unwrap_or(false);
             if victim_dirty {
-                l3.writeback(self.id, victim, now);
+                port.writeback(self.id, victim, now);
             }
         }
     }

@@ -205,8 +205,11 @@ impl Default for Scopes {
             print_files: vec!["crates/criterion/src/lib.rs".to_string()],
             hot_files: vec![
                 "crates/core/src/l3/adaptive.rs".to_string(),
+                "crates/cachesim/src/cache.rs".to_string(),
+                "crates/cachesim/src/swar.rs".to_string(),
                 "crates/cachesim/src/lru.rs".to_string(),
                 "crates/cpusim/src/core.rs".to_string(),
+                "crates/cpusim/src/l3iface.rs".to_string(),
             ],
             det_prefixes,
             telemetry_prefix: "crates/telemetry/src/".to_string(),

@@ -1,0 +1,25 @@
+//=== file: crates/cpusim/src/l3iface.rs
+// The batched L3 request path joined the L7 hot set: queueing into the
+// fixed-capacity L3Batch array must stay allocation-free.
+impl L3Batch {
+    fn push(&mut self, op: L3Op) {
+        self.ops[self.len] = op;
+        self.len += 1;
+    }
+    fn drain_copy(&self) -> Vec<L3Op> {
+        self.ops.to_vec()
+    }
+}
+//=== file: crates/cachesim/src/cache.rs
+fn probe_scratch(&mut self) -> Vec<u32> {
+    let mut mask = Vec::new();
+    mask.push(1);
+    mask
+}
+fn table(sets: usize) -> Vec<u64> {
+    vec![0; sets]
+}
+// Reading the preallocated batch array is fine:
+fn peek(&self, i: usize) -> u32 {
+    self.ops[i]
+}

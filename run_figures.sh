@@ -5,6 +5,13 @@
 # (default: all cores). Results are bit-identical for any JOBS value —
 # the runner in simcore::parallel reassembles cells in index order.
 #
+# SAMPLE_SETS (optional) turns on set-sampled simulation: every figure
+# binary gets --sample-sets $SAMPLE_SETS, simulating only 1/2^SAMPLE_SETS
+# of the last-level sets in full detail and charging the rest a
+# calibrated estimate. Figures become approximations with confidence
+# bounds (see DESIGN.md §8) — leave it unset for publication runs.
+# SAMPLE_SETS=0 is full membership and bit-identical to unset.
+#
 # TRACE and METRICS_OUT (both optional) turn on the telemetry subsystem:
 # each figure binary then writes a per-binary JSONL event trace and/or
 # aggregated metrics document next to its text output. Set them to the
@@ -16,6 +23,12 @@ mkdir -p results
 JOBS="${JOBS:-$(nproc)}"
 TRACE="${TRACE:-}"
 METRICS_OUT="${METRICS_OUT:-}"
+SAMPLE_SETS="${SAMPLE_SETS:-}"
+sample=()
+if [ -n "$SAMPLE_SETS" ]; then
+    sample+=(--sample-sets "$SAMPLE_SETS")
+    echo "set sampling on: 1/2^$SAMPLE_SETS of L3 sets simulated"
+fi
 echo "running figure binaries with --jobs $JOBS"
 for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 shadow_sampling ablations parallel; do
     echo "=== $bin ==="
@@ -31,11 +44,13 @@ for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sha
         tele+=(--metrics-out "$METRICS_OUT.$bin.json")
     fi
     cargo run --quiet --release -p nuca-bench --bin "$bin" -- \
-        --jobs "$JOBS" ${tele[@]+"${tele[@]}"} > "results/$bin.txt" 2>&1
+        --jobs "$JOBS" ${sample[@]+"${sample[@]}"} \
+        ${tele[@]+"${tele[@]}"} > "results/$bin.txt" 2>&1
     echo "done: results/$bin.txt"
 done
 # Refresh the machine-readable perf baseline last (also checks that the
 # parallel pass reproduces the serial pass bit-for-bit).
 echo "=== perf ==="
-cargo run --quiet --release -p nuca-bench --bin perf -- --jobs "$JOBS" > results/perf.txt 2>&1
+cargo run --quiet --release -p nuca-bench --bin perf -- --jobs "$JOBS" \
+    ${sample[@]+"${sample[@]}"} > results/perf.txt 2>&1
 echo "done: results/perf.txt (baseline: BENCH_baseline.json)"

@@ -56,6 +56,11 @@ pub struct SimRequest {
     /// Worker threads for running the organizations (`0` = one per
     /// available core). Results are bit-identical for every value.
     pub jobs: usize,
+    /// Set-sampled simulation: `Some(k)` simulates `1/2^k` of the L3
+    /// sets fully and estimates the rest (results carry confidence
+    /// bounds); `Some(0)` exercises the estimator wrapper with full
+    /// membership, which is bit-identical to `None`.
+    pub sample_shift: Option<u32>,
     /// Write a JSONL event trace here (one section per organization, in
     /// request order; identical for every `jobs` value).
     pub trace: Option<PathBuf>,
@@ -127,6 +132,12 @@ OPTIONS:
     --no-skip              disable event-driven cycle skipping and run the
                            reference stepping loop (bit-identical output,
                            slower; exists as a differential check)
+    --sample-sets <K>      simulate only 1/2^K of the L3 sets in full
+                           detail and charge the rest a calibrated
+                           latency estimate (SMARTS-style confidence
+                           bounds are reported; 0 = full membership
+                           through the estimator, bit-identical to
+                           omitting the flag)
     --trace <PATH>         write a JSONL event trace covering every
                            requested organization (sections in request
                            order; identical for every --jobs value)
@@ -154,6 +165,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut paranoid = false;
     let mut cycle_skip = true;
     let mut jobs = 1usize;
+    let mut sample_shift: Option<u32> = None;
     let mut trace: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
 
@@ -199,6 +211,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--jobs" => {
                 jobs = simcore::parallel::resolve_jobs(parse_u64(value("--jobs")?)? as usize)
             }
+            "--sample-sets" => sample_shift = Some(parse_u64(value("--sample-sets")?)? as u32),
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--tech-scaled" => tech_scaled = true,
@@ -214,6 +227,10 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         .build()?;
     if tech_scaled {
         machine = machine.technology_scaled();
+    }
+    if sample_shift.is_some() {
+        machine.l3.sample_shift = sample_shift;
+        machine.validate()?;
     }
 
     let organizations = match org_name.as_deref() {
@@ -273,6 +290,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         paranoid,
         cycle_skip,
         jobs,
+        sample_shift,
         trace,
         metrics_out,
     })
@@ -452,6 +470,24 @@ pub fn render(req: &SimRequest, org_label: &str, result: &CmpResult) -> String {
     if let Some(q) = &result.quotas {
         let _ = writeln!(out, "quotas       : {q:?}");
     }
+    // Shift 0 (full membership through the estimator) prints nothing, so
+    // its output stays byte-identical to a full run — the e2e
+    // differential test depends on that.
+    if let Some(samp) = &result.sampling {
+        if samp.shift > 0 {
+            let _ = writeln!(
+                out,
+                "sampling     : {}/{} sets (shift {}), {} sampled / {} estimated accesses, mean L3 {:.1} cyc, rel err {:.3}% (95% CI)",
+                samp.sampled_sets,
+                samp.total_sets,
+                samp.shift,
+                samp.sampled_accesses,
+                samp.estimated_accesses,
+                samp.mean_latency,
+                samp.relative_error * 100.0
+            );
+        }
+    }
     if req.paranoid {
         let _ = writeln!(
             out,
@@ -485,6 +521,42 @@ mod tests {
         assert_eq!(req.seed, 2007);
         assert_eq!(req.jobs, 1);
         assert!(req.cycle_skip);
+    }
+
+    #[test]
+    fn parses_sample_sets_and_validates_the_shift() {
+        let req = parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --sample-sets 4",
+        ))
+        .unwrap();
+        assert_eq!(req.sample_shift, Some(4));
+        assert_eq!(req.machine.l3.sample_shift, Some(4));
+        let off = parse_args(&argv("--org shared --apps ammp,gzip,crafty,eon")).unwrap();
+        assert_eq!(off.sample_shift, None);
+        assert_eq!(off.machine.l3.sample_shift, None);
+        // A shift that leaves no sampled sets is rejected up front.
+        assert!(parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --sample-sets 40",
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn sampled_run_reports_confidence_bounds() {
+        let mut req = parse_args(&argv(
+            "--org adaptive --apps ammp,gzip,crafty,eon --sample-sets 3",
+        ))
+        .unwrap();
+        req.warm_instructions = 60_000;
+        req.warmup_cycles = 5_000;
+        req.measure_cycles = 80_000;
+        let result = run(&req).unwrap();
+        let samp = result.sampling.expect("sampled run carries a report");
+        assert_eq!(samp.shift, 3);
+        assert!(samp.sampled_accesses + samp.estimated_accesses > 0);
+        let text = render(&req, "adaptive", &result);
+        assert!(text.contains("sampling"), "render shows the accuracy line");
+        assert!(text.contains("95% CI"));
     }
 
     #[test]

@@ -193,6 +193,52 @@ fn eight_megabyte_l3_reduces_misses() {
 }
 
 #[test]
+fn sample_sets_zero_is_byte_identical_to_a_full_run() {
+    // `--sample-sets 0` means "every set is a member": the estimator
+    // wrapper forwards every access, so both the simulated quantities
+    // and the CLI's rendered report must match a run without the flag
+    // byte for byte (the report prints a sampling line only for a real
+    // shift). This pins the wrapper as a true identity at shift 0.
+    use nuca_repro::cli::{parse_args, render, run};
+    let to_args = |extra: &[&str]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "--org",
+            "adaptive",
+            "--apps",
+            "ammp,gzip,crafty,mcf",
+            "--warm",
+            "200000",
+            "--warmup",
+            "10000",
+            "--measure",
+            "60000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let full_req = parse_args(&to_args(&[])).unwrap();
+    let samp_req = parse_args(&to_args(&["--sample-sets", "0"])).unwrap();
+    let full = run(&full_req).unwrap();
+    let samp = run(&samp_req).unwrap();
+    assert_eq!(full.per_core, samp.per_core);
+    assert_eq!(full.ipc, samp.ipc);
+    assert_eq!(full.memory, samp.memory);
+    assert_eq!(full.quotas, samp.quotas);
+    let report = samp.sampling.expect("sampled run carries a report");
+    assert_eq!(report.shift, 0);
+    assert_eq!(report.sampled_sets, report.total_sets);
+    assert_eq!(report.estimated_accesses, 0);
+    assert_eq!(
+        render(&full_req, "adaptive", &full),
+        render(&samp_req, "adaptive", &samp),
+        "rendered reports must be byte-identical at shift 0"
+    );
+}
+
+#[test]
 fn cycle_skip_is_invisible_end_to_end() {
     // The event-driven fast path must be a pure execution policy: for
     // every organization, the measured window, the figure-feeding rows

@@ -287,3 +287,70 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// SWAR digest probes vs the scalar reference walk.
+
+use nuca_repro::cachesim::swar::LANES;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn swar_probe_matches_scalar_reference(
+        tags in proptest::collection::vec(0u64..(1 << 40), 1..17),
+        probes in proptest::collection::vec(0u64..(1 << 40), 1..64),
+    ) {
+        use nuca_repro::cachesim::swar::{digest, TagFilter};
+        // One set holding `tags`; the filter mirrors it digest-for-digest.
+        let ways = tags.len();
+        let mut filter = TagFilter::new(1, ways);
+        for (w, &t) in tags.iter().enumerate() {
+            filter.record(0, w, digest(t));
+        }
+        for probe in probes.iter().chain(tags.iter()) {
+            // Reference: first way whose tag matches, low to high.
+            let scalar = tags.iter().position(|&t| t == *probe);
+            // SWAR: walk the candidate mask low-to-high, confirming each
+            // digest hit against the real tag.
+            // The cache pairs the mask with its valid mask: lanes past
+            // the recorded ways hold the zero digest and must be ignored.
+            let valid = (1u32 << ways) - 1;
+            let mut mask = filter.candidates(0, digest(*probe)) & valid;
+            let mut swar = None;
+            while mask != 0 {
+                let w = mask.trailing_zeros() as usize;
+                if tags[w] == *probe {
+                    swar = Some(w);
+                    break;
+                }
+                mask &= mask - 1;
+            }
+            prop_assert_eq!(swar, scalar, "probe {:#x} against {:?}", probe, tags);
+            // The filter can never miss a real match (no false negatives):
+            // every way whose tag equals the probe must be in the mask.
+            let mask = filter.candidates(0, digest(*probe)) & valid;
+            for (w, &t) in tags.iter().enumerate() {
+                if t == *probe {
+                    prop_assert!(mask & (1 << w) != 0, "way {} dropped", w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_mask_flags_exactly_the_matching_lanes(
+        digests in proptest::collection::vec(any::<u8>(), LANES..LANES + 1),
+        needle in any::<u8>(),
+    ) {
+        use nuca_repro::cachesim::swar::match_mask;
+        let mut word = 0u64;
+        for (lane, &d) in digests.iter().enumerate() {
+            word |= (d as u64) << (lane * 8);
+        }
+        let mask = match_mask(word, needle);
+        for (lane, &d) in digests.iter().enumerate() {
+            let flagged = mask & (1 << lane) != 0;
+            prop_assert_eq!(flagged, d == needle, "lane {} digest {:#x}", lane, d);
+        }
+    }
+}
