@@ -305,6 +305,77 @@ impl Cache {
     pub fn check_invariants(&self) -> bool {
         self.is_consistent()
     }
+
+    /// Writes the mutable contents (tags, owners, valid/dirty bits,
+    /// recency, digests, statistics) to a snapshot. Geometry-derived
+    /// fields are not written — the restoring cache supplies its own.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_usize(self.tags.len());
+        for &t in &self.tags {
+            w.put_u64(t.raw());
+        }
+        w.put_usize(self.owners.len());
+        for &o in &self.owners {
+            w.put_u8(o.asid());
+        }
+        w.put_u32_slice(&self.valid);
+        w.put_u32_slice(&self.dirty);
+        w.put_usize(self.lru.len());
+        for r in &self.lru {
+            r.save_state(w);
+        }
+        self.filter.save_state(w);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.writebacks);
+    }
+
+    /// Restores contents written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when the snapshot
+    /// was taken from a cache of different geometry; decode errors
+    /// otherwise.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        let n_tags = r.get_usize()?;
+        if n_tags != self.tags.len() {
+            return Err(SnapshotError::Mismatch("cache tag array size"));
+        }
+        for t in &mut self.tags {
+            *t = BlockAddr::new(r.get_u64()?);
+        }
+        let n_owners = r.get_usize()?;
+        if n_owners != self.owners.len() {
+            return Err(SnapshotError::Mismatch("cache owner array size"));
+        }
+        for o in &mut self.owners {
+            *o = CoreId::from_index(r.get_u8()?);
+        }
+        let valid = r.get_u32_vec()?;
+        let dirty = r.get_u32_vec()?;
+        if valid.len() != self.valid.len() || dirty.len() != self.dirty.len() {
+            return Err(SnapshotError::Mismatch("cache set count"));
+        }
+        self.valid = valid;
+        self.dirty = dirty;
+        let n_lru = r.get_usize()?;
+        if n_lru != self.lru.len() {
+            return Err(SnapshotError::Mismatch("cache recency array size"));
+        }
+        for rec in &mut self.lru {
+            rec.load_state(r)?;
+        }
+        self.filter.load_state(r)?;
+        self.stats.hits = r.get_u64()?;
+        self.stats.misses = r.get_u64()?;
+        self.writebacks = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl Invariant for Cache {

@@ -495,6 +495,53 @@ impl Recency {
     pub fn iter_from_mru(&self) -> impl Iterator<Item = u8> + '_ {
         (0..self.len()).map(move |p| self.at(p))
     }
+
+    /// Writes the recency state to a snapshot (variant tag + payload).
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        match self {
+            Recency::Packed(p) => {
+                w.put_u8(0);
+                w.put_u64(p.bits);
+                w.put_u8(p.len);
+            }
+            Recency::Wide(s) => {
+                w.put_u8(1);
+                w.put_u8_slice(&s.order);
+            }
+        }
+    }
+
+    /// Restores the recency state from a snapshot. The variant is fixed
+    /// by the set's associativity at construction, so a snapshot written
+    /// for the other variant is a structural mismatch, not data loss.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when the stored
+    /// variant differs; decode errors otherwise.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        let tag = r.get_u8()?;
+        match (tag, &mut *self) {
+            (0, Recency::Packed(p)) => {
+                p.bits = r.get_u64()?;
+                p.len = r.get_u8()?;
+                if p.len as usize > MAX_WAYS {
+                    return Err(SnapshotError::Corrupt("packed recency length > 16"));
+                }
+                Ok(())
+            }
+            (1, Recency::Wide(s)) => {
+                s.order = r.get_u8_vec()?;
+                Ok(())
+            }
+            (0 | 1, _) => Err(SnapshotError::Mismatch("recency variant")),
+            _ => Err(SnapshotError::Corrupt("recency variant tag")),
+        }
+    }
 }
 
 #[cfg(test)]

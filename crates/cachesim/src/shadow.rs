@@ -338,6 +338,46 @@ impl ShadowTags {
     pub fn storage_bits(&self, tag_bits: u64) -> u64 {
         (self.monitored_sets * self.cores) as u64 * tag_bits
     }
+
+    /// Writes the mutable state (registers, digests, hit counters) to a
+    /// snapshot. The membership map is derived from configuration and
+    /// not written.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u64_slice(&self.tags);
+        w.put_u64_slice(&self.digests);
+        w.put_usize(self.cores);
+        for core in CoreId::all(self.cores) {
+            w.put_u64(self.hits[core]);
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when register or
+    /// core counts differ from this table's configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        let tags = r.get_u64_vec()?;
+        let digests = r.get_u64_vec()?;
+        if tags.len() != self.tags.len() || digests.len() != self.digests.len() {
+            return Err(SnapshotError::Mismatch("shadow tag geometry"));
+        }
+        self.tags = tags;
+        self.digests = digests;
+        let cores = r.get_usize()?;
+        if cores != self.cores {
+            return Err(SnapshotError::Mismatch("shadow tag core count"));
+        }
+        for h in self.hits.iter_mut() {
+            *h = r.get_u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -111,6 +111,31 @@ impl TagFilter {
     pub fn storage_bits(&self) -> usize {
         self.words.len() * 64
     }
+
+    /// Writes the digest words to a snapshot.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_u64_slice(&self.words);
+    }
+
+    /// Restores the digest words from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when the word
+    /// count differs from this filter's geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        let words = r.get_u64_vec()?;
+        if words.len() != self.words.len() {
+            return Err(simcore::snapshot::SnapshotError::Mismatch(
+                "tag filter geometry",
+            ));
+        }
+        self.words = words;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,319 @@
+//! The `nuca-sim campaign` command line: argument parsing, progress
+//! printing and exit-status mapping.
+//!
+//! The binary stays a thin shell — it hands this module the argument
+//! slice after the `campaign` word and a print callback, and maps the
+//! returned code to `std::process::exit`. Keeping the driver here (and
+//! print-free except through the callback) keeps the whole subsystem
+//! inside the deterministic-lint wall: no clocks, no `std::env`, no
+//! direct stdout.
+//!
+//! ```text
+//! nuca-sim campaign <spec.toml> [--out PATH] [--shard K/N] [--resume]
+//!                   [--jobs N] [--sample-sets K] [--fail-after N]
+//! nuca-sim campaign merge <merged.jsonl> <shard.jsonl>...
+//! ```
+//!
+//! Exit codes: `0` success, `2` usage/configuration error, `3` the run
+//! was cut short by `--fail-after` (the kill-injection test hook).
+
+use std::path::PathBuf;
+
+use crate::manifest;
+use crate::runner::{run_campaign, Event, Report, RunOptions};
+use crate::spec::CampaignSpec;
+use crate::CampaignError;
+
+/// Exit code for a run `--fail-after` cut short.
+pub const EXIT_KILLED: i32 = 3;
+/// Exit code for usage and configuration errors.
+pub const EXIT_USAGE: i32 = 2;
+
+/// One-line usage summary, printed on argument errors.
+pub const USAGE: &str = "usage: nuca-sim campaign <spec.toml> [--out PATH] [--shard K/N] \
+[--resume] [--jobs N] [--sample-sets K] [--fail-after N]\n   or: nuca-sim campaign merge \
+<merged.jsonl> <shard.jsonl>...";
+
+/// Runs the `campaign` subcommand. `args` is everything after the
+/// `campaign` word; every line of output goes through `print`.
+pub fn run(args: &[String], print: &mut dyn FnMut(&str)) -> i32 {
+    match args.first().map(String::as_str) {
+        None => {
+            print(USAGE);
+            EXIT_USAGE
+        }
+        Some("merge") => match merge_command(&args[1..]) {
+            Ok(summary) => {
+                print(&summary);
+                0
+            }
+            Err(e) => {
+                print(&format!("campaign merge: {e}"));
+                print(USAGE);
+                EXIT_USAGE
+            }
+        },
+        Some(_) => campaign_command(args, print),
+    }
+}
+
+/// `campaign merge <out> <in...>`: merge shard manifests into one file.
+fn merge_command(args: &[String]) -> Result<String, CampaignError> {
+    let (out, inputs) = args.split_first().ok_or_else(|| {
+        CampaignError::Config("merge needs an output path and at least one input".to_string())
+    })?;
+    if inputs.is_empty() {
+        return Err(CampaignError::Config(
+            "merge needs at least one input manifest".to_string(),
+        ));
+    }
+    let paths: Vec<PathBuf> = inputs.iter().map(PathBuf::from).collect();
+    let merged = manifest::merge(&paths)?;
+    let lines = merged.lines().count();
+    std::fs::write(out, &merged).map_err(|e| CampaignError::Io(format!("{out}: {e}")))?;
+    Ok(format!(
+        "merged {} manifests into {out}: {lines} cells",
+        paths.len()
+    ))
+}
+
+/// Parsed form of the non-merge command line.
+struct Parsed {
+    spec_path: String,
+    opts: RunOptions,
+    sample_override: Option<u32>,
+}
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, CampaignError> {
+    value
+        .ok_or_else(|| CampaignError::Config(format!("{flag} needs a value")))?
+        .parse::<u64>()
+        .map_err(|_| CampaignError::Config(format!("{flag}: not a number")))
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed, CampaignError> {
+    let mut parsed = Parsed {
+        spec_path: String::new(),
+        opts: RunOptions::default(),
+        sample_override: None,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                parsed.opts.out = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| CampaignError::Config("--out needs a path".to_string()))?,
+                );
+            }
+            "--shard" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CampaignError::Config("--shard needs K/N".to_string()))?;
+                let (k, n) = v
+                    .split_once('/')
+                    .and_then(|(k, n)| Some((k.parse::<u32>().ok()?, n.parse::<u32>().ok()?)))
+                    .ok_or_else(|| {
+                        CampaignError::Config(format!("--shard {v}: want K/N, e.g. 1/4"))
+                    })?;
+                parsed.opts.shard = (k, n);
+            }
+            "--resume" => parsed.opts.resume = true,
+            "--jobs" => parsed.opts.jobs = parse_u64("--jobs", it.next())? as usize,
+            "--fail-after" => {
+                parsed.opts.fail_after = Some(parse_u64("--fail-after", it.next())? as usize);
+            }
+            "--sample-sets" => {
+                parsed.sample_override = Some(parse_u64("--sample-sets", it.next())? as u32);
+            }
+            _ if arg.starts_with("--") => {
+                return Err(CampaignError::Config(format!("unknown flag {arg}")));
+            }
+            _ if parsed.spec_path.is_empty() => parsed.spec_path = arg.clone(),
+            _ => {
+                return Err(CampaignError::Config(format!(
+                    "unexpected argument {arg} (spec is {})",
+                    parsed.spec_path
+                )));
+            }
+        }
+    }
+    if parsed.spec_path.is_empty() {
+        return Err(CampaignError::Config("no spec file given".to_string()));
+    }
+    Ok(parsed)
+}
+
+/// `campaign <spec.toml> ...`: parse, run, narrate, map the exit code.
+fn campaign_command(args: &[String], print: &mut dyn FnMut(&str)) -> i32 {
+    let parsed = match parse_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            print(&format!("campaign: {e}"));
+            print(USAGE);
+            return EXIT_USAGE;
+        }
+    };
+    let text = match std::fs::read_to_string(&parsed.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            print(&format!("campaign: {}: {e}", parsed.spec_path));
+            return EXIT_USAGE;
+        }
+    };
+    let mut spec = match CampaignSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            print(&format!("campaign: {}: {e}", parsed.spec_path));
+            return EXIT_USAGE;
+        }
+    };
+    if let Some(shift) = parsed.sample_override {
+        spec.axes.sample_shift = vec![shift];
+    }
+    let (k, n) = parsed.opts.shard;
+    print(&format!(
+        "campaign {}: spec {}, shard {k}/{n}, out {}",
+        spec.name,
+        parsed.spec_path,
+        parsed.opts.out.display()
+    ));
+    let mut narrate = |e: &Event| match *e {
+        Event::Start {
+            cells,
+            shard_cells,
+            pruned,
+        } => print(&format!(
+            "  grid: {cells} cells, this shard owns {shard_cells}, screening pruned {pruned}"
+        )),
+        Event::Resumed { skipped } => {
+            print(&format!("  resume: {skipped} cells already in manifest"));
+        }
+        Event::Warmed { cells_sharing } => {
+            print(&format!(
+                "  warm state ready ({cells_sharing} cells fork it)"
+            ));
+        }
+        Event::CellDone { cell, hmean_ipc } => {
+            print(&format!("  cell {cell} done hmean_ipc={hmean_ipc:.4}"));
+        }
+        Event::CellPruned { cell, dominated_by } => {
+            print(&format!(
+                "  cell {cell} pruned (dominated by {dominated_by})"
+            ));
+        }
+        Event::Killed { appended } => {
+            print(&format!("  killed after {appended} lines (--fail-after)"));
+        }
+    };
+    match run_campaign(&spec, &parsed.opts, &mut narrate) {
+        Ok(report) => {
+            print(&summary(&report));
+            if report.killed {
+                EXIT_KILLED
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            print(&format!("campaign: {e}"));
+            EXIT_USAGE
+        }
+    }
+}
+
+fn summary(r: &Report) -> String {
+    format!(
+        "campaign {}: ran {}, pruned {}, skipped {}, warm-ups {} (forked {})",
+        if r.killed { "killed" } else { "done" },
+        r.ran,
+        r.pruned,
+        r.skipped,
+        r.warm_groups,
+        r.ran.saturating_sub(r.warm_groups)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn collect(args: &[&str]) -> (i32, Vec<String>) {
+        let mut out = Vec::new();
+        let code = run(&strings(args), &mut |line| out.push(line.to_string()));
+        (code, out)
+    }
+
+    #[test]
+    fn usage_errors_exit_2_with_usage_text() {
+        let (code, out) = collect(&[]);
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.join("\n").contains("usage:"));
+        let (code, out) = collect(&["spec.toml", "--bogus"]);
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.join("\n").contains("unknown flag --bogus"));
+        let (code, out) = collect(&["spec.toml", "--shard", "4"]);
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.join("\n").contains("want K/N"));
+        let (code, out) = collect(&["/nonexistent/spec.toml"]);
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.join("\n").contains("/nonexistent/spec.toml"));
+    }
+
+    #[test]
+    fn flags_parse_into_run_options() {
+        let parsed = parse_args(&strings(&[
+            "s.toml",
+            "--out",
+            "m.jsonl",
+            "--shard",
+            "2/4",
+            "--resume",
+            "--jobs",
+            "3",
+            "--fail-after",
+            "7",
+            "--sample-sets",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.spec_path, "s.toml");
+        assert_eq!(parsed.opts.out, PathBuf::from("m.jsonl"));
+        assert_eq!(parsed.opts.shard, (2, 4));
+        assert!(parsed.opts.resume);
+        assert_eq!(parsed.opts.jobs, 3);
+        assert_eq!(parsed.opts.fail_after, Some(7));
+        assert_eq!(parsed.sample_override, Some(4));
+    }
+
+    #[test]
+    fn merge_subcommand_writes_the_merged_manifest() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("nuca-driver-a-{}.jsonl", std::process::id()));
+        let b = dir.join(format!("nuca-driver-b-{}.jsonl", std::process::id()));
+        let out = dir.join(format!("nuca-driver-m-{}.jsonl", std::process::id()));
+        std::fs::write(&a, "{\"cell\":1}\n").unwrap();
+        std::fs::write(&b, "{\"cell\":0}\n").unwrap();
+        let (code, lines) = collect(&[
+            "merge",
+            out.to_str().unwrap(),
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{lines:?}");
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            "{\"cell\":0}\n{\"cell\":1}\n"
+        );
+        assert!(lines.join("\n").contains("2 cells"));
+        let (code, _) = collect(&["merge", out.to_str().unwrap()]);
+        assert_eq!(code, EXIT_USAGE);
+        for p in [&a, &b, &out] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The crash-safe JSONL manifest: append, resume, merge.
+//!
+//! One line per finished cell, appended in cell-index order, flushed
+//! per line. Lines carry no timestamps or host state, so the manifest
+//! of a killed-and-resumed campaign is byte-identical to the manifest
+//! of an uninterrupted run, and shard manifests merge (sort by cell
+//! index) into exactly the single-process file. A partial trailing
+//! line — the footprint of a kill mid-write — is truncated away on
+//! resume and its cell re-runs.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use telemetry::json::Json;
+
+use crate::CampaignError;
+
+fn io_err(path: &Path, e: impl std::fmt::Display) -> CampaignError {
+    CampaignError::Io(format!("{}: {e}", path.display()))
+}
+
+/// An open manifest being appended to.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    file: File,
+}
+
+impl ManifestWriter {
+    /// Opens (creating if absent) the manifest for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] if the file cannot be opened.
+    pub fn append_to(path: &Path) -> Result<Self, CampaignError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(ManifestWriter { file })
+    }
+
+    /// Appends one line (the newline is added here) and flushes, so a
+    /// kill after this call loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on a write failure.
+    pub fn append(&mut self, line: &str) -> Result<(), CampaignError> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.file
+            .write_all(&buf)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| CampaignError::Io(format!("manifest append: {e}")))
+    }
+}
+
+/// The cell index a manifest line describes.
+///
+/// # Errors
+///
+/// [`CampaignError::Manifest`] if the line is not a JSON object with a
+/// numeric `cell` field.
+pub fn cell_index(line: &str) -> Result<usize, CampaignError> {
+    let doc =
+        Json::parse(line).map_err(|e| CampaignError::Manifest(format!("unparsable line: {e}")))?;
+    match doc.get("cell").and_then(Json::as_num) {
+        Some(n) if n >= 0.0 => Ok(n as usize),
+        _ => Err(CampaignError::Manifest(
+            "line has no numeric `cell` field".to_string(),
+        )),
+    }
+}
+
+/// Reads a manifest for `--resume`: returns the completed cell indices
+/// in file order, truncating a partial or unparsable trailing line in
+/// place (the kill footprint) so appending can continue cleanly.
+///
+/// A missing file is an empty manifest. A malformed line *before* the
+/// last one is corruption, not a kill footprint, and is an error.
+///
+/// # Errors
+///
+/// [`CampaignError::Io`] on read/write failures,
+/// [`CampaignError::Manifest`] on mid-file corruption.
+pub fn read_completed(path: &Path) -> Result<Vec<usize>, CampaignError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let mut keep_bytes = 0usize;
+    let mut done = Vec::new();
+    let mut lines = text.split_inclusive('\n').peekable();
+    while let Some(line) = lines.next() {
+        let is_last = lines.peek().is_none();
+        let complete = line.ends_with('\n');
+        match cell_index(line.trim_end_matches('\n')) {
+            Ok(idx) if complete => {
+                done.push(idx);
+                keep_bytes += line.len();
+            }
+            // A partial (no newline) or garbled trailing line is the
+            // kill footprint: truncate it, its cell re-runs.
+            Ok(_) | Err(_) if is_last => break,
+            Ok(_) => break, // unreachable: !complete implies is_last
+            Err(e) => {
+                return Err(CampaignError::Manifest(format!(
+                    "{}: corrupt non-trailing line: {e}",
+                    path.display()
+                )))
+            }
+        }
+    }
+    if keep_bytes < text.len() {
+        std::fs::write(path, &text.as_bytes()[..keep_bytes]).map_err(|e| io_err(path, e))?;
+    }
+    Ok(done)
+}
+
+/// Merges shard manifests into one document: all lines, sorted stably
+/// by cell index. Since every writer appends in cell-index order and a
+/// cell belongs to exactly one shard, the merge of N shard manifests
+/// is byte-identical to an uninterrupted single-process manifest.
+///
+/// # Errors
+///
+/// [`CampaignError::Manifest`] on unparsable lines or when two inputs
+/// disagree about the same cell; [`CampaignError::Io`] on read errors.
+pub fn merge(inputs: &[std::path::PathBuf]) -> Result<String, CampaignError> {
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for path in inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            lines.push((cell_index(line)?, line.to_string()));
+        }
+    }
+    lines.sort_by_key(|(idx, _)| *idx);
+    for pair in lines.windows(2) {
+        if pair[0].0 == pair[1].0 && pair[0].1 != pair[1].1 {
+            return Err(CampaignError::Manifest(format!(
+                "cell {} appears twice with different content",
+                pair[0].0
+            )));
+        }
+    }
+    lines.dedup();
+    let mut out = String::new();
+    for (_, line) in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("nuca-campaign-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn append_resume_and_truncate_partial_tail() {
+        let path = tmp("resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = ManifestWriter::append_to(&path).unwrap();
+        w.append("{\"cell\":0,\"status\":\"done\"}").unwrap();
+        w.append("{\"cell\":2,\"status\":\"pruned\"}").unwrap();
+        drop(w);
+        // Simulate a kill mid-write: a partial trailing line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"cell\":5,\"sta").unwrap();
+        }
+        let done = read_completed(&path).unwrap();
+        assert_eq!(done, vec![0, 2]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("\"pruned\"}\n"), "partial tail truncated");
+        // Appending after resume continues cleanly.
+        let mut w = ManifestWriter::append_to(&path).unwrap();
+        w.append("{\"cell\":5,\"status\":\"done\"}").unwrap();
+        assert_eq!(read_completed(&path).unwrap(), vec![0, 2, 5]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_manifest_is_empty_and_midfile_corruption_is_fatal() {
+        let path = tmp("missing.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_completed(&path).unwrap(), Vec::<usize>::new());
+        std::fs::write(&path, "not json\n{\"cell\":1}\n").unwrap();
+        assert!(matches!(
+            read_completed(&path),
+            Err(CampaignError::Manifest(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_sorts_by_cell_and_rejects_conflicts() {
+        let a = tmp("shard-a.jsonl");
+        let b = tmp("shard-b.jsonl");
+        std::fs::write(&a, "{\"cell\":1,\"v\":1}\n{\"cell\":3,\"v\":3}\n").unwrap();
+        std::fs::write(&b, "{\"cell\":0,\"v\":0}\n{\"cell\":2,\"v\":2}\n").unwrap();
+        let merged = merge(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(
+            merged,
+            "{\"cell\":0,\"v\":0}\n{\"cell\":1,\"v\":1}\n{\"cell\":2,\"v\":2}\n{\"cell\":3,\"v\":3}\n"
+        );
+        // Identical duplicates dedupe; conflicting duplicates error.
+        std::fs::write(&b, "{\"cell\":1,\"v\":1}\n").unwrap();
+        assert_eq!(
+            merge(&[a.clone(), b.clone()]).unwrap(),
+            "{\"cell\":1,\"v\":1}\n{\"cell\":3,\"v\":3}\n"
+        );
+        std::fs::write(&b, "{\"cell\":1,\"v\":9}\n").unwrap();
+        assert!(matches!(
+            merge(&[a.clone(), b.clone()]),
+            Err(CampaignError::Manifest(_))
+        ));
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+}

@@ -403,6 +403,64 @@ impl<S: Sink> Cmp<S> {
         self.window_start = self.now;
     }
 
+    /// Serializes the whole chip's warm state — clock, every core's
+    /// learned state and the last-level organization — into a versioned,
+    /// checksummed snapshot (see [`simcore::snapshot`]). Valid only at a
+    /// quiescent point (right after [`warm`](Self::warm)): core pipeline
+    /// structures are empty there and are not encoded.
+    ///
+    /// Restoring with [`load_chip_state`](Self::load_chip_state) into a
+    /// freshly built chip of the same structural configuration and then
+    /// running is bit-identical to running the original chip — the
+    /// campaign engine's snapshot/fork layer is built on this guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when any core has
+    /// in-flight pipeline state.
+    pub fn save_chip_state(
+        &self,
+    ) -> std::result::Result<Vec<u8>, simcore::snapshot::SnapshotError> {
+        let mut w = simcore::snapshot::SnapshotWriter::new();
+        w.put_usize(self.cores.len());
+        w.put_cycle(self.now);
+        w.put_cycle(self.window_start);
+        for core in &self.cores {
+            core.save_state(&mut w)?;
+        }
+        self.l3.save_state(&mut w);
+        Ok(w.finish())
+    }
+
+    /// Restores a snapshot written by
+    /// [`save_chip_state`](Self::save_chip_state) into this freshly built
+    /// chip. The chip must share the snapshot's *structural*
+    /// configuration (cores, cache geometries, organization variant,
+    /// workload); latencies may differ — they are reconstructed from this
+    /// chip's own configuration, which is what lets one warm snapshot
+    /// fork across the latency axes of a sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError`] on checksum/version failure,
+    /// structural mismatch, or trailing bytes.
+    pub fn load_chip_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> std::result::Result<(), simcore::snapshot::SnapshotError> {
+        let mut r = simcore::snapshot::SnapshotReader::open(bytes)?;
+        if r.get_usize()? != self.cores.len() {
+            return Err(simcore::snapshot::SnapshotError::Mismatch("core count"));
+        }
+        self.now = r.get_cycle()?;
+        self.window_start = r.get_cycle()?;
+        for core in &mut self.cores {
+            core.load_state(&mut r)?;
+        }
+        self.l3.load_state(&mut r)?;
+        r.finish()
+    }
+
     /// Snapshot of the current measurement window.
     pub fn snapshot(&self) -> CmpResult {
         let per_core: Vec<(&'static str, CoreStats)> = self
@@ -570,6 +628,124 @@ mod tests {
             let reference = run(false);
             assert_eq!(fast, reference, "skip diverged under {}", org.label());
         }
+    }
+
+    #[test]
+    fn snapshot_restore_run_matches_run_through() {
+        // The campaign engine's core guarantee: warm, snapshot, restore
+        // into a fresh chip, run — bit-identical to warming and running
+        // straight through, for every organization (and the sampled
+        // wrapper).
+        let mut sampled_cfg = MachineConfig::baseline();
+        sampled_cfg.l3.sample_shift = Some(2);
+        let cases = [
+            (MachineConfig::baseline(), Organization::Private),
+            (MachineConfig::baseline(), Organization::Shared),
+            (MachineConfig::baseline(), Organization::adaptive()),
+            (
+                MachineConfig::baseline(),
+                Organization::Cooperative { seed: 7 },
+            ),
+            (sampled_cfg, Organization::adaptive()),
+        ];
+        for (cfg, org) in cases {
+            let mix = quick_mix();
+            let mut original = Cmp::new(&cfg, org, &mix, 21).unwrap();
+            original.warm(6_000);
+            let bytes = original.save_chip_state().expect("quiescent after warm");
+
+            let mut restored = Cmp::new(&cfg, org, &mix, 21).unwrap();
+            restored.load_chip_state(&bytes).expect("restore");
+
+            let finish = |cmp: &mut Cmp| {
+                cmp.run(4_000);
+                cmp.reset_stats();
+                cmp.run(8_000);
+                cmp.snapshot()
+            };
+            let through = finish(&mut original);
+            let forked = finish(&mut restored);
+            assert_eq!(through, forked, "fork diverged under {}", org.label());
+        }
+    }
+
+    #[test]
+    fn snapshot_is_latency_independent() {
+        // Functional warm-up discards timing, so a snapshot taken under
+        // one set of latencies restores into a machine with different
+        // ones and runs bit-identically to warming that machine directly
+        // — the property that lets one warm snapshot fork across a
+        // sweep's latency axes. Every latency axis the campaign spec
+        // exposes is varied at once: memory first-chunk, L3 hit (both
+        // organizations' banks and the neighbor hop) and L2 hit.
+        let base = MachineConfig::baseline();
+        let mut slow = MachineConfig::baseline();
+        slow.memory.first_chunk_private = 330;
+        slow.memory.first_chunk_shared = 338;
+        slow.l2 = slow.l2.with_latency(11);
+        slow.l3.private = slow.l3.private.with_latency(16);
+        slow.l3.shared = slow.l3.shared.with_latency(24);
+        slow.l3.neighbor_latency = 24;
+        let mix = quick_mix();
+        for org in [Organization::Shared, Organization::adaptive()] {
+            let mut warm_base = Cmp::new(&base, org, &mix, 23).unwrap();
+            warm_base.warm(6_000);
+            let bytes = warm_base.save_chip_state().unwrap();
+
+            let mut warm_slow = Cmp::new(&slow, org, &mix, 23).unwrap();
+            warm_slow.warm(6_000);
+
+            let mut forked = Cmp::new(&slow, org, &mix, 23).unwrap();
+            forked.load_chip_state(&bytes).unwrap();
+
+            let finish = |cmp: &mut Cmp| {
+                cmp.run(4_000);
+                cmp.reset_stats();
+                cmp.run(8_000);
+                cmp.snapshot()
+            };
+            assert_eq!(
+                finish(&mut warm_slow),
+                finish(&mut forked),
+                "latency fork diverged under {}",
+                org.label()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_organization_and_corruption() {
+        let cfg = MachineConfig::baseline();
+        let mix = quick_mix();
+        let mut cmp = Cmp::new(&cfg, Organization::Shared, &mix, 5).unwrap();
+        cmp.warm(1_000);
+        let bytes = cmp.save_chip_state().unwrap();
+
+        let mut wrong = Cmp::new(&cfg, Organization::Private, &mix, 5).unwrap();
+        assert!(matches!(
+            wrong.load_chip_state(&bytes),
+            Err(simcore::snapshot::SnapshotError::Mismatch(_))
+        ));
+
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        let mut fresh = Cmp::new(&cfg, Organization::Shared, &mix, 5).unwrap();
+        assert!(matches!(
+            fresh.load_chip_state(&corrupt),
+            Err(simcore::snapshot::SnapshotError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_requires_quiescence() {
+        let cfg = MachineConfig::baseline();
+        let mut cmp = Cmp::new(&cfg, Organization::Shared, &quick_mix(), 5).unwrap();
+        cmp.run(2_000); // timed run leaves in-flight pipeline state
+        assert!(matches!(
+            cmp.save_chip_state(),
+            Err(simcore::snapshot::SnapshotError::Mismatch(_))
+        ));
     }
 
     #[test]

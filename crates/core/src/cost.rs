@@ -11,6 +11,8 @@
 
 use simcore::config::MachineConfig;
 
+use crate::l3::Organization;
+
 /// Storage-cost model for the adaptive scheme's extra state.
 ///
 /// # Example
@@ -97,6 +99,102 @@ impl CostModel {
     }
 }
 
+/// An analytical price tag for one sweep cell, in the style of Yavits
+/// et al.'s closed-form NUCA screening models: total storage spent and
+/// a first-order estimate of the average L2-miss service latency. The
+/// campaign engine prunes cells dominated on *both* numbers before
+/// spending simulation time on them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreeningEstimate {
+    /// Storage the configuration commits: the L3 data array plus the
+    /// adaptive scheme's bookkeeping overhead ([`CostModel`]).
+    pub storage_bits: u64,
+    /// Modeled average service latency of an L2 miss, in cycles.
+    pub modeled_latency: f64,
+}
+
+impl ScreeningEstimate {
+    /// Whether this estimate dominates `other`: no worse on both
+    /// dimensions and strictly better on at least one. Ties on both
+    /// dimensions dominate nothing, so equal cells all survive
+    /// screening.
+    pub fn dominates(&self, other: &ScreeningEstimate) -> bool {
+        self.storage_bits <= other.storage_bits
+            && self.modeled_latency <= other.modeled_latency
+            && (self.storage_bits < other.storage_bits
+                || self.modeled_latency < other.modeled_latency)
+    }
+}
+
+/// Miss ratio assumed at [`REFERENCE_CAPACITY`] bytes of effective
+/// capacity per core; capacities scale it by the square-root law.
+const BASE_MISS_RATIO: f64 = 0.30;
+
+/// Effective per-core capacity at which the model's miss ratio equals
+/// [`BASE_MISS_RATIO`] (the Table 1 private slice).
+const REFERENCE_CAPACITY: f64 = 1024.0 * 1024.0;
+
+/// Prices one `(machine, organization)` point analytically.
+///
+/// The latency model is deliberately first-order — hit latency plus a
+/// miss ratio following the √-capacity rule (miss rate ∝ 1/√capacity,
+/// the classic cache power law) times the memory first-chunk latency —
+/// because its only job is Pareto *screening*: a cell that has both
+/// more storage and a worse modeled latency than some other cell on
+/// the same workload is not worth simulating. The adaptive scheme is
+/// priced at full shared capacity, a 75 %/25 % private/shared hit-
+/// latency blend (its initial partition), and its Section 2.7 storage
+/// overhead on top of the data array.
+pub fn screening_estimate(machine: &MachineConfig, org: &Organization) -> ScreeningEstimate {
+    let shared = machine.l3.shared;
+    let private = machine.l3.private;
+    let (capacity, hit_latency, miss_penalty, storage_bits) = match org {
+        Organization::Private => (
+            private.size_bytes() as f64,
+            private.latency() as f64,
+            machine.memory.first_chunk_private as f64,
+            shared.size_bytes() * 8,
+        ),
+        Organization::PrivateScaled { factor } => (
+            (private.size_bytes() * factor) as f64,
+            private.latency() as f64,
+            machine.memory.first_chunk_private as f64,
+            shared.size_bytes() * 8 * factor,
+        ),
+        Organization::PrivateCustom { geometry } => (
+            geometry.size_bytes() as f64,
+            geometry.latency() as f64,
+            machine.memory.first_chunk_private as f64,
+            geometry.size_bytes() * 8 * machine.cores as u64,
+        ),
+        Organization::Shared | Organization::Cooperative { .. } => (
+            shared.size_bytes() as f64,
+            shared.latency() as f64,
+            machine.memory.first_chunk_shared as f64,
+            shared.size_bytes() * 8,
+        ),
+        Organization::Adaptive(_) => (
+            shared.size_bytes() as f64,
+            0.75 * private.latency() as f64 + 0.25 * shared.latency() as f64,
+            machine.memory.first_chunk_shared as f64,
+            shared.size_bytes() * 8 + CostModel::for_machine(machine).total_bits(),
+        ),
+    };
+    // Shared organizations pool capacity across cores; what matters for
+    // the miss ratio is the share one core can expect.
+    let per_core = match org {
+        Organization::Shared | Organization::Cooperative { .. } | Organization::Adaptive(_) => {
+            capacity / machine.cores as f64
+        }
+        _ => capacity,
+    };
+    let miss_ratio = (BASE_MISS_RATIO * (REFERENCE_CAPACITY / per_core).sqrt()).min(1.0);
+    ScreeningEstimate {
+        storage_bits,
+        modeled_latency: machine.l2.latency() as f64 + hit_latency + miss_ratio * miss_penalty,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +233,42 @@ mod tests {
         let mut c = baseline();
         c.shadow_shift = 0;
         assert_eq!(c.shadow_tag_bits(), 24_576 * 16);
+    }
+
+    #[test]
+    fn screening_prices_the_organizations_sensibly() {
+        let m = MachineConfig::baseline();
+        let private = screening_estimate(&m, &Organization::Private);
+        let scaled = screening_estimate(&m, &Organization::PrivateScaled { factor: 4 });
+        let shared = screening_estimate(&m, &Organization::Shared);
+        let adaptive = screening_estimate(&m, &Organization::adaptive());
+        let coop = screening_estimate(&m, &Organization::Cooperative { seed: 1 });
+        // 4x private spends 4x the storage for a better latency: neither
+        // dominates the other.
+        assert_eq!(scaled.storage_bits, private.storage_bits * 4);
+        assert!(scaled.modeled_latency < private.modeled_latency);
+        assert!(!scaled.dominates(&private) && !private.dominates(&scaled));
+        // The adaptive scheme pays its Section 2.7 overhead on top of
+        // the shared data array.
+        assert_eq!(
+            adaptive.storage_bits,
+            shared.storage_bits + baseline().total_bits()
+        );
+        // Shared and cooperative price identically (same capacity and
+        // hit path in this first-order model) — ties survive screening.
+        assert_eq!(shared, coop);
+        assert!(!shared.dominates(&coop) && !coop.dominates(&shared));
+    }
+
+    #[test]
+    fn screening_dominance_catches_strictly_worse_latency_points() {
+        let base = MachineConfig::baseline();
+        let scaled = base.technology_scaled();
+        let fast = screening_estimate(&base, &Organization::Shared);
+        let slow = screening_estimate(&scaled, &Organization::Shared);
+        // Same storage, strictly worse modeled latency: dominated.
+        assert_eq!(fast.storage_bits, slow.storage_bits);
+        assert!(fast.dominates(&slow));
+        assert!(!slow.dominates(&fast));
     }
 }

@@ -327,6 +327,67 @@ impl SharingEngine {
     pub fn check_invariants(&self) -> bool {
         self.is_consistent()
     }
+
+    /// Writes the quotas, estimator counters, shadow tags and
+    /// repartition history to a snapshot. Parameters and geometry are
+    /// reconstructed from configuration and are not encoded.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        for &q in self.quotas.iter() {
+            w.put_u32(q);
+        }
+        for &h in self.lru_hits.iter() {
+            w.put_u64(h);
+        }
+        self.shadow.save_state(w);
+        w.put_u64(self.misses_since_reeval);
+        w.put_usize(self.repartitions.len());
+        for r in &self.repartitions {
+            w.put_u8(r.gainer.asid());
+            w.put_u8(r.loser.asid());
+            w.put_u64(r.gain);
+            w.put_u64(r.loss);
+        }
+        w.put_u64(self.epochs);
+        w.put_bool(self.frozen);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into an
+    /// engine built with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError`] on geometry mismatch or
+    /// decode failure.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        for q in self.quotas.iter_mut() {
+            *q = r.get_u32()?;
+        }
+        for h in self.lru_hits.iter_mut() {
+            *h = r.get_u64()?;
+        }
+        self.shadow.load_state(r)?;
+        self.misses_since_reeval = r.get_u64()?;
+        let n = r.checked_len(2 + 8 + 8)?;
+        self.repartitions.clear();
+        for _ in 0..n {
+            let gainer = CoreId::from_index(r.get_u8()?);
+            let loser = CoreId::from_index(r.get_u8()?);
+            let gain = r.get_u64()?;
+            let loss = r.get_u64()?;
+            self.repartitions.push(Repartition {
+                gainer,
+                loser,
+                gain,
+                loss,
+            });
+        }
+        self.epochs = r.get_u64()?;
+        self.frozen = r.get_bool()?;
+        Ok(())
+    }
 }
 
 impl Invariant for SharingEngine {

@@ -494,6 +494,115 @@ impl<S: Sink> AdaptiveL3<S> {
     pub fn check_invariants(&self) -> bool {
         self.is_consistent()
     }
+
+    /// Writes the cache arrays, partition stacks, engine, memory bus and
+    /// statistics to a snapshot. Geometry and latencies are
+    /// reconstructed from configuration and are not encoded.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_usize(self.tags.len());
+        for &t in &self.tags {
+            w.put_u64(t.raw());
+        }
+        w.put_usize(self.owners.len());
+        for &o in &self.owners {
+            w.put_u8(o.asid());
+        }
+        w.put_u32_slice(&self.valid);
+        w.put_u32_slice(&self.dirty);
+        self.filter.save_state(w);
+        w.put_usize(self.shared.len());
+        for rec in &self.shared {
+            rec.save_state(w);
+        }
+        w.put_usize(self.cores);
+        for core in CoreId::all(self.cores) {
+            for rec in self.private.row(core) {
+                rec.save_state(w);
+            }
+            for &n in self.owned.row(core) {
+                w.put_u32(n);
+            }
+        }
+        self.engine.save_state(w);
+        self.memory.save_state(w);
+        w.put_u64(self.stats.private_hits);
+        w.put_u64(self.stats.shared_hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.evictions);
+        w.put_u64(self.stats.over_quota_evictions);
+        w.put_u64(self.stats.demotions);
+        for core in CoreId::all(self.cores) {
+            w.put_u64(self.victims_by_owner[core]);
+            w.put_u64(self.lru_fallback_victims_by_owner[core]);
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into an
+    /// organization built from the same machine configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] on geometry
+    /// differences; decode errors otherwise.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        if r.get_usize()? != self.tags.len() {
+            return Err(SnapshotError::Mismatch("adaptive L3 tag array size"));
+        }
+        for t in &mut self.tags {
+            *t = BlockAddr::new(r.get_u64()?);
+        }
+        if r.get_usize()? != self.owners.len() {
+            return Err(SnapshotError::Mismatch("adaptive L3 owner array size"));
+        }
+        for o in &mut self.owners {
+            *o = CoreId::from_index(r.get_u8()?);
+        }
+        let valid = r.get_u32_vec()?;
+        if valid.len() != self.valid.len() {
+            return Err(SnapshotError::Mismatch("adaptive L3 set count"));
+        }
+        self.valid = valid;
+        let dirty = r.get_u32_vec()?;
+        if dirty.len() != self.dirty.len() {
+            return Err(SnapshotError::Mismatch("adaptive L3 set count"));
+        }
+        self.dirty = dirty;
+        self.filter.load_state(r)?;
+        if r.get_usize()? != self.shared.len() {
+            return Err(SnapshotError::Mismatch("adaptive L3 recency array size"));
+        }
+        for rec in &mut self.shared {
+            rec.load_state(r)?;
+        }
+        if r.get_usize()? != self.cores {
+            return Err(SnapshotError::Mismatch("adaptive L3 core count"));
+        }
+        for core in CoreId::all(self.cores) {
+            for set in 0..self.private.row_len() {
+                self.private.get_mut(core, set).load_state(r)?;
+            }
+            for set in 0..self.owned.row_len() {
+                *self.owned.get_mut(core, set) = r.get_u32()?;
+            }
+        }
+        self.engine.load_state(r)?;
+        self.memory.load_state(r)?;
+        self.stats.private_hits = r.get_u64()?;
+        self.stats.shared_hits = r.get_u64()?;
+        self.stats.misses = r.get_u64()?;
+        self.stats.evictions = r.get_u64()?;
+        self.stats.over_quota_evictions = r.get_u64()?;
+        self.stats.demotions = r.get_u64()?;
+        for core in CoreId::all(self.cores) {
+            self.victims_by_owner[core] = r.get_u64()?;
+            self.lru_fallback_victims_by_owner[core] = r.get_u64()?;
+        }
+        Ok(())
+    }
 }
 
 impl<S: Sink> Invariant for AdaptiveL3<S> {

@@ -99,6 +99,42 @@ impl<S: Sink> CooperativeL3<S> {
         }
     }
 
+    /// Writes the slice contents, spill RNG, memory-bus state and
+    /// statistics to a snapshot.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        for slice in self.slices.iter() {
+            slice.save_state(w);
+        }
+        self.rng.save_state(w);
+        self.memory.save_state(w);
+        w.put_u64(self.stats.spills);
+        w.put_u64(self.stats.ripple_drops);
+        w.put_u64(self.stats.migrations);
+        w.put_u64(self.stats.respill_drops);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError`] on geometry mismatch or
+    /// decode failure.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        for slice in self.slices.iter_mut() {
+            slice.load_state(r)?;
+        }
+        self.rng.load_state(r)?;
+        self.memory.load_state(r)?;
+        self.stats.spills = r.get_u64()?;
+        self.stats.ripple_drops = r.get_u64()?;
+        self.stats.migrations = r.get_u64()?;
+        self.stats.respill_drops = r.get_u64()?;
+        Ok(())
+    }
+
     fn random_neighbor(&mut self, of: CoreId) -> CoreId {
         let pick = self.rng.below(self.cores as u64 - 1) as usize;
         let idx = if pick >= of.index() { pick + 1 } else { pick };

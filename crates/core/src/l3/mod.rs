@@ -237,6 +237,59 @@ impl<S: Sink> L3System<S> {
         }
     }
 
+    /// Writes the organization's full state to a snapshot, prefixed by a
+    /// variant discriminant so a restore into a different organization
+    /// fails loudly instead of mis-decoding.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        match self {
+            L3System::Private(x) => {
+                w.put_u8(0);
+                x.save_state(w);
+            }
+            L3System::Shared(x) => {
+                w.put_u8(1);
+                x.save_state(w);
+            }
+            L3System::Adaptive(x) => {
+                w.put_u8(2);
+                x.save_state(w);
+            }
+            L3System::Cooperative(x) => {
+                w.put_u8(3);
+                x.save_state(w);
+            }
+            L3System::Sampled(x) => {
+                w.put_u8(4);
+                x.save_state(w);
+            }
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// freshly built system of the same organization and geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when the snapshot
+    /// was taken from a different organization variant or geometry;
+    /// decode errors otherwise.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> std::result::Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        let tag = r.get_u8()?;
+        match (tag, self) {
+            (0, L3System::Private(x)) => x.load_state(r),
+            (1, L3System::Shared(x)) => x.load_state(r),
+            (2, L3System::Adaptive(x)) => x.load_state(r),
+            (3, L3System::Cooperative(x)) => x.load_state(r),
+            (4, L3System::Sampled(x)) => x.load_state(r),
+            (0..=4, _) => Err(SnapshotError::Mismatch("L3 organization variant")),
+            _ => Err(SnapshotError::Corrupt("unknown L3 organization tag")),
+        }
+    }
+
     /// Resets memory statistics at the warm-up boundary.
     pub fn reset_stats(&mut self) {
         match self {

@@ -73,6 +73,30 @@ impl<S: Sink> PrivateL3<S> {
             s.reset_stats();
         }
     }
+
+    /// Writes the slice contents and memory-bus state to a snapshot.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        for slice in self.slices.iter() {
+            slice.save_state(w);
+        }
+        self.memory.save_state(w);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError`] on geometry mismatch or
+    /// decode failure.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        for slice in self.slices.iter_mut() {
+            slice.load_state(r)?;
+        }
+        self.memory.load_state(r)
+    }
 }
 
 impl<S: Sink> Invariant for PrivateL3<S> {

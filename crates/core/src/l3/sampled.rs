@@ -221,6 +221,50 @@ impl<S: Sink> SampledL3<S> {
         self.inner.memory_stats()
     }
 
+    /// Writes the wrapped organization plus the estimator's calibration
+    /// and window accumulators to a snapshot. Membership and the
+    /// config-derived fallback latencies are reconstructed from
+    /// configuration and are not encoded — restoring under different
+    /// hit/memory latencies keeps the new configuration's fallbacks.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.inner.save_state(w);
+        w.put_bool(self.calibration_frozen);
+        for s in 0..SOURCES.len() {
+            w.put_u64(self.counts[s]);
+            w.put_u64(self.lat_sum[s]);
+            w.put_u64(self.attributed[s]);
+        }
+        w.put_u64(self.window_sampled);
+        w.put_u64(self.window_estimated);
+        w.put_u64(self.window_lat_sum);
+        w.put_u128(self.window_lat_sq);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// wrapper built with the same shift over the same inner geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError`] on organization or geometry
+    /// mismatch, or decode failure.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        self.inner.load_state(r)?;
+        self.calibration_frozen = r.get_bool()?;
+        for s in 0..SOURCES.len() {
+            self.counts[s] = r.get_u64()?;
+            self.lat_sum[s] = r.get_u64()?;
+            self.attributed[s] = r.get_u64()?;
+        }
+        self.window_sampled = r.get_u64()?;
+        self.window_estimated = r.get_u64()?;
+        self.window_lat_sum = r.get_u64()?;
+        self.window_lat_sq = r.get_u128()?;
+        Ok(())
+    }
+
     /// Accuracy summary of the current window.
     pub fn report(&self) -> SamplingReport {
         let n = self.window_sampled;

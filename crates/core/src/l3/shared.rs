@@ -67,6 +67,26 @@ impl<S: Sink> SharedL3<S> {
         self.memory.reset_stats();
         self.cache.reset_stats();
     }
+
+    /// Writes the cache contents and memory-bus state to a snapshot.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.cache.save_state(w);
+        self.memory.save_state(w);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError`] on geometry mismatch or
+    /// decode failure.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        self.cache.load_state(r)?;
+        self.memory.load_state(r)
+    }
 }
 
 impl<S: Sink> Invariant for SharedL3<S> {

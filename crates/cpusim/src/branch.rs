@@ -218,6 +218,65 @@ impl BranchPredictor {
         self.predictions = 0;
         self.mispredictions = 0;
     }
+
+    /// Writes the learned tables, history, BTB and statistics to a
+    /// snapshot.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        for table in [&self.bimodal, &self.level2, &self.chooser] {
+            w.put_usize(table.len());
+            for s in table {
+                w.put_u8(s.0);
+            }
+        }
+        w.put_u32(self.history);
+        w.put_usize(self.btb.len());
+        for &(tag, last) in &self.btb {
+            w.put_u64(tag);
+            w.put_u64(last);
+        }
+        w.put_u64(self.btb_use);
+        w.put_u64(self.predictions);
+        w.put_u64(self.mispredictions);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when any table
+    /// size differs from this predictor's configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        for table in [&mut self.bimodal, &mut self.level2, &mut self.chooser] {
+            let n = r.get_usize()?;
+            if n != table.len() {
+                return Err(SnapshotError::Mismatch("branch predictor table size"));
+            }
+            for s in table.iter_mut() {
+                let v = r.get_u8()?;
+                if v > 3 {
+                    return Err(SnapshotError::Corrupt("saturating counter > 3"));
+                }
+                *s = Sat2(v);
+            }
+        }
+        self.history = r.get_u32()?;
+        let n = r.get_usize()?;
+        if n != self.btb.len() {
+            return Err(SnapshotError::Mismatch("BTB size"));
+        }
+        for e in &mut self.btb {
+            e.0 = r.get_u64()?;
+            e.1 = r.get_u64()?;
+        }
+        self.btb_use = r.get_u64()?;
+        self.predictions = r.get_u64()?;
+        self.mispredictions = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,95 @@ impl<S: Sink> Core<S> {
         }
     }
 
+    /// Whether the pipeline holds no in-flight state: nothing fetched,
+    /// nothing in the ROB or MSHRs, no pending branch redirect. This is
+    /// the only state in which the core can be snapshotted — functional
+    /// warm-up never touches the pipeline, so the boundary right after
+    /// [`warm_op`](Self::warm_op) runs qualifies by construction.
+    pub fn is_quiescent(&self) -> bool {
+        self.rob.is_empty()
+            && self.fetch_queue.is_empty()
+            && self.mshr.is_empty()
+            && self.waiting_branch.is_none()
+            && self.lsq_occupancy == 0
+            && self.next_seq == 1
+            && self.fetch_resume_at == Cycle::ZERO
+    }
+
+    /// Writes the learned state (trace generator, predictor, TLBs,
+    /// caches, counters) to a snapshot. Pipeline structures are not
+    /// encoded — the core must be quiescent (see
+    /// [`is_quiescent`](Self::is_quiescent)).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when the core has
+    /// in-flight pipeline state.
+    pub fn save_state(
+        &self,
+        w: &mut simcore::snapshot::SnapshotWriter,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        if !self.is_quiescent() {
+            return Err(simcore::snapshot::SnapshotError::Mismatch(
+                "core pipeline not quiescent (snapshot only valid at the warm boundary)",
+            ));
+        }
+        w.put_u8(self.id.asid());
+        self.gen.save_state(w);
+        self.bp.save_state(w);
+        self.itlb.save_state(w);
+        self.dtlb.save_state(w);
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        w.put_u64(self.last_fetch_block);
+        w.put_u64(self.committed);
+        w.put_cycle(self.window_start);
+        w.put_u64(self.l3_accesses);
+        w.put_u64(self.l3_local_hits);
+        w.put_u64(self.l3_remote_hits);
+        w.put_u64(self.l3_misses);
+        Ok(())
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// freshly constructed (quiescent) core.
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Mismatch`] when this core is
+    /// not quiescent, has a different id, or any component's geometry
+    /// differs from the snapshot.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        use simcore::snapshot::SnapshotError;
+        if !self.is_quiescent() {
+            return Err(SnapshotError::Mismatch(
+                "cannot restore into a core with in-flight pipeline state",
+            ));
+        }
+        if r.get_u8()? != self.id.asid() {
+            return Err(SnapshotError::Mismatch("core id"));
+        }
+        self.gen.load_state(r)?;
+        self.bp.load_state(r)?;
+        self.itlb.load_state(r)?;
+        self.dtlb.load_state(r)?;
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.last_fetch_block = r.get_u64()?;
+        self.committed = r.get_u64()?;
+        self.window_start = r.get_cycle()?;
+        self.l3_accesses = r.get_u64()?;
+        self.l3_local_hits = r.get_u64()?;
+        self.l3_remote_hits = r.get_u64()?;
+        self.l3_misses = r.get_u64()?;
+        Ok(())
+    }
+
     #[inline]
     fn dep_ready(&self, producer: u64, now: Cycle) -> bool {
         if producer == 0 {

@@ -95,6 +95,47 @@ impl Tlb {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Writes the translations, LRU stamps and statistics to a snapshot.
+    /// `BTreeMap` iteration is ordered, so the encoding is canonical.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_usize(self.entries.len());
+        for (&page, &last) in &self.entries {
+            w.put_u64(page);
+            w.put_u64(last);
+        }
+        w.put_u64(self.stamp);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`simcore::snapshot::SnapshotError::Corrupt`] when the entry
+    /// count exceeds this TLB's capacity; decode errors otherwise.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n > self.cfg.entries {
+            return Err(simcore::snapshot::SnapshotError::Mismatch(
+                "TLB entry count exceeds capacity",
+            ));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let page = r.get_u64()?;
+            let last = r.get_u64()?;
+            self.entries.insert(page, last);
+        }
+        self.stamp = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

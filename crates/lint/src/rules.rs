@@ -187,6 +187,7 @@ impl Default for Scopes {
             "crates/cpusim/src/".to_string(),
             "crates/memsim/src/".to_string(),
             "crates/core/src/".to_string(),
+            "crates/campaign/src/".to_string(),
             "src/".to_string(),
         ];
         let mut det_prefixes = sim_prefixes.clone();

@@ -153,6 +153,34 @@ impl MainMemory {
         self.bus_free_at = now;
     }
 
+    /// Writes the bus state and statistics to a snapshot. The timing
+    /// configuration is not encoded: bus occupancy depends only on the
+    /// chunking parameters, so a snapshot may be restored under different
+    /// first-chunk latencies (the latency-axis sharing the campaign
+    /// engine relies on).
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        w.put_cycle(self.bus_free_at);
+        w.put_u64(self.stats.requests);
+        w.put_u64(self.stats.total_queue_delay);
+        w.put_u64(self.stats.busy_cycles);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors from the reader.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        self.bus_free_at = r.get_cycle()?;
+        self.stats.requests = r.get_u64()?;
+        self.stats.total_queue_delay = r.get_u64()?;
+        self.stats.busy_cycles = r.get_u64()?;
+        Ok(())
+    }
+
     /// Statistics since the last reset.
     pub fn stats(&self) -> MemoryStats {
         self.stats

@@ -18,6 +18,8 @@
 //! - [`rng`] — a small, deterministic pseudo-random number generator
 //!   (SplitMix64 seeding a xoshiro256** stream) so that every experiment is
 //!   exactly reproducible from its seed.
+//! - [`snapshot`] — the versioned, checksummed binary codec used to
+//!   persist post-warm-up chip state for the campaign engine.
 //! - [`error`] — the crate-level error type.
 //!
 //! # Example
@@ -38,6 +40,7 @@ pub mod error;
 pub mod invariant;
 pub mod parallel;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod types;
 

@@ -164,6 +164,28 @@ impl SimRng {
             items.swap(i, j);
         }
     }
+
+    /// Writes the generator state to a snapshot.
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        for s in self.state {
+            w.put_u64(s);
+        }
+    }
+
+    /// Restores the generator state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from the reader.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        for s in &mut self.state {
+            *s = r.get_u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

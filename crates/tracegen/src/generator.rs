@@ -191,6 +191,40 @@ impl TraceGenerator {
         self.rng = self.rng.fork(instructions);
     }
 
+    /// Writes the mutable generator state (random stream and region
+    /// cursors) to a snapshot. Profile-derived fields (thresholds,
+    /// spans, branch biases) are reconstructed from the profile and are
+    /// not encoded.
+    pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
+        self.rng.save_state(w);
+        w.put_u64(self.pc_offset);
+        w.put_u64(self.stream_offset);
+        w.put_u64(self.hot_head);
+        w.put_u64(self.hot_loop_pos);
+        w.put_u64(self.shared_head);
+        w.put_u64(self.ops_generated);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// generator built from the same profile.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors from the reader.
+    pub fn load_state(
+        &mut self,
+        r: &mut simcore::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), simcore::snapshot::SnapshotError> {
+        self.rng.load_state(r)?;
+        self.pc_offset = r.get_u64()?;
+        self.stream_offset = r.get_u64()?;
+        self.hot_head = r.get_u64()?;
+        self.hot_loop_pos = r.get_u64()?;
+        self.shared_head = r.get_u64()?;
+        self.ops_generated = r.get_u64()?;
+        Ok(())
+    }
+
     #[inline]
     fn data_address(&mut self) -> Address {
         let r = self.rng.next_f64();

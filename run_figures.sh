@@ -1,25 +1,29 @@
 #!/bin/bash
-# Regenerates every table and figure, capturing output under results/.
+# Regenerates every table and figure. Characterization runs that are not
+# sweep grids (Table 1, the cost model, the single-app Figures 3 and 5,
+# and the ablation/parallel extensions) keep their dedicated binaries;
+# every mix-grid experiment (Figures 6-12, sampling accuracy, the
+# screened capacity sweep) runs through the campaign engine from the
+# committed specs under specs/, one JSONL manifest per spec in
+# results/campaign/.
 #
-# JOBS controls the worker-thread count handed to each figure binary
-# (default: all cores). Results are bit-identical for any JOBS value —
-# the runner in simcore::parallel reassembles cells in index order.
+# JOBS controls the worker-thread count (default: all cores). Manifests
+# and figure outputs are bit-identical for any JOBS value.
 #
-# SAMPLE_SETS (optional) turns on set-sampled simulation: every figure
-# binary gets --sample-sets $SAMPLE_SETS, simulating only 1/2^SAMPLE_SETS
-# of the last-level sets in full detail and charging the rest a
-# calibrated estimate. Figures become approximations with confidence
-# bounds (see DESIGN.md §8) — leave it unset for publication runs.
-# SAMPLE_SETS=0 is full membership and bit-identical to unset.
+# SAMPLE_SETS (optional) turns on set-sampled simulation everywhere:
+# binaries and campaigns get --sample-sets $SAMPLE_SETS, simulating only
+# 1/2^SAMPLE_SETS of the last-level sets in full detail. Figures become
+# approximations with confidence bounds (DESIGN.md §8) — leave it unset
+# for publication runs. SAMPLE_SETS=0 is bit-identical to unset.
 #
-# TRACE and METRICS_OUT (both optional) turn on the telemetry subsystem:
-# each figure binary then writes a per-binary JSONL event trace and/or
-# aggregated metrics document next to its text output. Set them to the
-# literal string "results" to use results/<bin>.trace.jsonl and
-# results/<bin>.metrics.json, or leave them empty to run untraced.
+# TRACE and METRICS_OUT (both optional) turn on telemetry for the
+# characterization binaries: set them to the literal string "results"
+# to write results/<bin>.trace.jsonl / results/<bin>.metrics.json, or
+# leave them empty to run untraced. (Campaign runs emit manifests, not
+# event traces.)
 set -euo pipefail
 cd "$(dirname "$0")"
-mkdir -p results
+mkdir -p results results/campaign
 JOBS="${JOBS:-$(nproc)}"
 TRACE="${TRACE:-}"
 METRICS_OUT="${METRICS_OUT:-}"
@@ -29,8 +33,9 @@ if [ -n "$SAMPLE_SETS" ]; then
     sample+=(--sample-sets "$SAMPLE_SETS")
     echo "set sampling on: 1/2^$SAMPLE_SETS of L3 sets simulated"
 fi
-echo "running figure binaries with --jobs $JOBS"
-for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 shadow_sampling ablations parallel; do
+
+echo "running characterization binaries with --jobs $JOBS"
+for bin in table1 cost_model fig3 fig5 shadow_sampling ablations parallel; do
     echo "=== $bin ==="
     tele=()
     if [ "$TRACE" = "results" ]; then
@@ -48,9 +53,25 @@ for bin in table1 cost_model fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sha
         ${tele[@]+"${tele[@]}"} > "results/$bin.txt" 2>&1
     echo "done: results/$bin.txt"
 done
+
+echo "running campaigns with --jobs $JOBS"
+for spec in specs/paper.toml specs/fig8.toml specs/fig9.toml \
+            specs/fig10.toml specs/sampling.toml specs/sweep.toml; do
+    name="$(basename "$spec" .toml)"
+    echo "=== campaign $name ==="
+    rm -f "results/campaign/$name.jsonl"
+    cargo run --quiet --release --bin nuca-sim -- campaign "$spec" \
+        --jobs "$JOBS" ${sample[@]+"${sample[@]}"} \
+        --out "results/campaign/$name.jsonl" \
+        > "results/campaign/$name.log" 2>&1
+    echo "done: results/campaign/$name.jsonl"
+done
+
 # Refresh the machine-readable perf baseline last (also checks that the
-# parallel pass reproduces the serial pass bit-for-bit).
+# parallel pass reproduces the serial pass bit-for-bit). --repeat takes
+# the median serial wall-clock of three runs so a noisy host does not
+# poison the baseline.
 echo "=== perf ==="
 cargo run --quiet --release -p nuca-bench --bin perf -- --jobs "$JOBS" \
-    ${sample[@]+"${sample[@]}"} > results/perf.txt 2>&1
+    --repeat 3 ${sample[@]+"${sample[@]}"} > results/perf.txt 2>&1
 echo "done: results/perf.txt (baseline: BENCH_baseline.json)"

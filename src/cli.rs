@@ -106,6 +106,13 @@ nuca-sim — simulate a multiprogrammed or parallel workload on a NUCA CMP
 
 USAGE:
     nuca-sim --org <ORGS> (--apps <A,B,C,D> | --parallel <APP:FRAC:KB>) [OPTIONS]
+    nuca-sim campaign <spec.toml> [--out PATH] [--shard K/N] [--resume]
+                      [--jobs N] [--sample-sets K] [--fail-after N]
+    nuca-sim campaign merge <merged.jsonl> <shard.jsonl>...
+
+    The campaign subcommand expands a declarative sweep spec (see
+    specs/*.toml and DESIGN.md) into a cell grid and runs it with
+    warm-state forking, crash-safe sharding and --resume.
 
 REQUIRED:
     --org <ORGS>           comma-separated list drawn from: private |

@@ -6,6 +6,7 @@
 pub mod cli;
 
 pub use cachesim;
+pub use campaign;
 pub use cpusim;
 pub use memsim;
 pub use nuca_core;

@@ -354,3 +354,61 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Campaign snapshot/fork (DESIGN.md §9): functional warm-up, snapshot,
+// restore into a fresh chip, timed run — bit-identical to warming and
+// running straight through, across randomized organizations, latency
+// points and workload mixes. This is the property that lets a campaign
+// pay one warm-up per (machine, mix) and fork it across latency axes.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn snapshot_restore_run_equals_run_through(
+        org_pick in 0u8..4,
+        l2_latency in 9u64..12,
+        l3_shared_latency in 14u64..17,
+        neighbor_extra in 0u64..6,
+        first_chunk_extra in 0u64..81,
+        mix_seed in 1u64..1_000,
+        seed in 1u64..1_000,
+    ) {
+        use nuca_repro::nuca_core::cmp::Cmp;
+        use nuca_repro::nuca_core::l3::Organization;
+        use nuca_repro::simcore::config::MachineConfig;
+        use nuca_repro::tracegen::spec::SpecApp;
+        use nuca_repro::tracegen::workload::WorkloadPool;
+
+        let org = match org_pick {
+            0 => Organization::Private,
+            1 => Organization::Shared,
+            2 => Organization::adaptive(),
+            _ => Organization::Cooperative { seed: 7 },
+        };
+        let mut cfg = MachineConfig::baseline();
+        cfg.l2 = cfg.l2.with_latency(l2_latency);
+        cfg.l3.shared = cfg.l3.shared.with_latency(l3_shared_latency);
+        cfg.l3.neighbor_latency = 19 + neighbor_extra;
+        cfg.memory.first_chunk_private = 258 + first_chunk_extra;
+        cfg.memory.first_chunk_shared = 260 + first_chunk_extra;
+        let mix = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), 4, 1, mix_seed)
+            .pop()
+            .unwrap();
+
+        let mut through = Cmp::new(&cfg, org, &mix, seed).unwrap();
+        through.warm(4_000);
+        let bytes = through.save_chip_state().unwrap();
+
+        let mut forked = Cmp::new(&cfg, org, &mix, seed).unwrap();
+        forked.load_chip_state(&bytes).unwrap();
+
+        let finish = |cmp: &mut Cmp| {
+            cmp.run(2_000);
+            cmp.reset_stats();
+            cmp.run(4_000);
+            cmp.snapshot()
+        };
+        prop_assert_eq!(finish(&mut through), finish(&mut forked));
+    }
+}
