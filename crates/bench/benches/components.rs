@@ -360,6 +360,33 @@ fn bench_cycle_skip(c: &mut Criterion) {
     }
 }
 
+fn bench_functional_window(c: &mut Criterion) {
+    // The functional-warming gap engine against the detailed run loop
+    // on the same warmed chip and the same 20k-cycle window: the gap
+    // between `functional_window` and `cmp_run_window_skip` (above) is
+    // what each cycle of time-sampling gap buys over detailed
+    // simulation.
+    let cfg = MachineConfig::baseline();
+    let mix = Mix {
+        apps: vec![SpecApp::Ammp, SpecApp::Mcf, SpecApp::Swim, SpecApp::Applu],
+        forwards: vec![0; 4],
+    };
+    c.bench_function("functional_window", |b| {
+        b.iter_batched(
+            || {
+                let mut cmp = Cmp::new(&cfg, Organization::Shared, &mix, 42).unwrap();
+                cmp.warm(2_000);
+                cmp
+            },
+            |mut cmp| {
+                cmp.run_functional(20_000);
+                cmp.now()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 criterion_group!(
     benches,
     bench_lru_stack,
@@ -373,6 +400,7 @@ criterion_group!(
     bench_core_cycle,
     bench_swar_probe,
     bench_l3_batch,
-    bench_cycle_skip
+    bench_cycle_skip,
+    bench_functional_window
 );
 criterion_main!(benches);

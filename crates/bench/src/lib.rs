@@ -47,7 +47,9 @@ pub fn experiment_config() -> ExperimentConfig {
         Some(pct) if pct > 0 && pct != 100 => base.scaled(pct, 100),
         _ => base,
     };
-    base.with_jobs(jobs()).with_sample_sets(sample_sets())
+    base.with_jobs(jobs())
+        .with_sample_sets(sample_sets())
+        .with_time_sample(time_sample())
 }
 
 /// Worker-thread count for simulation grids: `--jobs N` on the command
@@ -90,6 +92,41 @@ pub fn sample_sets() -> Option<u32> {
         std::env::var("NUCA_BENCH_SAMPLE_SETS")
             .ok()
             .and_then(|s| s.parse::<u32>().ok())
+    })
+}
+
+/// Time-sampling schedule for simulation grids: `--time-sample D:G` on
+/// the command line (D detailed cycles alternating with G functionally
+/// warmed cycles) beats `NUCA_BENCH_TIME_SAMPLE`; absent both, every
+/// cycle is simulated in detail. A zero gap (`D:0`) is byte-identical
+/// to no time sampling. Shared by every figure binary and `perf`, like
+/// [`jobs`] and [`sample_sets`]. Malformed schedules — including `0:G`,
+/// which has no detailed cycles to measure IPC from — are ignored like
+/// any other malformed bench flag, leaving the run at full detail.
+pub fn time_sample() -> Option<(u64, u64)> {
+    fn parse(v: &str) -> Option<(u64, u64)> {
+        let (d, g) = v.split_once(':')?;
+        let d = d.trim().parse::<u64>().ok()?;
+        let g = g.trim().parse::<u64>().ok()?;
+        if d == 0 && g > 0 {
+            return None;
+        }
+        Some((d, g))
+    }
+    let mut argv = std::env::args().skip(1);
+    let mut requested = None;
+    while let Some(arg) = argv.next() {
+        if arg == "--time-sample" {
+            requested = argv.next().as_deref().and_then(parse);
+        } else if let Some(v) = arg.strip_prefix("--time-sample=") {
+            requested = parse(v);
+        }
+    }
+    requested.or_else(|| {
+        std::env::var("NUCA_BENCH_TIME_SAMPLE")
+            .ok()
+            .as_deref()
+            .and_then(parse)
     })
 }
 

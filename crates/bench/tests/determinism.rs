@@ -26,6 +26,7 @@ fn tiny() -> ExperimentConfig {
         jobs: 1,
         cycle_skip: true,
         sample_shift: None,
+        time_sample: None,
     }
 }
 

@@ -193,7 +193,6 @@ impl Cache {
     pub fn fill(&mut self, addr: Address, dirty: bool, owner: CoreId) -> Option<EvictedBlock> {
         let blk = addr.block(self.geom.offset_bits());
         let set = self.set_index(addr);
-        let base = set * self.ways;
 
         // Already present: refresh.
         if let Some(w) = self.find(set, blk) {
@@ -201,6 +200,48 @@ impl Cache {
             self.lru[set].touch(w as u8);
             return None;
         }
+        self.install_absent(set, blk, dirty, owner)
+    }
+
+    /// Fused access-plus-allocate for latency-free (functional) paths: one
+    /// set walk answers the lookup, and a miss installs the block as MRU
+    /// immediately. Bit-identical to [`access`](Self::access) followed by
+    /// [`fill`](Self::fill) with nothing touching this cache in between —
+    /// the hit path is `access`'s hit path, the miss path skips `fill`'s
+    /// redundant re-probe and goes straight to the install.
+    pub fn access_fill(
+        &mut self,
+        addr: Address,
+        write: bool,
+        owner: CoreId,
+    ) -> (Lookup, Option<EvictedBlock>) {
+        let blk = addr.block(self.geom.offset_bits());
+        let set = self.set_index(addr);
+        if let Some(w) = self.find(set, blk) {
+            let was_lru = self.lru[set].is_lru(w as u8);
+            self.lru[set].touch(w as u8);
+            if write {
+                self.dirty[set] |= 1 << w;
+            }
+            self.stats.hits += 1;
+            return (Lookup::Hit { was_lru }, None);
+        }
+        self.stats.misses += 1;
+        (Lookup::Miss, self.install_absent(set, blk, write, owner))
+    }
+
+    /// Installs a block known to be absent from `set`, evicting the LRU
+    /// block if the set is full. The install half of [`fill`](Self::fill),
+    /// shared with [`access_fill`](Self::access_fill).
+    #[inline]
+    fn install_absent(
+        &mut self,
+        set: usize,
+        blk: BlockAddr,
+        dirty: bool,
+        owner: CoreId,
+    ) -> Option<EvictedBlock> {
+        let base = set * self.ways;
         // Free way?
         let full_mask = ((1u64 << self.ways) - 1) as u32;
         let free = !self.valid[set] & full_mask;
@@ -586,6 +627,40 @@ mod tests {
         let ev = c.fill(Address::new(16 * 1024), false, c0()).unwrap();
         assert_eq!(ev.addr, Address::new(1024).block(6), "oldest untouched");
         assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn access_fill_matches_access_then_fill() {
+        // The fused entry must evolve tags, recency, dirty bits, digests
+        // and statistics exactly like the two-call sequence, hit or miss.
+        use simcore::rng::SimRng;
+        let mut rng = SimRng::seed_from(42);
+        let mut fused = Cache::new(CacheGeometry::new(4096, 4, 64, 1).unwrap());
+        let mut split = Cache::new(CacheGeometry::new(4096, 4, 64, 1).unwrap());
+        for _ in 0..20_000 {
+            let a = Address::new(rng.below(1 << 13));
+            let write = rng.chance(0.3);
+            let owner = CoreId::from_index((rng.below(4)) as u8);
+            let (lookup_f, ev_f) = fused.access_fill(a, write, owner);
+            let lookup_s = split.access(a, write, owner);
+            let ev_s = if lookup_s.is_hit() {
+                None
+            } else {
+                split.fill(a, write, owner)
+            };
+            assert_eq!(lookup_f, lookup_s);
+            assert_eq!(ev_f, ev_s);
+        }
+        assert_eq!(fused.stats(), split.stats());
+        assert_eq!(fused.writebacks(), split.writebacks());
+        assert_eq!(fused.resident_blocks(), split.resident_blocks());
+        assert!(fused.check_invariants());
+        // Spot-check identical residency.
+        for i in 0..(1u64 << 7) {
+            let a = Address::new(i * 64);
+            assert_eq!(fused.probe(a), split.probe(a));
+            assert_eq!(fused.owner_of(a), split.owner_of(a));
+        }
     }
 
     #[test]

@@ -146,6 +146,15 @@ impl MshrFile {
         self.entries.retain(|e| e.ready_at > now);
     }
 
+    /// Drops every outstanding fill without completing it — used when the
+    /// time-sampling scheduler abandons pipeline timing at a window
+    /// boundary (the blocks themselves were installed state-wise when the
+    /// misses issued; only their completion times die here). Lifetime
+    /// statistics are kept.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Removes and returns the blocks whose fills have completed by `now`,
     /// in completion order.
     pub fn drain_ready(&mut self, now: Cycle) -> Vec<BlockAddr> {
@@ -242,6 +251,22 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_panics() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn clear_drops_fills_but_keeps_stats() {
+        let mut m = MshrFile::new(4);
+        m.request(BlockAddr::new(1), Cycle::new(30));
+        m.request(BlockAddr::new(2), Cycle::new(10));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.next_completion(), None);
+        assert_eq!(m.stats().allocations, 2);
+        // The file is immediately reusable.
+        assert_eq!(
+            m.request(BlockAddr::new(1), Cycle::new(50)),
+            MshrOutcome::Allocated
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!
 //! ```text
 //! nuca-sim campaign <spec.toml> [--out PATH] [--shard K/N] [--resume]
-//!                   [--jobs N] [--sample-sets K] [--fail-after N]
+//!                   [--jobs N] [--sample-sets K] [--time-sample D:G]
+//!                   [--fail-after N]
 //! nuca-sim campaign merge <merged.jsonl> <shard.jsonl>...
 //! ```
 //!
@@ -31,8 +32,8 @@ pub const EXIT_USAGE: i32 = 2;
 
 /// One-line usage summary, printed on argument errors.
 pub const USAGE: &str = "usage: nuca-sim campaign <spec.toml> [--out PATH] [--shard K/N] \
-[--resume] [--jobs N] [--sample-sets K] [--fail-after N]\n   or: nuca-sim campaign merge \
-<merged.jsonl> <shard.jsonl>...";
+[--resume] [--jobs N] [--sample-sets K] [--time-sample D:G] [--fail-after N]\n   or: \
+nuca-sim campaign merge <merged.jsonl> <shard.jsonl>...";
 
 /// Runs the `campaign` subcommand. `args` is everything after the
 /// `campaign` word; every line of output goes through `print`.
@@ -82,6 +83,7 @@ struct Parsed {
     spec_path: String,
     opts: RunOptions,
     sample_override: Option<u32>,
+    time_override: Option<crate::spec::TsPair>,
 }
 
 fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, CampaignError> {
@@ -96,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, CampaignError> {
         spec_path: String::new(),
         opts: RunOptions::default(),
         sample_override: None,
+        time_override: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -125,6 +128,23 @@ fn parse_args(args: &[String]) -> Result<Parsed, CampaignError> {
             }
             "--sample-sets" => {
                 parsed.sample_override = Some(parse_u64("--sample-sets", it.next())? as u32);
+            }
+            "--time-sample" => {
+                let v = it.next().ok_or_else(|| {
+                    CampaignError::Config("--time-sample needs detail:gap".to_string())
+                })?;
+                let pair = crate::spec::TsPair::parse(v).ok_or_else(|| {
+                    CampaignError::Config(format!(
+                        "--time-sample {v}: want detail:gap cycle counts, e.g. 10000:40000"
+                    ))
+                })?;
+                if pair.detail == 0 && pair.gap > 0 {
+                    return Err(CampaignError::Config(format!(
+                        "--time-sample {v}: detail must be > 0 when gap > 0 \
+                         (no detailed cycles to measure IPC from)"
+                    )));
+                }
+                parsed.time_override = Some(pair);
             }
             _ if arg.starts_with("--") => {
                 return Err(CampaignError::Config(format!("unknown flag {arg}")));
@@ -170,6 +190,9 @@ fn campaign_command(args: &[String], print: &mut dyn FnMut(&str)) -> i32 {
     };
     if let Some(shift) = parsed.sample_override {
         spec.axes.sample_shift = vec![shift];
+    }
+    if let Some(pair) = parsed.time_override {
+        spec.axes.time_sample = vec![pair];
     }
     let (k, n) = parsed.opts.shard;
     print(&format!(
@@ -279,6 +302,8 @@ mod tests {
             "7",
             "--sample-sets",
             "4",
+            "--time-sample",
+            "10000:40000",
         ]))
         .unwrap();
         assert_eq!(parsed.spec_path, "s.toml");
@@ -288,6 +313,22 @@ mod tests {
         assert_eq!(parsed.opts.jobs, 3);
         assert_eq!(parsed.opts.fail_after, Some(7));
         assert_eq!(parsed.sample_override, Some(4));
+        let pair = parsed.time_override.unwrap();
+        assert_eq!((pair.detail, pair.gap), (10_000, 40_000));
+    }
+
+    #[test]
+    fn time_sample_override_rejects_empty_windows() {
+        let err = match parse_args(&strings(&["s.toml", "--time-sample", "0:500"])) {
+            Err(e) => e,
+            Ok(_) => panic!("0:500 must be rejected"),
+        };
+        assert!(err.to_string().contains("detail must be > 0"));
+        let err = match parse_args(&strings(&["s.toml", "--time-sample", "10000/40000"])) {
+            Err(e) => e,
+            Ok(_) => panic!("10000/40000 must be rejected"),
+        };
+        assert!(err.to_string().contains("detail:gap"));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! The grid is the cartesian product of the axes in declaration order —
 //! organization, `l3_mb`, `l3_assoc`, `l3_latency`, `l2_latency`,
-//! `mem_latency`, `mix_seed`, `sample_shift` — with the mix index
-//! innermost, so cell N always means the same point for a given spec.
+//! `mem_latency`, `mix_seed`, `sample_shift`, `time_sample` — with the
+//! mix index innermost, so cell N always means the same point for a
+//! given spec.
 //!
 //! # Warm fingerprint
 //!
@@ -18,7 +19,9 @@
 //! organization's structural identity, the sampling shift, the mix and
 //! the seeds. Cells that differ only in latency axes share one warm-up
 //! and fork the snapshot, which is where the campaign engine's speedup
-//! comes from.
+//! comes from. The `time_sample` axis is likewise excluded: warm-up is
+//! functional, so the post-warm state cannot depend on how the *timed*
+//! phase will be sampled.
 
 use nuca_core::engine::AdaptiveParams;
 use nuca_core::l3::Organization;
@@ -27,7 +30,7 @@ use simcore::snapshot::fnv1a64;
 use tracegen::spec::SpecApp;
 use tracegen::workload::{Mix, WorkloadPool};
 
-use crate::spec::{CampaignSpec, LatPair, OrgKind, PoolKind};
+use crate::spec::{CampaignSpec, LatPair, OrgKind, PoolKind, TsPair};
 use crate::CampaignError;
 
 /// One point of the expanded grid. Axis values are echoed verbatim so
@@ -54,6 +57,8 @@ pub struct Cell {
     pub mix_index: usize,
     /// Set-sampling shift (`0` = off).
     pub sample_shift: u32,
+    /// Time-sampling schedule (`0:0` = off).
+    pub time_sample: TsPair,
 }
 
 impl CampaignSpec {
@@ -69,19 +74,22 @@ impl CampaignSpec {
                             for &mem_latency in &a.mem_latency {
                                 for &mix_seed in &a.mix_seed {
                                     for &sample_shift in &a.sample_shift {
-                                        for mix_index in 0..self.mixes {
-                                            cells.push(Cell {
-                                                index: cells.len(),
-                                                org,
-                                                l3_mb,
-                                                l3_assoc,
-                                                l3_latency,
-                                                l2_latency,
-                                                mem_latency,
-                                                mix_seed,
-                                                mix_index,
-                                                sample_shift,
-                                            });
+                                        for &time_sample in &a.time_sample {
+                                            for mix_index in 0..self.mixes {
+                                                cells.push(Cell {
+                                                    index: cells.len(),
+                                                    org,
+                                                    l3_mb,
+                                                    l3_assoc,
+                                                    l3_latency,
+                                                    l2_latency,
+                                                    mem_latency,
+                                                    mix_seed,
+                                                    mix_index,
+                                                    sample_shift,
+                                                    time_sample,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -259,6 +267,24 @@ mod tests {
         let cells = spec.cells();
         let m = machine_for(&cells[0]).unwrap();
         assert_eq!(m.l3.sample_shift, Some(3));
+    }
+
+    #[test]
+    fn time_sample_axis_reaches_the_cells() {
+        let mut spec = two_by_two();
+        spec.axes.time_sample = vec![
+            TsPair { detail: 0, gap: 0 },
+            TsPair {
+                detail: 5_000,
+                gap: 20_000,
+            },
+        ];
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2, "time_sample doubles the grid");
+        // The time_sample axis sits between sample_shift and mix_index.
+        assert_eq!(cells[0].time_sample.to_config(), None);
+        assert_eq!(cells[2].time_sample.to_config(), Some((5_000, 20_000)));
+        assert_eq!(cells[2].mix_index, 0);
     }
 
     #[test]

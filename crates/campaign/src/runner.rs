@@ -420,6 +420,9 @@ fn run_one(
         })?;
     let mut cmp = Cmp::new(&p.machine, p.org, &p.mix, spec.seed)?;
     cmp.load_chip_state(bytes)?;
+    if let Some((detail, gap)) = p.cell.time_sample.to_config() {
+        cmp.set_time_sample(detail, gap);
+    }
     cmp.run(spec.warmup_cycles);
     cmp.reset_stats();
     cmp.run(spec.measure_cycles);
@@ -463,6 +466,10 @@ fn axis_fields(cell: &Cell, mix_label: &str, status: &str) -> Vec<(String, Json)
             "sample_shift".to_string(),
             Json::num(f64::from(cell.sample_shift)),
         ),
+        (
+            "time_sample".to_string(),
+            Json::str(cell.time_sample.render()),
+        ),
         ("mix".to_string(), Json::str(mix_label)),
     ]
 }
@@ -492,6 +499,30 @@ fn done_line(cell: &Cell, mix_label: &str, result: &CmpResult) -> String {
         fields.push((
             "quotas".to_string(),
             Json::Arr(quotas.iter().map(|&q| Json::num(f64::from(q))).collect()),
+        ));
+    }
+    if let Some(t) = &result.time_sampling {
+        fields.push((
+            "time_sampling".to_string(),
+            Json::Obj(vec![
+                ("detail".to_string(), Json::num(t.detail as f64)),
+                ("gap".to_string(), Json::num(t.gap as f64)),
+                ("windows".to_string(), Json::num(t.windows as f64)),
+                (
+                    "detailed_cycles".to_string(),
+                    Json::num(t.detailed_cycles as f64),
+                ),
+                (
+                    "functional_cycles".to_string(),
+                    Json::num(t.functional_cycles as f64),
+                ),
+                (
+                    "mean_window_hmean_ipc".to_string(),
+                    Json::num(t.mean_window_hmean_ipc),
+                ),
+                ("std_error".to_string(), Json::num(t.hmean_ipc_std_error)),
+                ("relative_ci95".to_string(), Json::num(t.relative_ci95)),
+            ]),
         ));
     }
     if let Some(s) = &result.sampling {

@@ -25,6 +25,7 @@
 //! mem_latency = ["258/260"]
 //! mix_seed = [2007]
 //! sample_shift = [0]
+//! time_sample = ["0:0"]
 //! ```
 //!
 //! Every axis is optional and defaults to the Table 1 baseline; the
@@ -118,6 +119,45 @@ impl LatPair {
     }
 }
 
+/// A `detail:gap` time-sampling schedule, spelled `"20000:80000"` in
+/// specs. `0:0` turns time sampling off (full-detail simulation); a
+/// zero gap with a non-zero detail is also full detail by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsPair {
+    /// Cycles simulated in detail per window.
+    pub detail: u64,
+    /// Functionally warmed cycles between windows.
+    pub gap: u64,
+}
+
+impl TsPair {
+    /// The spec-file spelling, `detail:gap`.
+    pub fn render(self) -> String {
+        format!("{}:{}", self.detail, self.gap)
+    }
+
+    /// The [`nuca_core::experiment::ExperimentConfig::time_sample`]
+    /// value this axis point selects (`None` when sampling is off).
+    pub fn to_config(self) -> Option<(u64, u64)> {
+        if self.gap == 0 {
+            None
+        } else {
+            Some((self.detail, self.gap))
+        }
+    }
+
+    /// Parses the `detail:gap` spelling (used by the spec axis and the
+    /// `--time-sample` command-line override). Schedule *validity*
+    /// (`detail > 0` whenever `gap > 0`) is the spec validator's job.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (d, g) = s.split_once(':')?;
+        Some(TsPair {
+            detail: d.trim().parse().ok()?,
+            gap: g.trim().parse().ok()?,
+        })
+    }
+}
+
 /// The sweep axes; each `Vec` is one dimension of the cartesian grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Axes {
@@ -139,6 +179,9 @@ pub struct Axes {
     pub mix_seed: Vec<u64>,
     /// Set-sampling shifts (`0` = full-detail simulation).
     pub sample_shift: Vec<u32>,
+    /// Time-sampling schedules as `detail:gap` pairs (`0:0` = every
+    /// cycle simulated in detail).
+    pub time_sample: Vec<TsPair>,
 }
 
 impl Default for Axes {
@@ -158,6 +201,7 @@ impl Default for Axes {
             }],
             mix_seed: vec![2007],
             sample_shift: vec![0],
+            time_sample: vec![TsPair { detail: 0, gap: 0 }],
         }
     }
 }
@@ -456,6 +500,31 @@ fn lat_axis(e: &RawEntry) -> Result<Vec<LatPair>, CampaignError> {
         .collect()
 }
 
+fn ts_axis(e: &RawEntry) -> Result<Vec<TsPair>, CampaignError> {
+    as_arr(e)?
+        .iter()
+        .map(|v| match v {
+            RawValue::Str(s) => TsPair::parse(s).ok_or_else(|| {
+                err(
+                    e.line,
+                    format!(
+                        "axis `{}` holds \"detail:gap\" schedule pairs, got \"{s}\"",
+                        e.key
+                    ),
+                )
+            }),
+            other => Err(err(
+                e.line,
+                format!(
+                    "axis `{}` holds \"detail:gap\" strings, got {}",
+                    e.key,
+                    other.kind()
+                ),
+            )),
+        })
+        .collect()
+}
+
 impl CampaignSpec {
     /// Parses a spec from text.
     ///
@@ -553,6 +622,7 @@ impl CampaignSpec {
                 "sample_shift" => {
                     self.axes.sample_shift = int_axis(e)?.into_iter().map(|v| v as u32).collect();
                 }
+                "time_sample" => self.axes.time_sample = ts_axis(e)?,
                 other => return Err(err(e.line, format!("unknown [axes] key `{other}`"))),
             }
         }
@@ -579,6 +649,7 @@ impl CampaignSpec {
             || a.mem_latency.is_empty()
             || a.mix_seed.is_empty()
             || a.sample_shift.is_empty()
+            || a.time_sample.is_empty()
         {
             return bad("every axis needs at least one value".to_string());
         }
@@ -587,6 +658,11 @@ impl CampaignSpec {
         }
         if a.l3_assoc.contains(&0) {
             return bad("`l3_assoc` values must be at least 1".to_string());
+        }
+        if a.time_sample.iter().any(|t| t.detail == 0 && t.gap > 0) {
+            return bad("`time_sample` schedules need detail > 0 when gap > 0 \
+                 (there would be no detailed windows to measure from)"
+                .to_string());
         }
         Ok(())
     }
@@ -663,6 +739,16 @@ impl CampaignSpec {
                     .collect::<Vec<_>>()
             )
         );
+        let _ = writeln!(
+            out,
+            "time_sample = [{}]",
+            self.axes
+                .time_sample
+                .iter()
+                .map(|t| format!("\"{}\"", t.render()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         out
     }
 }
@@ -689,6 +775,7 @@ l3_mb = [4, 8]
 l3_latency = ["14/19", "16/24"]
 mem_latency = ["258/260"]
 sample_shift = [0, 4]
+time_sample = ["0:0", "20000:80000"]
 "#;
 
     #[test]
@@ -721,6 +808,18 @@ sample_shift = [0, 4]
             ]
         );
         assert_eq!(spec.axes.sample_shift, vec![0, 4]);
+        assert_eq!(
+            spec.axes.time_sample,
+            vec![
+                TsPair { detail: 0, gap: 0 },
+                TsPair {
+                    detail: 20_000,
+                    gap: 80_000
+                }
+            ]
+        );
+        assert_eq!(spec.axes.time_sample[0].to_config(), None);
+        assert_eq!(spec.axes.time_sample[1].to_config(), Some((20_000, 80_000)));
     }
 
     #[test]
@@ -771,6 +870,14 @@ sample_shift = [0, 4]
         expect_err(
             "[campaign]\n[axes]\nl3_latency = [\"14:19\"]\n",
             "latency pairs",
+        );
+        expect_err(
+            "[campaign]\n[axes]\ntime_sample = [\"14/19\"]\n",
+            "schedule pairs",
+        );
+        expect_err(
+            "[campaign]\n[axes]\ntime_sample = [\"0:500\"]\n",
+            "detail > 0",
         );
         expect_err("[campaign]\n[axes]\nl3_mb = []\n", "must not be empty");
         expect_err("[campaign]\n[axes]\nl3_mb = [1,\n2]\n", "one line");

@@ -19,11 +19,36 @@ use simcore::invariant::{Invariant, Violation};
 use simcore::rng::SimRng;
 use simcore::stats::{arithmetic_mean, harmonic_mean};
 use simcore::types::{CoreId, Cycle};
-use telemetry::{NullSink, Sink};
+use telemetry::{Event, NullSink, Sink};
 use tracegen::workload::Mix;
 use tracegen::TraceGenerator;
 
 use crate::l3::{L3System, Organization, SamplingReport};
+
+/// SMARTS-style accuracy summary of a time-sampled run: what fraction of
+/// time ran detailed, how many paired measurements the estimate rests
+/// on, and the confidence interval those measurements imply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSamplingReport {
+    /// Detailed-window length in cycles.
+    pub detail: u64,
+    /// Functional-warming gap length in cycles.
+    pub gap: u64,
+    /// Full-length detailed windows measured (partial tail windows feed
+    /// the IPC estimate but not the window-to-window error bound).
+    pub windows: u64,
+    /// Cycles simulated in detail since the last stats reset.
+    pub detailed_cycles: u64,
+    /// Cycles covered by functional warming since the last stats reset.
+    pub functional_cycles: u64,
+    /// Mean per-window hmean IPC over the full windows.
+    pub mean_window_hmean_ipc: f64,
+    /// Standard error of that mean (0 with fewer than two windows).
+    pub hmean_ipc_std_error: f64,
+    /// Relative half-width of the 95 % confidence interval:
+    /// `1.96 · SE / mean` (the SMARTS reporting convention).
+    pub relative_ci95: f64,
+}
 
 /// Results of one measurement window on a [`Cmp`].
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +67,9 @@ pub struct CmpResult {
     pub quotas: Option<Vec<u32>>,
     /// Set-sampling accuracy summary, when the run was set-sampled.
     pub sampling: Option<SamplingReport>,
+    /// Time-sampling accuracy summary, when the run was time-sampled
+    /// (`None` for full-detail runs, including `--time-sample d:0`).
+    pub time_sampling: Option<TimeSamplingReport>,
 }
 
 impl CmpResult {
@@ -77,6 +105,75 @@ pub struct Cmp<S: Sink = NullSink> {
     /// survives other cores' activity; cleared whenever a core goes
     /// active (0 is always stale) and at the top of [`Cmp::run`].
     idle_wake: Vec<u64>,
+    /// `Some((detail, gap))` when [`Cmp::run`] time-samples: alternate
+    /// `detail` cycle-accurate cycles with `gap` functionally-warmed
+    /// cycles. `None` (the default, and any 0-gap request) runs every
+    /// cycle in detail.
+    time_sample: Option<(u64, u64)>,
+    /// Detailed-window measurement accumulators for the SMARTS estimate.
+    ts: TsAccum,
+    /// The chip-level telemetry sink (window-boundary events; cores and
+    /// the organization carry their own clones).
+    sink: S,
+}
+
+/// Per-window accumulators of a time-sampled run. Reset with the
+/// statistics window; scratch vectors are allocated once at build time.
+#[derive(Debug, Clone, Default)]
+struct TsAccum {
+    /// Full detailed windows measured.
+    windows: u64,
+    /// Running sum of per-window hmean IPC over full windows.
+    sum: f64,
+    /// Running sum of squares (for the standard error).
+    sumsq: f64,
+    /// Total cycles run in detail.
+    detailed_cycles: u64,
+    /// Total cycles covered functionally.
+    functional_cycles: u64,
+    /// Per-core instructions committed inside detailed windows.
+    core_committed: Vec<u64>,
+    /// Scratch: per-core committed count at the current window's start.
+    window_base: Vec<u64>,
+    /// Scratch: per-core IPC of the current window.
+    window_ipc: Vec<f64>,
+    /// Gap retirement pacing, as the exact rational `pace_num[i] /
+    /// pace_den` instructions per cycle: the last detailed window's
+    /// per-core committed count (floored at one, so a fully stalled
+    /// window cannot starve the generator stream) over its span. The
+    /// functional gap retires by Bresenham accumulation against these,
+    /// so each core advances its instruction stream at the density the
+    /// detailed model just measured — integer math only, deterministic.
+    pace_num: Vec<u64>,
+    /// Denominator of the pacing rational: the last window's span.
+    pace_den: u64,
+    /// Per-core Bresenham credit carried across gap cycles.
+    pace_acc: Vec<u64>,
+}
+
+impl TsAccum {
+    fn for_cores(cores: usize) -> Self {
+        TsAccum {
+            core_committed: vec![0; cores],
+            window_base: vec![0; cores],
+            window_ipc: vec![0.0; cores],
+            pace_num: vec![0; cores],
+            pace_acc: vec![0; cores],
+            ..TsAccum::default()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.windows = 0;
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+        self.detailed_cycles = 0;
+        self.functional_cycles = 0;
+        self.core_committed.fill(0);
+        self.pace_num.fill(0);
+        self.pace_den = 0;
+        self.pace_acc.fill(0);
+    }
 }
 
 impl Cmp {
@@ -173,13 +270,18 @@ impl<S: Sink> Cmp<S> {
             })
             .collect();
         let idle_wake = vec![0; cores.len()];
+        let ts = TsAccum::for_cores(cores.len());
+        let l3 = L3System::build_with_sink(org, cfg, sink.clone())?;
         Ok(Cmp {
             cores,
-            l3: L3System::build_with_sink(org, cfg, sink)?,
+            l3,
             now: Cycle::ZERO,
             window_start: Cycle::ZERO,
             cycle_skip: true,
             idle_wake,
+            time_sample: None,
+            ts,
+            sink,
         })
     }
 
@@ -194,6 +296,23 @@ impl<S: Sink> Cmp<S> {
     /// Whether [`run`](Self::run) uses the event-driven fast path.
     pub fn cycle_skip(&self) -> bool {
         self.cycle_skip
+    }
+
+    /// Configures SMARTS-style time sampling: [`run`](Self::run)
+    /// alternates `detail` cycle-accurate cycles with `gap` functionally
+    /// warmed cycles. A zero `gap` turns sampling off — the run is then
+    /// byte-identical to an unconfigured chip, and
+    /// [`snapshot`](Self::snapshot) carries no
+    /// [`TimeSamplingReport`]. Callers validate `detail > 0`; a zero
+    /// detail with a nonzero gap would measure nothing.
+    pub fn set_time_sample(&mut self, detail: u64, gap: u64) {
+        debug_assert!(gap == 0 || detail > 0, "time sampling needs detail > 0");
+        self.time_sample = if gap == 0 { None } else { Some((detail, gap)) };
+    }
+
+    /// The active `(detail, gap)` time-sampling configuration, if any.
+    pub fn time_sample(&self) -> Option<(u64, u64)> {
+        self.time_sample
     }
 
     /// The current simulated time.
@@ -227,7 +346,21 @@ impl<S: Sink> Cmp<S> {
     /// from `now` and committed counts), 2000-miss re-evaluation
     /// boundaries (miss-driven, and misses only happen on stepped
     /// cycles) and traces are identical to the stepping loop.
+    /// With time sampling configured (see
+    /// [`set_time_sample`](Self::set_time_sample)), the run instead
+    /// alternates detailed windows — this same event-driven path — with
+    /// functional-warming gaps, estimating IPC from the detailed windows
+    /// only. The window schedule restarts at every `run` call.
     pub fn run(&mut self, cycles: u64) {
+        match self.time_sample {
+            Some((detail, gap)) => self.run_time_sampled(cycles, detail, gap),
+            None => self.run_detailed(cycles),
+        }
+    }
+
+    /// The cycle-accurate run loop (see [`run`](Self::run) for the
+    /// event-skip semantics).
+    fn run_detailed(&mut self, cycles: u64) {
         let target = self.now + cycles;
         if !self.cycle_skip {
             while self.now < target {
@@ -247,6 +380,90 @@ impl<S: Sink> Cmp<S> {
                 Some(wake) => self.now = wake.min(target),
                 None => self.step(),
             }
+        }
+    }
+
+    /// The SMARTS window scheduler: run `detail` cycles in full detail,
+    /// measure the window, functionally retire whatever is still in
+    /// flight, warm `gap` cycles with retirement credit-paced at each
+    /// core's just-measured window IPC, repeat. Pacing the gap at the
+    /// detailed model's own instruction density — rather than a flat
+    /// one instruction per core per cycle like [`warm`](Self::warm) —
+    /// keeps functional time honest (a stall-heavy core's stream does
+    /// not race ahead of where detailed simulation would have taken it)
+    /// and keeps a gap cycle cheaper than the detailed cycle it
+    /// replaces. Cache, TLB, predictor, shadow-tag and quota state stay
+    /// warm through the gaps — Algorithm 1 keeps re-evaluating on the
+    /// real miss stream (adaptation is *not* frozen, unlike
+    /// [`warm`](Self::warm)) — while IPC is estimated from the detailed
+    /// windows alone.
+    fn run_time_sampled(&mut self, cycles: u64, detail: u64, gap: u64) {
+        let target = self.now + cycles;
+        while self.now < target {
+            let span = detail.min(target.since(self.now));
+            for (base, core) in self.ts.window_base.iter_mut().zip(&self.cores) {
+                *base = core.committed();
+            }
+            self.run_detailed(span);
+            self.note_detailed_window(span, span == detail);
+            if self.now >= target {
+                break;
+            }
+            self.emit_window_boundary(true);
+            self.drain_pipelines();
+            let g = gap.min(target.since(self.now));
+            self.run_functional_paced(g);
+            self.ts.functional_cycles += g;
+            self.emit_window_boundary(false);
+        }
+    }
+
+    /// Folds one finished detailed window into the sampling accumulators.
+    /// Partial (tail) windows feed the pooled IPC estimate; only
+    /// full-length windows enter the paired-measurement error bound.
+    fn note_detailed_window(&mut self, span: u64, full: bool) {
+        self.ts.detailed_cycles += span;
+        for (i, core) in self.cores.iter().enumerate() {
+            let delta = core.committed() - self.ts.window_base[i];
+            self.ts.core_committed[i] += delta;
+            self.ts.window_ipc[i] = if span == 0 {
+                0.0
+            } else {
+                delta as f64 / span as f64
+            };
+        }
+        if span > 0 {
+            // Re-arm gap pacing from this window: `max(delta, 1)`
+            // instructions per `span` cycles per core (the floor keeps a
+            // fully stalled window from freezing the stream entirely).
+            for (i, core) in self.cores.iter().enumerate() {
+                let delta = core.committed() - self.ts.window_base[i];
+                self.ts.pace_num[i] = delta.max(1);
+            }
+            self.ts.pace_den = span;
+        }
+        if full && span > 0 {
+            let h = harmonic_mean(&self.ts.window_ipc);
+            self.ts.windows += 1;
+            self.ts.sum += h;
+            self.ts.sumsq += h * h;
+        }
+    }
+
+    /// Functionally retires all in-flight pipeline state on every core at
+    /// a window boundary (see [`Core::drain_pipeline`]); afterwards the
+    /// whole chip is quiescent.
+    fn drain_pipelines(&mut self) {
+        for i in 0..self.cores.len() {
+            self.cores[i].drain_pipeline(self.now, &mut self.l3);
+        }
+        debug_assert!(self.cores.iter().all(cpusim::core::Core::is_quiescent));
+    }
+
+    fn emit_window_boundary(&mut self, functional: bool) {
+        if S::ENABLED {
+            self.sink
+                .emit(self.now, Event::TimeSampleWindow { functional });
         }
     }
 
@@ -344,8 +561,21 @@ impl<S: Sink> Cmp<S> {
         // the timed phase adapts from the initial 75 %/25 % partitioning
         // exactly as the paper's runs do.
         self.l3.set_adaptation_frozen(true);
+        self.run_functional(instructions_per_core);
+        self.l3.set_adaptation_frozen(false);
+    }
+
+    /// The functional-warming engine shared by [`warm`](Self::warm) and
+    /// the time-sampling gaps: every core retires one instruction per
+    /// cycle through the batched warm path (full cache/TLB/predictor/L3
+    /// state updates, no pipeline timing), and the memory channel is
+    /// quiesced at the end so a following detailed window starts on an
+    /// uncongested bus. Unlike [`warm`](Self::warm) this does *not*
+    /// freeze quota adaptation — time-sampling gaps keep Algorithm 1
+    /// firing on the live miss stream.
+    pub fn run_functional(&mut self, cycles: u64) {
         let mut batch = L3Batch::new();
-        for _ in 0..instructions_per_core {
+        for _ in 0..cycles {
             for i in 0..self.cores.len() {
                 if batch.remaining() < OPS_PER_WARM_OP {
                     self.drain_warm_batch(&mut batch);
@@ -356,7 +586,38 @@ impl<S: Sink> Cmp<S> {
             self.now += 1;
         }
         self.l3.quiesce(self.now);
-        self.l3.set_adaptation_frozen(false);
+    }
+
+    /// The time-sampling gap engine: [`run_functional`](Self::run_functional)
+    /// with retirement credit-paced at the last detailed window's
+    /// measured per-core IPC (`TsAccum::pace_num / pace_den`, exact
+    /// integers via Bresenham accumulation). Each cycle, core `i` earns
+    /// `pace_num[i]` credits and retires one instruction per `pace_den`
+    /// accumulated — so over the whole gap its stream advances by
+    /// `gap × window_ipc` instructions, the count the detailed model
+    /// would have consumed in that time, instead of the flat one per
+    /// cycle the instruction-budgeted warm phase uses. Deterministic:
+    /// the pace is a pure function of the preceding window, and the
+    /// credit carry lives in the stats window (`reset_stats` clears it).
+    fn run_functional_paced(&mut self, cycles: u64) {
+        debug_assert!(self.ts.pace_den > 0, "gap must follow a detailed window");
+        let den = self.ts.pace_den.max(1);
+        let mut batch = L3Batch::new();
+        for _ in 0..cycles {
+            for i in 0..self.cores.len() {
+                self.ts.pace_acc[i] += self.ts.pace_num[i];
+                while self.ts.pace_acc[i] >= den {
+                    self.ts.pace_acc[i] -= den;
+                    if batch.remaining() < OPS_PER_WARM_OP {
+                        self.drain_warm_batch(&mut batch);
+                    }
+                    self.cores[i].warm_op_batched(self.now, &mut batch);
+                }
+            }
+            self.drain_warm_batch(&mut batch);
+            self.now += 1;
+        }
+        self.l3.quiesce(self.now);
     }
 
     /// The one-at-a-time reference warm loop the batched
@@ -401,6 +662,7 @@ impl<S: Sink> Cmp<S> {
         }
         self.l3.reset_stats();
         self.window_start = self.now;
+        self.ts.reset();
     }
 
     /// Serializes the whole chip's warm state — clock, every core's
@@ -462,22 +724,58 @@ impl<S: Sink> Cmp<S> {
     }
 
     /// Snapshot of the current measurement window.
+    ///
+    /// On a time-sampled run, the `ipc`/`hmean_ipc`/`amean_ipc` estimates
+    /// come from the detailed windows only (the SMARTS estimator); the
+    /// raw `per_core` counters stay exact over the whole window,
+    /// functional retires included.
     pub fn snapshot(&self) -> CmpResult {
         let per_core: Vec<(&'static str, CoreStats)> = self
             .cores
             .iter()
             .map(|c| (c.app_name(), c.stats(self.now)))
             .collect();
-        let ipc: Vec<f64> = per_core.iter().map(|(_, s)| s.ipc()).collect();
+        let mut ipc: Vec<f64> = per_core.iter().map(|(_, s)| s.ipc()).collect();
+        if self.time_sample.is_some() && self.ts.detailed_cycles > 0 {
+            for (v, &committed) in ipc.iter_mut().zip(&self.ts.core_committed) {
+                *v = committed as f64 / self.ts.detailed_cycles as f64;
+            }
+        }
         CmpResult {
             hmean_ipc: harmonic_mean(&ipc),
             amean_ipc: arithmetic_mean(&ipc),
             memory: self.l3.memory_stats(),
             quotas: self.l3.as_adaptive().map(|a| a.quotas()),
             sampling: self.l3.sampling_report(),
+            time_sampling: self.time_sampling_report(),
             per_core,
             ipc,
         }
+    }
+
+    /// The SMARTS accuracy summary of the current window, when time
+    /// sampling is configured.
+    pub fn time_sampling_report(&self) -> Option<TimeSamplingReport> {
+        let (detail, gap) = self.time_sample?;
+        let n = self.ts.windows;
+        let mean = if n > 0 { self.ts.sum / n as f64 } else { 0.0 };
+        let se = if n > 1 {
+            let nf = n as f64;
+            let var = ((self.ts.sumsq - self.ts.sum * self.ts.sum / nf) / (nf - 1.0)).max(0.0);
+            (var / nf).sqrt()
+        } else {
+            0.0
+        };
+        Some(TimeSamplingReport {
+            detail,
+            gap,
+            windows: n,
+            detailed_cycles: self.ts.detailed_cycles,
+            functional_cycles: self.ts.functional_cycles,
+            mean_window_hmean_ipc: mean,
+            hmean_ipc_std_error: se,
+            relative_ci95: if mean > 0.0 { 1.96 * se / mean } else { 0.0 },
+        })
     }
 }
 
@@ -746,6 +1044,143 @@ mod tests {
             cmp.save_chip_state(),
             Err(simcore::snapshot::SnapshotError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn zero_gap_time_sampling_is_identical_to_detailed() {
+        // `--time-sample d:0` must be byte-identical to an unsampled run:
+        // the scheduler is bypassed entirely and no report is attached.
+        let cfg = MachineConfig::baseline();
+        for org in [
+            Organization::Private,
+            Organization::Shared,
+            Organization::adaptive(),
+            Organization::Cooperative { seed: 7 },
+        ] {
+            let run = |sampled: bool| {
+                let mut cmp = Cmp::new(&cfg, org, &quick_mix(), 31).unwrap();
+                if sampled {
+                    cmp.set_time_sample(5_000, 0);
+                }
+                cmp.warm(5_000);
+                cmp.run(8_000);
+                cmp.reset_stats();
+                cmp.run(12_000);
+                cmp.snapshot()
+            };
+            let sampled = run(true);
+            let plain = run(false);
+            assert_eq!(sampled, plain, "0-gap diverged under {}", org.label());
+            assert!(sampled.time_sampling.is_none());
+        }
+    }
+
+    #[test]
+    fn time_sampled_run_reports_confidence_bounds() {
+        let cfg = MachineConfig::baseline();
+        let mut cmp = Cmp::new(&cfg, Organization::adaptive(), &quick_mix(), 33).unwrap();
+        cmp.set_time_sample(2_000, 6_000);
+        cmp.warm(20_000);
+        cmp.run(16_000);
+        cmp.reset_stats();
+        cmp.run(40_000);
+        let r = cmp.snapshot();
+        let ts = r.time_sampling.expect("sampled run carries a report");
+        assert_eq!(ts.detail, 2_000);
+        assert_eq!(ts.gap, 6_000);
+        // 40_000 cycles = 5 full detailed windows (one per 8_000-cycle
+        // period) and their gaps.
+        assert_eq!(ts.windows, 5);
+        assert_eq!(ts.detailed_cycles + ts.functional_cycles, 40_000);
+        assert_eq!(ts.detailed_cycles, 5 * 2_000);
+        assert!(ts.mean_window_hmean_ipc > 0.0);
+        assert!(ts.hmean_ipc_std_error.is_finite());
+        assert!(ts.relative_ci95 >= 0.0);
+        // The headline estimate comes from detailed cycles only and must
+        // be a plausible IPC.
+        assert!(r.hmean_ipc > 0.0 && r.hmean_ipc <= 4.0);
+        // Raw counters keep counting functional retires: committed over
+        // the whole window exceeds what the detailed windows alone saw.
+        let committed: u64 = r.per_core.iter().map(|(_, s)| s.committed).sum();
+        assert!(committed as f64 > r.hmean_ipc * ts.detailed_cycles as f64);
+    }
+
+    #[test]
+    fn time_sampled_gaps_keep_quotas_adapting_and_audit_clean() {
+        // Unlike warm-up, the functional gaps do NOT freeze Algorithm 1:
+        // re-evaluation epochs keep closing on the gap miss stream, and
+        // the structure stays consistent across window boundaries. The
+        // control run spends only the schedule's detailed-cycle budget
+        // (no gaps), so any extra epochs in the sampled run were closed
+        // by misses the credit-paced gaps fed to the sharing engine.
+        let cfg = MachineConfig::baseline();
+        let run = |cycles: u64, ts: Option<(u64, u64)>| {
+            let mut cmp = Cmp::new(&cfg, Organization::adaptive(), &quick_mix(), 35).unwrap();
+            if let Some((d, g)) = ts {
+                cmp.set_time_sample(d, g);
+            }
+            cmp.warm(10_000);
+            cmp.run(cycles);
+            assert!(cmp.audit().is_empty());
+            let epochs = cmp
+                .l3()
+                .as_adaptive()
+                .expect("adaptive org")
+                .engine()
+                .epochs();
+            (cmp.snapshot(), epochs)
+        };
+        // 300_000 cycles on a 2_000:8_000 schedule = 60_000 detailed.
+        let (sampled, sampled_epochs) = run(300_000, Some((2_000, 8_000)));
+        let (budget, budget_epochs) = run(60_000, None);
+        assert_eq!(
+            sampled.quotas.expect("adaptive org").iter().sum::<u32>(),
+            16
+        );
+        assert!(
+            sampled_epochs > budget_epochs,
+            "gap misses must keep closing re-evaluation epochs \
+             (sampled {sampled_epochs} vs detailed-budget-only {budget_epochs})"
+        );
+        assert!(budget.hmean_ipc > 0.0);
+    }
+
+    #[test]
+    fn time_sampled_run_is_deterministic() {
+        let cfg = MachineConfig::baseline();
+        let run = || {
+            let mut cmp = Cmp::new(&cfg, Organization::adaptive(), &quick_mix(), 37).unwrap();
+            cmp.set_time_sample(1_500, 4_500);
+            cmp.warm(8_000);
+            cmp.run(10_000);
+            cmp.reset_stats();
+            cmp.run(30_000);
+            cmp.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn functional_gap_engine_matches_warm_modulo_adaptation_freeze() {
+        // For organizations with no adaptation (freeze is a no-op),
+        // `run_functional` IS the warm engine: identical chip state,
+        // pinned bit-for-bit through the snapshot encoding.
+        let cfg = MachineConfig::baseline();
+        for org in [Organization::Private, Organization::Shared] {
+            let mix = quick_mix();
+            let mut warmed = Cmp::new(&cfg, org, &mix, 39).unwrap();
+            warmed.warm(12_000);
+            let mut functional = Cmp::new(&cfg, org, &mix, 39).unwrap();
+            functional.run_functional(12_000);
+            assert_eq!(
+                warmed.save_chip_state().unwrap(),
+                functional.save_chip_state().unwrap(),
+                "gap engine diverged from warm under {}",
+                org.label()
+            );
+        }
     }
 
     #[test]

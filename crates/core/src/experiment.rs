@@ -55,6 +55,13 @@ pub struct ExperimentConfig {
     /// results are estimates with the confidence bounds carried in
     /// [`CmpResult::sampling`]. `None` simulates every set.
     pub sample_shift: Option<u32>,
+    /// Time-sampled simulation: `Some((detail, gap))` alternates
+    /// `detail` detailed cycles with `gap` functionally warmed cycles
+    /// (see [`Cmp::set_time_sample`]). Part of the experiment's identity
+    /// like `sample_shift`; the accuracy summary lands in
+    /// [`CmpResult::time_sampling`]. `None` (or a zero gap) simulates
+    /// every cycle in detail.
+    pub time_sample: Option<(u64, u64)>,
 }
 
 impl Default for ExperimentConfig {
@@ -67,6 +74,7 @@ impl Default for ExperimentConfig {
             jobs: 1,
             cycle_skip: true,
             sample_shift: None,
+            time_sample: None,
         }
     }
 }
@@ -82,6 +90,7 @@ impl ExperimentConfig {
             jobs: 1,
             cycle_skip: true,
             sample_shift: None,
+            time_sample: None,
         }
     }
 
@@ -93,6 +102,22 @@ impl ExperimentConfig {
             warm_instructions: (self.warm_instructions * num / den).max(1),
             warmup_cycles: (self.warmup_cycles * num / den).max(1),
             measure_cycles: (self.measure_cycles * num / den).max(1),
+            ..*self
+        }
+    }
+
+    /// Same experiment with only the functional fast-forward scaled by
+    /// `num/den` (floored at one instruction, timed phases untouched).
+    /// The time-sampled perf pass runs with a reduced warm budget:
+    /// functional gaps keep warming cache state all the way through a
+    /// sampled run, so part of the up-front warm budget is redundant
+    /// there — and charging it anyway would hide exactly the wall-clock
+    /// the method exists to save. Any residual cold-state bias shows up
+    /// in the measured (and gated) hmean-IPC error.
+    #[must_use]
+    pub fn scaled_warm(&self, num: u64, den: u64) -> Self {
+        ExperimentConfig {
+            warm_instructions: (self.warm_instructions * num / den.max(1)).max(1),
             ..*self
         }
     }
@@ -124,6 +149,17 @@ impl ExperimentConfig {
     pub fn with_sample_sets(&self, shift: Option<u32>) -> Self {
         ExperimentConfig {
             sample_shift: shift,
+            ..*self
+        }
+    }
+
+    /// Same experiment with time-sampled simulation: alternate `detail`
+    /// detailed cycles with `gap` functionally warmed cycles (`None`
+    /// turns time sampling off).
+    #[must_use]
+    pub fn with_time_sample(&self, pair: Option<(u64, u64)>) -> Self {
+        ExperimentConfig {
+            time_sample: pair,
             ..*self
         }
     }
@@ -162,6 +198,9 @@ fn drive<S: Sink>(
     let machine = &machine;
     let mut cmp = Cmp::new_with_sink(machine, org, mix, exp.seed, sink)?;
     cmp.set_cycle_skip(exp.cycle_skip);
+    if let Some((detail, gap)) = exp.time_sample {
+        cmp.set_time_sample(detail, gap);
+    }
     cmp.warm(exp.warm_instructions);
     cmp.run(exp.warmup_cycles);
     cmp.reset_stats();

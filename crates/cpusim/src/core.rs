@@ -14,6 +14,8 @@
 //! paper's evaluation requires (stalls overlap while the window lasts,
 //! then the core drains).
 
+pub mod functional;
+
 use std::collections::VecDeque;
 
 use cachesim::cache::Cache;
@@ -376,9 +378,14 @@ impl<S: Sink> Core<S> {
             self.last_fetch_block = block;
             self.itlb.access(op.pc);
             if !self.l1i.access(op.pc, false, self.id).is_hit() {
-                if !self.l2.access(op.pc, false, self.id).is_hit() {
+                // Fused L2 lookup: the install moves ahead of the L3
+                // request, which only touches L3/port state, and the
+                // victim's inclusion/writeback handling stays behind it —
+                // so the request order every component sees is unchanged.
+                let (l2, ev) = self.l2.access_fill(op.pc, false, self.id);
+                if !l2.is_hit() {
                     self.warm_l3_request(op.pc, false, now, port);
-                    self.fill_l2_port(op.pc, false, port, now);
+                    self.finish_l2_victim(ev, port, now);
                 }
                 self.l1i.fill(op.pc, false, self.id);
             }
@@ -392,15 +399,7 @@ impl<S: Sink> Core<S> {
                 // dropped rather than aborting the run.
                 if let Some(raw) = op.addr {
                     let addr = self.tag_data_address(raw);
-                    let write = op.class == OpClass::Store;
-                    self.dtlb.access(addr);
-                    if !self.l1d.access(addr, write, self.id).is_hit() {
-                        if !self.l2.access(addr, write, self.id).is_hit() {
-                            self.warm_l3_request(addr, write, now, port);
-                            self.fill_l2_port(addr, write, port, now);
-                        }
-                        self.fill_l1d(addr, write);
-                    }
+                    self.functional_data_access(addr, op.class == OpClass::Store, now, port);
                 }
             }
             _ => {}
@@ -741,7 +740,19 @@ impl<S: Sink> Core<S> {
     }
 
     fn fill_l2_port(&mut self, addr: Address, dirty: bool, port: &mut impl WarmPort, now: Cycle) {
-        if let Some(ev) = self.l2.fill(addr, dirty, self.id) {
+        let ev = self.l2.fill(addr, dirty, self.id);
+        self.finish_l2_victim(ev, port, now);
+    }
+
+    /// Inclusion maintenance for an L2 eviction: drop the L1 copies and
+    /// write the victim back if any copy was dirty.
+    fn finish_l2_victim(
+        &mut self,
+        ev: Option<cachesim::cache::EvictedBlock>,
+        port: &mut impl WarmPort,
+        now: Cycle,
+    ) {
+        if let Some(ev) = ev {
             let victim = ev.addr.first_byte(self.cfg.l2.offset_bits());
             // Maintain inclusion: drop the L1 copies.
             let l1_victim = self.l1d.invalidate(victim);

@@ -210,6 +210,7 @@ impl Default for Scopes {
                 "crates/cachesim/src/swar.rs".to_string(),
                 "crates/cachesim/src/lru.rs".to_string(),
                 "crates/cpusim/src/core.rs".to_string(),
+                "crates/cpusim/src/core/functional.rs".to_string(),
                 "crates/cpusim/src/l3iface.rs".to_string(),
             ],
             det_prefixes,

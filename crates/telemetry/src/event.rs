@@ -46,6 +46,15 @@ pub enum Event {
         /// Quota vector *after* applying the move.
         quotas: Vec<u32>,
     },
+    /// The time-sampling scheduler crossed a window boundary: `functional
+    /// = true` when a detailed window ends and a functional-warming gap
+    /// begins, `false` when the gap ends and detail resumes. Rare (two
+    /// per sampling period) and structural, so a trace records the exact
+    /// detailed/functional partition of the run.
+    TimeSampleWindow {
+        /// Whether the chip is entering a functional-warming gap.
+        functional: bool,
+    },
     /// Per-epoch time-series snapshot emitted at every re-evaluation
     /// boundary (whether or not quotas moved).
     Epoch {
@@ -141,6 +150,8 @@ pub enum EventKind {
     Repartition,
     /// [`Event::Epoch`].
     Epoch,
+    /// [`Event::TimeSampleWindow`].
+    TimeSampleWindow,
     /// [`Event::ShadowHit`].
     ShadowHit,
     /// [`Event::LruHit`].
@@ -165,9 +176,10 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in taxonomy order (structural first).
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::Repartition,
         EventKind::Epoch,
+        EventKind::TimeSampleWindow,
         EventKind::ShadowHit,
         EventKind::LruHit,
         EventKind::Demotion,
@@ -185,6 +197,7 @@ impl EventKind {
         match self {
             EventKind::Repartition => "repartition",
             EventKind::Epoch => "epoch",
+            EventKind::TimeSampleWindow => "time_sample_window",
             EventKind::ShadowHit => "shadow_hit",
             EventKind::LruHit => "lru_hit",
             EventKind::Demotion => "demotion",
@@ -198,10 +211,14 @@ impl EventKind {
         }
     }
 
-    /// Structural events carry quota-trajectory state and are retained
-    /// for the whole run instead of cycling through the ring buffer.
+    /// Structural events carry quota-trajectory or run-structure state
+    /// and are retained for the whole run instead of cycling through the
+    /// ring buffer.
     pub const fn is_structural(self) -> bool {
-        matches!(self, EventKind::Repartition | EventKind::Epoch)
+        matches!(
+            self,
+            EventKind::Repartition | EventKind::Epoch | EventKind::TimeSampleWindow
+        )
     }
 
     /// Position inside [`EventKind::ALL`] (stable count-array index).
@@ -226,6 +243,7 @@ impl Event {
     pub const fn kind(&self) -> EventKind {
         match self {
             Event::Repartition { .. } => EventKind::Repartition,
+            Event::TimeSampleWindow { .. } => EventKind::TimeSampleWindow,
             Event::Epoch { .. } => EventKind::Epoch,
             Event::ShadowHit { .. } => EventKind::ShadowHit,
             Event::LruHit { .. } => EventKind::LruHit,
@@ -244,7 +262,7 @@ impl Event {
     pub const fn core(&self) -> Option<CoreId> {
         match self {
             Event::Repartition { gainer, .. } => Some(*gainer),
-            Event::Epoch { .. } => None,
+            Event::Epoch { .. } | Event::TimeSampleWindow { .. } => None,
             Event::ShadowHit { core, .. }
             | Event::LruHit { core }
             | Event::Demotion { core, .. }
@@ -278,6 +296,11 @@ impl fmt::Display for Event {
                 misses,
                 ..
             } => write!(f, "epoch {index}: quotas {quotas:?}, {misses} misses"),
+            Event::TimeSampleWindow { functional } => write!(
+                f,
+                "time-sample window -> {}",
+                if *functional { "functional" } else { "detailed" }
+            ),
             Event::ShadowHit { core, set } => write!(f, "shadow hit {core} set {set}"),
             Event::LruHit { core } => write!(f, "lru hit {core}"),
             Event::Demotion { core, set } => write!(f, "demotion {core} set {set}"),
@@ -343,9 +366,12 @@ mod tests {
     }
 
     #[test]
-    fn only_repartition_and_epoch_are_structural() {
+    fn only_quota_and_window_kinds_are_structural() {
         for kind in EventKind::ALL {
-            let structural = matches!(kind, EventKind::Repartition | EventKind::Epoch);
+            let structural = matches!(
+                kind,
+                EventKind::Repartition | EventKind::Epoch | EventKind::TimeSampleWindow
+            );
             assert_eq!(kind.is_structural(), structural);
         }
     }

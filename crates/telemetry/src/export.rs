@@ -163,6 +163,9 @@ fn event_line(record: &TraceRecord) -> Json {
             pairs.push(("demotions".into(), Json::num(*demotions as f64)));
             pairs.push(("evictions".into(), Json::num(*evictions as f64)));
         }
+        Event::TimeSampleWindow { functional } => {
+            pairs.push(("functional".into(), Json::Bool(*functional)));
+        }
         Event::ShadowHit { core, set } | Event::Demotion { core, set } => {
             pairs.push(("core".into(), Json::num(core.index() as f64)));
             pairs.push(("set".into(), Json::num(f64::from(*set))));
@@ -233,6 +236,7 @@ fn required_keys(line_type: &str) -> Option<&'static [&'static str]> {
             "demotions",
             "evictions",
         ],
+        "time_sample_window" => &["type", "seq", "cycle", "functional"],
         "shadow_hit" | "demotion" => &["type", "seq", "cycle", "core", "set"],
         "lru_hit" | "mshr_alloc" | "mshr_merge" | "mshr_stall" => &["type", "seq", "cycle", "core"],
         "shared_eviction" => &["type", "seq", "cycle", "set", "owner", "over_quota"],
@@ -457,7 +461,7 @@ fn check_keys(value: &Json, line_type: &str) -> Option<String> {
     for (key, v) in pairs {
         let ok = match key.as_str() {
             "type" | "org" => matches!(v, Json::Str(_)),
-            "over_quota" => matches!(v, Json::Bool(_)),
+            "over_quota" | "functional" => matches!(v, Json::Bool(_)),
             "quotas" | "initial_quotas" | "final_quotas" => match v {
                 Json::Arr(items) => items.iter().all(|i| matches!(i, Json::Num(_))),
                 _ => false,
@@ -576,6 +580,7 @@ mod tests {
         let c1 = CoreId::from_index(1);
         sink.emit(Cycle::new(10), Event::LruHit { core: c0 });
         sink.emit(Cycle::new(20), Event::ShadowHit { core: c1, set: 3 });
+        sink.emit(Cycle::new(25), Event::TimeSampleWindow { functional: true });
         sink.emit(
             Cycle::new(30),
             Event::SharedEviction {
@@ -635,7 +640,7 @@ mod tests {
         let text = render_jsonl(&[sample_trace()]);
         let report = validate_jsonl(&text).expect("schema-valid trace");
         assert_eq!(report.sections, 1);
-        assert_eq!(report.events, 6);
+        assert_eq!(report.events, 7);
         assert_eq!(report.repartitions, 1);
     }
 

@@ -367,6 +367,46 @@ mod tests {
     }
 
     #[test]
+    fn stream_resumes_identically_from_a_mid_stream_snapshot() {
+        // The time-sampling engine hands the same generator back and
+        // forth between the detailed pipeline and the functional retire
+        // path, and campaign forking restores it mid-stream: the op
+        // sequence must depend only on (seed, ops_generated), never on
+        // how the pulls were chunked or where a snapshot was taken.
+        let mut reference = generator(11);
+        let reference_ops: Vec<MicroOp> = (0..4_000).map(|_| reference.next_op()).collect();
+
+        // Uneven pull chunks (1, 2, 3, ... ops at a time).
+        let mut chunked = generator(11);
+        let mut pulled = Vec::new();
+        let mut chunk = 1;
+        while pulled.len() < 4_000 {
+            for _ in 0..chunk.min(4_000 - pulled.len()) {
+                pulled.push(chunked.next_op());
+            }
+            chunk += 1;
+        }
+        assert_eq!(pulled, reference_ops);
+
+        // Snapshot mid-stream, restore into a fresh generator, resume.
+        let mut original = generator(11);
+        for _ in 0..1_500 {
+            original.next_op();
+        }
+        let mut w = simcore::snapshot::SnapshotWriter::new();
+        original.save_state(&mut w);
+        let bytes = w.finish();
+        let p = AppProfileBuilder::new("t").build().unwrap();
+        let mut resumed = TraceGenerator::new(&p, SimRng::seed_from(999));
+        let mut r = simcore::snapshot::SnapshotReader::open(&bytes).unwrap();
+        resumed.load_state(&mut r).unwrap();
+        assert_eq!(resumed.ops_generated(), 1_500);
+        for op in reference_ops.iter().skip(1_500) {
+            assert_eq!(&resumed.next_op(), op);
+        }
+    }
+
+    #[test]
     fn mix_fractions_are_respected() {
         let mut g = generator(5);
         let n = 200_000;

@@ -16,6 +16,14 @@
 # approximations with confidence bounds (DESIGN.md §8) — leave it unset
 # for publication runs. SAMPLE_SETS=0 is bit-identical to unset.
 #
+# TIME_SAMPLE (optional, "detail:gap" cycle counts, e.g. 10000:40000)
+# turns on time-sampled simulation everywhere: binaries and campaigns
+# get --time-sample $TIME_SAMPLE, alternating detailed windows with
+# functionally warmed gaps (DESIGN.md §8). IPC becomes a SMARTS
+# estimate with confidence bounds — leave it unset for publication
+# runs. A zero gap (e.g. TIME_SAMPLE=10000:0) is bit-identical to
+# unset. Composes with SAMPLE_SETS.
+#
 # TRACE and METRICS_OUT (both optional) turn on telemetry for the
 # characterization binaries: set them to the literal string "results"
 # to write results/<bin>.trace.jsonl / results/<bin>.metrics.json, or
@@ -28,10 +36,15 @@ JOBS="${JOBS:-$(nproc)}"
 TRACE="${TRACE:-}"
 METRICS_OUT="${METRICS_OUT:-}"
 SAMPLE_SETS="${SAMPLE_SETS:-}"
+TIME_SAMPLE="${TIME_SAMPLE:-}"
 sample=()
 if [ -n "$SAMPLE_SETS" ]; then
     sample+=(--sample-sets "$SAMPLE_SETS")
     echo "set sampling on: 1/2^$SAMPLE_SETS of L3 sets simulated"
+fi
+if [ -n "$TIME_SAMPLE" ]; then
+    sample+=(--time-sample "$TIME_SAMPLE")
+    echo "time sampling on: $TIME_SAMPLE detailed:functional cycle schedule"
 fi
 
 echo "running characterization binaries with --jobs $JOBS"

@@ -61,6 +61,11 @@ pub struct SimRequest {
     /// bounds); `Some(0)` exercises the estimator wrapper with full
     /// membership, which is bit-identical to `None`.
     pub sample_shift: Option<u32>,
+    /// Time-sampled simulation: `Some((detail, gap))` alternates
+    /// `detail` detailed cycles with `gap` functionally warmed cycles
+    /// (results carry SMARTS confidence bounds); a zero gap is
+    /// bit-identical to `None`.
+    pub time_sample: Option<(u64, u64)>,
     /// Write a JSONL event trace here (one section per organization, in
     /// request order; identical for every `jobs` value).
     pub trace: Option<PathBuf>,
@@ -145,6 +150,12 @@ OPTIONS:
                            bounds are reported; 0 = full membership
                            through the estimator, bit-identical to
                            omitting the flag)
+    --time-sample <D:G>    alternate D cycle-accurate cycles with G
+                           functionally warmed cycles (caches, quotas
+                           and predictors stay warm; pipeline timing is
+                           skipped). IPC comes from the detailed windows
+                           with SMARTS confidence bounds; a gap of 0 is
+                           bit-identical to omitting the flag
     --trace <PATH>         write a JSONL event trace covering every
                            requested organization (sections in request
                            order; identical for every --jobs value)
@@ -173,6 +184,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut cycle_skip = true;
     let mut jobs = 1usize;
     let mut sample_shift: Option<u32> = None;
+    let mut time_sample: Option<(u64, u64)> = None;
     let mut trace: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
 
@@ -219,6 +231,20 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
                 jobs = simcore::parallel::resolve_jobs(parse_u64(value("--jobs")?)? as usize)
             }
             "--sample-sets" => sample_shift = Some(parse_u64(value("--sample-sets")?)? as u32),
+            "--time-sample" => {
+                let v = value("--time-sample")?;
+                let (d, g) = v
+                    .split_once(':')
+                    .ok_or_else(|| CliError::new("--time-sample expects DETAIL:GAP"))?;
+                let pair = (parse_u64(d)?, parse_u64(g)?);
+                if pair.0 == 0 && pair.1 > 0 {
+                    return Err(CliError::new(
+                        "--time-sample needs a detail window > 0 when the gap is > 0 \
+                         (there would be no detailed cycles to measure IPC from)",
+                    ));
+                }
+                time_sample = Some(pair);
+            }
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--tech-scaled" => tech_scaled = true,
@@ -260,6 +286,12 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     if organizations.is_empty() {
         return Err(CliError::new("--org needs at least one organization"));
     }
+    if paranoid && time_sample.is_some_and(|(_, gap)| gap > 0) {
+        return Err(CliError::new(
+            "--paranoid audits every timed cycle and cannot be combined with \
+             a non-zero --time-sample gap",
+        ));
+    }
 
     let (profiles, forwards) = match (apps, parallel) {
         (Some(apps), None) => {
@@ -298,6 +330,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         cycle_skip,
         jobs,
         sample_shift,
+        time_sample,
         trace,
         metrics_out,
     })
@@ -400,6 +433,9 @@ fn drive<S: Sink>(
     recorder: Option<&Recorder>,
 ) -> Result<CmpResult, CliError> {
     cmp.set_cycle_skip(req.cycle_skip);
+    if let Some((detail, gap)) = req.time_sample {
+        cmp.set_time_sample(detail, gap);
+    }
     cmp.warm(req.warm_instructions);
     if req.paranoid {
         paranoid_phase(cmp, req.warmup_cycles, "warm-up", recorder)?;
@@ -461,15 +497,15 @@ pub fn render(req: &SimRequest, org_label: &str, result: &CmpResult) -> String {
         "window       : {} warm instr + {} warm-up + {} measured cycles (seed {})",
         req.warm_instructions, req.warmup_cycles, req.measure_cycles, req.seed
     );
+    // `result.ipc[i]` equals `s.ipc()` on full-detail runs and is the
+    // detailed-window estimate on time-sampled ones (raw counters also
+    // count functional retires, so `s.ipc()` would be meaningless
+    // there).
     for (i, (app, s)) in result.per_core.iter().enumerate() {
         let _ = writeln!(
             out,
             "core {i} {app:<8} IPC {:.4}  L3 acc {:>7}  local {:>7}  remote {:>6}  miss {:>7}",
-            s.ipc(),
-            s.l3_accesses,
-            s.l3_local_hits,
-            s.l3_remote_hits,
-            s.l3_misses
+            result.ipc[i], s.l3_accesses, s.l3_local_hits, s.l3_remote_hits, s.l3_misses
         );
     }
     let _ = writeln!(out, "harmonic IPC : {:.4}", result.hmean_ipc);
@@ -494,6 +530,22 @@ pub fn render(req: &SimRequest, org_label: &str, result: &CmpResult) -> String {
                 samp.relative_error * 100.0
             );
         }
+    }
+    // A `None` report (full-detail runs, including a 0-gap schedule)
+    // prints nothing, keeping `--time-sample d:0` output byte-identical
+    // to a plain run — the e2e differential test depends on that.
+    if let Some(ts) = &result.time_sampling {
+        let _ = writeln!(
+            out,
+            "time-sample  : {} full windows of {} cycles + {}-cycle gaps ({} detailed / {} functional cycles), window hmean IPC {:.4} ± {:.3}% (95% CI)",
+            ts.windows,
+            ts.detail,
+            ts.gap,
+            ts.detailed_cycles,
+            ts.functional_cycles,
+            ts.mean_window_hmean_ipc,
+            ts.relative_ci95 * 100.0
+        );
     }
     if req.paranoid {
         let _ = writeln!(
@@ -563,6 +615,56 @@ mod tests {
         assert!(samp.sampled_accesses + samp.estimated_accesses > 0);
         let text = render(&req, "adaptive", &result);
         assert!(text.contains("sampling"), "render shows the accuracy line");
+        assert!(text.contains("95% CI"));
+    }
+
+    #[test]
+    fn parses_time_sample_and_rejects_empty_windows() {
+        let req = parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --time-sample 5000:20000",
+        ))
+        .unwrap();
+        assert_eq!(req.time_sample, Some((5_000, 20_000)));
+        let off = parse_args(&argv("--org shared --apps ammp,gzip,crafty,eon")).unwrap();
+        assert_eq!(off.time_sample, None);
+        // No detailed windows to measure from.
+        assert!(parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --time-sample 0:20000",
+        ))
+        .is_err());
+        // Malformed schedule.
+        assert!(parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --time-sample 5000",
+        ))
+        .is_err());
+        // Paranoid audits every timed cycle; a gapped schedule has none.
+        assert!(parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --time-sample 5000:20000 --paranoid",
+        ))
+        .is_err());
+        // A zero gap is full detail, so paranoid composes with it.
+        assert!(parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --time-sample 5000:0 --paranoid",
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn time_sampled_run_reports_window_bounds() {
+        let mut req = parse_args(&argv(
+            "--org adaptive --apps ammp,gzip,crafty,eon --time-sample 2000:6000",
+        ))
+        .unwrap();
+        req.warm_instructions = 60_000;
+        req.warmup_cycles = 8_000;
+        req.measure_cycles = 80_000;
+        let result = run(&req).unwrap();
+        let ts = result.time_sampling.expect("sampled run carries a report");
+        assert_eq!((ts.detail, ts.gap), (2_000, 6_000));
+        assert!(ts.windows >= 2);
+        assert!(ts.detailed_cycles < 80_000);
+        let text = render(&req, "adaptive", &result);
+        assert!(text.contains("time-sample"), "render shows the window line");
         assert!(text.contains("95% CI"));
     }
 

@@ -275,3 +275,113 @@ fn cycle_skip_is_invisible_end_to_end() {
         compare_schemes(&machine, &orgs, &mixed(), &exp().with_cycle_skip(false)).unwrap();
     assert_eq!(rows_fast, rows_slow);
 }
+
+#[test]
+fn time_sample_zero_gap_is_byte_identical_end_to_end() {
+    // A `detail:0` schedule has no functional gaps: the scheduler must
+    // collapse to the plain detailed path, so the measured window, the
+    // byte-rendered telemetry stream and the CLI report all match a run
+    // without the flag exactly — for every organization kind.
+    let machine = MachineConfig::baseline();
+    for org in [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+        Organization::Cooperative { seed: 1 },
+    ] {
+        let (full, full_trace) = run_mix_traced(&machine, org, &mixed(), &exp(), 4096).unwrap();
+        let (ts, ts_trace) = run_mix_traced(
+            &machine,
+            org,
+            &mixed(),
+            &exp().with_time_sample(Some((5_000, 0))),
+            4096,
+        )
+        .unwrap();
+        assert_eq!(full.result, ts.result, "{} window differs", org.label());
+        assert!(
+            ts.result.time_sampling.is_none(),
+            "a 0-gap schedule is full detail and reports no estimate"
+        );
+        assert_eq!(
+            render_jsonl(std::slice::from_ref(&full_trace)),
+            render_jsonl(std::slice::from_ref(&ts_trace)),
+            "{} telemetry JSONL differs",
+            org.label()
+        );
+    }
+
+    // And the CLI surface: stdout must be byte-identical too.
+    use nuca_repro::cli::{parse_args, render, run};
+    let to_args = |extra: &[&str]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "--org",
+            "adaptive",
+            "--apps",
+            "ammp,gzip,crafty,mcf",
+            "--warm",
+            "200000",
+            "--warmup",
+            "10000",
+            "--measure",
+            "60000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let full_req = parse_args(&to_args(&[])).unwrap();
+    let ts_req = parse_args(&to_args(&["--time-sample", "5000:0"])).unwrap();
+    let full = run(&full_req).unwrap();
+    let ts = run(&ts_req).unwrap();
+    assert_eq!(full, ts);
+    assert_eq!(
+        render(&full_req, "adaptive", &full),
+        render(&ts_req, "adaptive", &ts),
+        "rendered reports must be byte-identical at gap 0"
+    );
+}
+
+#[test]
+fn time_sampling_composes_with_set_sampling() {
+    // The two sampling dimensions are orthogonal: a run can estimate
+    // over time (detailed windows) and over space (a subset of L3 sets)
+    // at once. Both accuracy reports must be present and consistent,
+    // and the composition must stay deterministic.
+    let machine = MachineConfig::baseline();
+    let run = || {
+        run_mix(
+            &machine,
+            Organization::adaptive(),
+            &mixed(),
+            &exp()
+                .with_sample_sets(Some(2))
+                .with_time_sample(Some((3_000, 9_000))),
+        )
+        .unwrap()
+    };
+    let a = run();
+    let ts = a.result.time_sampling.expect("time-sampling report");
+    let samp = a.result.sampling.expect("set-sampling report");
+    assert_eq!((ts.detail, ts.gap), (3_000, 9_000));
+    assert!(ts.windows >= 2, "the quick window fits several periods");
+    assert_eq!(
+        ts.detailed_cycles + ts.functional_cycles,
+        exp().measure_cycles
+    );
+    assert_eq!(samp.shift, 2);
+    assert!(ts.mean_window_hmean_ipc > 0.0);
+    assert!(a.result.hmean_ipc > 0.0 && a.result.hmean_ipc <= 4.0);
+    // Estimated IPC comes from detailed cycles only: what the windows
+    // committed is a strict subset of the raw counter, which also
+    // counts functional retires.
+    for (i, (_, s)) in a.result.per_core.iter().enumerate() {
+        let detailed_committed = a.result.ipc[i] * ts.detailed_cycles as f64;
+        assert!(detailed_committed > 0.0);
+        assert!(detailed_committed < s.committed as f64);
+    }
+    let b = run();
+    assert_eq!(a.result, b.result, "composition must stay deterministic");
+}

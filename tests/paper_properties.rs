@@ -19,6 +19,7 @@ fn exp() -> ExperimentConfig {
         jobs: 1,
         cycle_skip: true,
         sample_shift: None,
+        time_sample: None,
     }
 }
 

@@ -412,3 +412,107 @@ proptest! {
         prop_assert_eq!(finish(&mut through), finish(&mut forked));
     }
 }
+
+// ---------------------------------------------------------------------
+// Time sampling: the functional-gap engine vs the warm reference, and
+// window-boundary state integrity (DESIGN.md §8 "Time sampling").
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn functional_gap_engine_matches_the_warm_reference_state(
+        org_pick in 0u8..2,
+        cycles in 2_000u64..12_000,
+        l2_latency in 9u64..12,
+        first_chunk_extra in 0u64..81,
+        mix_seed in 1u64..1_000,
+        seed in 1u64..1_000,
+    ) {
+        use nuca_repro::nuca_core::cmp::Cmp;
+        use nuca_repro::nuca_core::l3::Organization;
+        use nuca_repro::simcore::config::MachineConfig;
+        use nuca_repro::tracegen::spec::SpecApp;
+        use nuca_repro::tracegen::workload::WorkloadPool;
+
+        // Non-adaptive organizations: the only difference between the
+        // warm path and a functional gap is the adaptation freeze, so
+        // with no adaptation the two engines must produce bit-identical
+        // chip state from bit-identical histories.
+        let org = if org_pick == 0 { Organization::Private } else { Organization::Shared };
+        let mix = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), 4, 1, mix_seed)
+            .pop()
+            .unwrap();
+        let cfg = MachineConfig::baseline();
+
+        let mut warmed = Cmp::new(&cfg, org, &mix, seed).unwrap();
+        warmed.warm(cycles);
+        let warm_bytes = warmed.save_chip_state().unwrap();
+
+        let mut gapped = Cmp::new(&cfg, org, &mix, seed).unwrap();
+        gapped.run_functional(cycles);
+        let gap_bytes = gapped.save_chip_state().unwrap();
+        prop_assert_eq!(&warm_bytes, &gap_bytes, "gap engine diverged from warm");
+
+        // And the functional state is latency-insensitive: no timing
+        // model runs in a gap, so latency knobs must not leak into it.
+        let mut slow_cfg = cfg;
+        slow_cfg.l2 = slow_cfg.l2.with_latency(l2_latency);
+        slow_cfg.memory.first_chunk_private = 258 + first_chunk_extra;
+        slow_cfg.memory.first_chunk_shared = 260 + first_chunk_extra;
+        let mut slow = Cmp::new(&slow_cfg, org, &mix, seed).unwrap();
+        slow.run_functional(cycles);
+        prop_assert_eq!(
+            &gap_bytes,
+            &slow.save_chip_state().unwrap(),
+            "functional gaps must be latency-insensitive"
+        );
+    }
+
+    #[test]
+    fn time_sampled_boundary_state_forks_deterministically(
+        org_pick in 0u8..3,
+        detail in 500u64..3_000,
+        gap in 1_000u64..8_000,
+        seed in 1u64..1_000,
+    ) {
+        use nuca_repro::nuca_core::cmp::Cmp;
+        use nuca_repro::nuca_core::l3::Organization;
+        use nuca_repro::simcore::config::MachineConfig;
+        use nuca_repro::tracegen::spec::SpecApp;
+        use nuca_repro::tracegen::workload::WorkloadPool;
+
+        // Window boundaries leave the chip in a coherent, quiescent
+        // state: a snapshot taken after a time-sampled run forks into a
+        // fresh chip that continues exactly like the original.
+        let org = match org_pick {
+            0 => Organization::Private,
+            1 => Organization::Shared,
+            _ => Organization::adaptive(),
+        };
+        let cfg = MachineConfig::baseline();
+        let mix = WorkloadPool::random_mixes(&SpecApp::intensive_pool(), 4, 1, seed)
+            .pop()
+            .unwrap();
+        let mut through = Cmp::new(&cfg, org, &mix, seed).unwrap();
+        through.set_time_sample(detail, gap);
+        through.warm(4_000);
+        // A whole number of detail+gap periods ends the run on a window
+        // boundary: the gap drained the pipelines, so the chip is
+        // quiescent and snapshot-able right there (mid-window it is
+        // not, by design — the detailed pipeline is in flight).
+        through.run(2 * (detail + gap));
+        prop_assert!(through.audit().is_empty());
+        let bytes = through.save_chip_state().unwrap();
+
+        let mut forked = Cmp::new(&cfg, org, &mix, seed).unwrap();
+        forked.load_chip_state(&bytes).unwrap();
+        forked.set_time_sample(detail, gap);
+
+        let finish = |cmp: &mut Cmp| {
+            cmp.reset_stats();
+            cmp.run(8_000);
+            cmp.snapshot()
+        };
+        prop_assert_eq!(finish(&mut through), finish(&mut forked));
+    }
+}
