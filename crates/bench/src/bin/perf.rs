@@ -10,6 +10,10 @@
 //!                           median wall-clock (guards --check-regression
 //!                           against one-off host noise)      [default: 1]
 //!     --no-skip             run with event-driven cycle skipping disabled
+//!     --no-fast-path        run with the exact core-side hit fast path
+//!                           disabled (the control semantics; the
+//!                           fast_path_control section then compares
+//!                           slow against slow)
 //!     --sample-sets <K>     set-sampling shift for the accuracy pass   [default: 4]
 //!     --max-sample-error <PCT>
 //!                           fail if the sampled pass's worst hmean-IPC
@@ -50,20 +54,40 @@
 //! from. Simulation results are bit-identical across repeats (that is
 //! asserted); only wall-clock varies.
 //!
-//! Schema v4 (this file) adds a `time_sampling` section: the same
+//! Schema v4 adds a `time_sampling` section: the same
 //! matrix re-run under `--time-sample D:G` (SMARTS-style detailed
 //! windows alternating with functional-warming gaps), reporting its
 //! throughput, speedup and worst/mean harmonic-mean-IPC error against
 //! the full serial pass. `--max-time-sample-error` gates that error the
 //! same way `--max-sample-error` gates set sampling.
+//!
+//! Schema v5 (this file) adds:
+//!
+//! - a `fast_path_control` section — the serial matrix re-run with the
+//!   exact core-side hit fast path disabled (`--no-fast-path`), the
+//!   same-host same-run control the fast path's speedup claim is
+//!   measured against. Results are asserted bit-identical to the serial
+//!   pass (the exactness contract) and `speedup_vs_control` is the
+//!   honest serial-rate ratio. Both passes honor `--repeat`.
+//! - an `attribution` block — per-organization hit counts and modeled
+//!   demand cycles per level (core vs L1 vs L2 vs L3-local/remote vs
+//!   memory, using the configured latencies), plus the fast-path
+//!   hit-rate counters from an instrumented cell, so the next perf PR
+//!   knows where the remaining bound is.
+//! - a per-organization regression gate: `--check-regression` now also
+//!   compares `serial.per_organization.<org>.sim_cycles_per_second`
+//!   when the reference carries it, so a single-organization regression
+//!   cannot hide inside a flat whole-matrix aggregate.
 
 // Figure-harness binary: failing fast on experiment errors is intended.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::time::Instant;
 
 use nuca_bench::json::Json;
-use nuca_core::experiment::{run_cells, ExperimentConfig, MixResult, SimCell};
+use nuca_core::experiment::{
+    run_cells, run_mix_instrumented, ExperimentConfig, MixResult, SimCell,
+};
 use nuca_core::l3::Organization;
 use simcore::config::MachineConfig;
 use tracegen::spec::SpecApp;
@@ -74,6 +98,7 @@ struct Args {
     jobs: usize,
     repeat: usize,
     cycle_skip: bool,
+    fast_path: bool,
     sample_shift: u32,
     max_sample_error: Option<f64>,
     time_sample: (u64, u64),
@@ -89,6 +114,7 @@ fn parse_args() -> Args {
         jobs: 0,
         repeat: 1,
         cycle_skip: true,
+        fast_path: true,
         sample_shift: 4,
         max_sample_error: None,
         time_sample: (10_000, 40_000),
@@ -106,6 +132,7 @@ fn parse_args() -> Args {
                 args.repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
             }
             "--no-skip" => args.cycle_skip = false,
+            "--no-fast-path" => args.fast_path = false,
             "--sample-sets" => {
                 args.sample_shift = it.next().and_then(|v| v.parse().ok()).unwrap_or(4);
             }
@@ -186,7 +213,9 @@ fn main() {
     } else {
         (4, ExperimentConfig::default().scaled(20, 100))
     };
-    let exp = exp.with_cycle_skip(args.cycle_skip);
+    let exp = exp
+        .with_cycle_skip(args.cycle_skip)
+        .with_fast_path(args.fast_path);
     let jobs = simcore::parallel::resolve_jobs(args.jobs);
     let orgs = [
         Organization::Private,
@@ -229,14 +258,16 @@ fn main() {
     // not, and one descheduled repeat must not poison the baseline that
     // --check-regression compares against.
     let serial_exp = exp.with_jobs(1);
-    let serial_pass = || {
+    let serial_pass = |pass_exp: &ExperimentConfig, what: &str| {
         let mut results: Vec<MixResult> = Vec::with_capacity(cells.len());
         let mut per_org: Vec<(String, Json)> = Vec::new();
         let mut wall_total = 0.0f64;
         for (i, org) in orgs.iter().enumerate() {
             let slice = &cells[i * mixes.len()..(i + 1) * mixes.len()];
             let t = Instant::now();
-            results.extend(run_cells(slice, &serial_exp).expect("serial pass runs"));
+            results.extend(run_cells(slice, pass_exp).unwrap_or_else(|e| {
+                panic!("{what} pass runs: {e}");
+            }));
             let wall = t.elapsed().as_secs_f64();
             wall_total += wall;
             per_org.push((
@@ -253,18 +284,49 @@ fn main() {
         (results, wall_total, per_org)
     };
     type SerialRepeat = (Vec<MixResult>, f64, Vec<(String, Json)>);
-    let mut repeats: Vec<SerialRepeat> = (0..args.repeat).map(|_| serial_pass()).collect();
-    for r in &repeats[1..] {
-        assert_eq!(
-            r.0, repeats[0].0,
-            "serial repeats must be bit-identical; only wall-clock may vary"
-        );
-    }
     // Median by wall-clock (lower middle for even N — deterministic).
-    let mut order: Vec<usize> = (0..repeats.len()).collect();
-    order.sort_by(|&a, &b| repeats[a].1.total_cmp(&repeats[b].1));
-    let winning_repeat = order[(order.len() - 1) / 2];
-    let (serial, serial_wall, per_org) = repeats.swap_remove(winning_repeat);
+    let median_of = |mut repeats: Vec<SerialRepeat>| {
+        for r in &repeats[1..] {
+            assert_eq!(
+                r.0, repeats[0].0,
+                "serial repeats must be bit-identical; only wall-clock may vary"
+            );
+        }
+        let mut order: Vec<usize> = (0..repeats.len()).collect();
+        order.sort_by(|&a, &b| repeats[a].1.total_cmp(&repeats[b].1));
+        let winner = order[(order.len() - 1) / 2];
+        (repeats.swap_remove(winner), winner)
+    };
+    // Fast-path control: the identical serial matrix with the exact
+    // core-side hit fast path disabled — the same-host same-run control
+    // the fast path's speedup is measured against, under the same
+    // --repeat median discipline. The exactness contract is asserted,
+    // not assumed: the control must reproduce the serial results bit for
+    // bit.
+    //
+    // The two variants are *interleaved* repeat by repeat, alternating
+    // which goes first within each pair. Back-to-back blocks (all serial
+    // repeats, then all control repeats) measured a 15 % difference on
+    // this harness with bit-identical binaries in both blocks — whatever
+    // runs first is systematically slower (frequency ramp / scheduler
+    // drift), which is larger than the effect under test. Alternation
+    // cancels monotone drift from the pair medians.
+    let control_exp = serial_exp.with_fast_path(false);
+    let mut repeats: Vec<SerialRepeat> = Vec::with_capacity(args.repeat);
+    let mut control_repeats: Vec<SerialRepeat> = Vec::with_capacity(args.repeat);
+    for r in 0..args.repeat {
+        if r % 2 == 0 {
+            repeats.push(serial_pass(&serial_exp, "serial"));
+            control_repeats.push(serial_pass(&control_exp, "fast-path control"));
+        } else {
+            control_repeats.push(serial_pass(&control_exp, "fast-path control"));
+            repeats.push(serial_pass(&serial_exp, "serial"));
+        }
+    }
+    let ((serial, serial_wall, per_org), winning_repeat) = median_of(repeats);
+    let ((control, control_wall, _), _) = median_of(control_repeats);
+    let control_identical = control == serial;
+    let fast_path_speedup = control_wall / serial_wall.max(1e-9);
 
     let parallel_exp = exp.with_jobs(jobs);
     let t1 = Instant::now();
@@ -300,6 +362,104 @@ fn main() {
     let time_sampled = run_cells(&cells, &ts_exp).expect("time-sampled pass runs");
     let ts_wall = t3.elapsed().as_secs_f64();
     let (ts_max_err, ts_mean_err) = sampling_error(&serial, &time_sampled);
+
+    // Per-level attribution: where the simulated demand goes under each
+    // organization, as raw hit counts from the measured windows and as
+    // modeled demand cycles (count x configured latency), so the next
+    // perf PR knows whether the bound is the core, a cache level or
+    // memory. The fast-path hit-rate counters come from one instrumented
+    // cell per organization (the first mix; counters are a side channel,
+    // the cell's results are bit-identical to the serial pass's).
+    let attribution: Vec<(String, Json)> = orgs
+        .iter()
+        .enumerate()
+        .map(|(i, &org)| {
+            let slice = &serial[i * mixes.len()..(i + 1) * mixes.len()];
+            let mut committed = 0u64;
+            let mut l1_hits = 0u64;
+            let mut l1_accesses = 0u64;
+            let mut l2_hits = 0u64;
+            let mut l2_accesses = 0u64;
+            let mut l3_local = 0u64;
+            let mut l3_remote = 0u64;
+            let mut mem = 0u64;
+            let mut l1_cycles = 0u64;
+            for r in slice {
+                for (_, s) in &r.result.per_core {
+                    committed += s.committed;
+                    l1_hits += s.l1i.hits + s.l1d.hits;
+                    let l1i_acc = s.l1i.hits + s.l1i.misses;
+                    let l1d_acc = s.l1d.hits + s.l1d.misses;
+                    l1_accesses += l1i_acc + l1d_acc;
+                    l1_cycles += l1i_acc * machine.l1i.latency() + l1d_acc * machine.l1d.latency();
+                    l2_hits += s.l2.hits;
+                    l2_accesses += s.l2.hits + s.l2.misses;
+                    l3_local += s.l3_local_hits;
+                    l3_remote += s.l3_remote_hits;
+                    mem += s.l3_misses;
+                }
+            }
+            let cycles = [
+                ("core", committed),
+                ("l1", l1_cycles),
+                ("l2", l2_accesses * machine.l2.latency()),
+                ("l3_local", l3_local * machine.l3.private.latency()),
+                ("l3_remote", l3_remote * machine.l3.shared.latency()),
+                ("memory", mem * machine.memory.first_chunk_shared),
+            ];
+            let total: u64 = cycles.iter().map(|&(_, c)| c).sum();
+            let modeled: Vec<(String, Json)> = cycles
+                .iter()
+                .map(|&(level, c)| (level.to_string(), Json::num(c as f64)))
+                .collect();
+            let shares: Vec<(String, Json)> = cycles
+                .iter()
+                .map(|&(level, c)| {
+                    (
+                        level.to_string(),
+                        Json::num(c as f64 / (total.max(1)) as f64),
+                    )
+                })
+                .collect();
+            let (_, fast) = run_mix_instrumented(&machine, org, &mixes[0], &serial_exp)
+                .expect("instrumented cell runs");
+            (
+                org.label().to_string(),
+                Json::Obj(vec![
+                    (
+                        "hits".into(),
+                        Json::Obj(vec![
+                            ("committed".into(), Json::num(committed as f64)),
+                            ("l1".into(), Json::num(l1_hits as f64)),
+                            ("l1_accesses".into(), Json::num(l1_accesses as f64)),
+                            ("l2".into(), Json::num(l2_hits as f64)),
+                            ("l3_local".into(), Json::num(l3_local as f64)),
+                            ("l3_remote".into(), Json::num(l3_remote as f64)),
+                            ("memory".into(), Json::num(mem as f64)),
+                        ]),
+                    ),
+                    ("modeled_cycles".into(), Json::Obj(modeled)),
+                    ("share".into(), Json::Obj(shares)),
+                    (
+                        "fast_path".into(),
+                        Json::Obj(vec![
+                            (
+                                "data_fast_hits".into(),
+                                Json::num(fast.data_fast_hits as f64),
+                            ),
+                            ("data_slow".into(), Json::num(fast.data_slow as f64)),
+                            (
+                                "inst_fast_hits".into(),
+                                Json::num(fast.inst_fast_hits as f64),
+                            ),
+                            ("inst_slow".into(), Json::num(fast.inst_slow as f64)),
+                            ("fast_fraction".into(), Json::num(fast.fast_fraction())),
+                        ]),
+                    ),
+                ]),
+            )
+        })
+        .collect();
 
     let deterministic = serial == parallel;
     let host_cores = simcore::parallel::default_jobs();
@@ -339,7 +499,7 @@ fn main() {
         "winning_repeat".into(),
         Json::num((winning_repeat + 1) as f64),
     ));
-    serial_json.push(("per_organization".into(), Json::Obj(per_org)));
+    serial_json.push(("per_organization".into(), Json::Obj(per_org.clone())));
     let mut sampling_json = rate(sampled_wall);
     sampling_json.insert(0, ("shift".into(), Json::num(args.sample_shift as f64)));
     sampling_json.push((
@@ -357,8 +517,20 @@ fn main() {
     ));
     time_sampling_json.push(("max_rel_error_hmean_ipc".into(), Json::num(ts_max_err)));
     time_sampling_json.push(("mean_rel_error_hmean_ipc".into(), Json::num(ts_mean_err)));
+    let fast_path_control_json = vec![
+        ("wall_seconds".to_string(), Json::num(control_wall)),
+        (
+            "sim_cycles_per_second".to_string(),
+            Json::num(total_sim_cycles as f64 / control_wall.max(1e-9)),
+        ),
+        (
+            "speedup_vs_control".to_string(),
+            Json::num(fast_path_speedup),
+        ),
+        ("identical".to_string(), Json::Bool(control_identical)),
+    ];
     let doc = Json::Obj(vec![
-        ("schema_version".into(), Json::num(4.0)),
+        ("schema_version".into(), Json::num(5.0)),
         ("bench".into(), Json::str("nuca-bench perf")),
         ("quick".into(), Json::Bool(args.quick)),
         (
@@ -385,11 +557,17 @@ fn main() {
         ("host".into(), pass("cores", host_cores as u64)),
         ("jobs".into(), Json::num(jobs as f64)),
         ("cycle_skip".into(), Json::Bool(args.cycle_skip)),
+        ("fast_path".into(), Json::Bool(args.fast_path)),
         ("serial".into(), Json::Obj(serial_json)),
+        (
+            "fast_path_control".into(),
+            Json::Obj(fast_path_control_json),
+        ),
         ("parallel".into(), Json::Obj(rate(parallel_wall))),
         ("speedup".into(), speedup_json),
         ("sampling".into(), Json::Obj(sampling_json)),
         ("time_sampling".into(), Json::Obj(time_sampling_json)),
+        ("attribution".into(), Json::Obj(attribution)),
         ("note".into(), Json::str(note)),
         ("deterministic".into(), Json::Bool(deterministic)),
     ]);
@@ -424,9 +602,18 @@ fn main() {
         ts_mean_err * 100.0
     );
 
+    eprintln!(
+        "perf: fast-path control {control_wall:.2}s, fast path {fast_path_speedup:.2}x \
+         vs control, identical={control_identical}"
+    );
+
     let mut failed = false;
     if !deterministic {
         eprintln!("perf: FAIL — parallel results differ from serial results");
+        failed = true;
+    }
+    if !control_identical {
+        eprintln!("perf: FAIL — --no-fast-path control results differ from serial results");
         failed = true;
     }
 
@@ -520,6 +707,50 @@ fn main() {
                 "perf: serial throughput {our_rate:.0} vs {ref_rate:.0} sim-cycles/s \
                  in {reference} ({ratio:.2}x) — within the 15% regression budget"
             );
+        }
+        // Per-organization gate with the same floor: a single-org
+        // regression must not hide inside a flat aggregate. References
+        // from schema < 5 carry no per-organization rates; those skip
+        // gracefully (the whole-matrix gate above still applies).
+        for (label, org_json) in &per_org {
+            let our_org_rate = org_json
+                .get("sim_cycles_per_second")
+                .and_then(|v| match v {
+                    Json::Num(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or(0.0);
+            let ref_org_rate = ref_doc
+                .get("serial")
+                .and_then(|s| s.get("per_organization"))
+                .and_then(|p| p.get(label))
+                .and_then(|o| o.get("sim_cycles_per_second"))
+                .and_then(|v| match v {
+                    Json::Num(n) => Some(*n),
+                    _ => None,
+                });
+            match ref_org_rate {
+                Some(ref_org_rate) if ref_org_rate > 0.0 => {
+                    let ratio = our_org_rate / ref_org_rate;
+                    if ratio < 0.85 {
+                        eprintln!(
+                            "perf: FAIL — {label} serial throughput regressed: \
+                             {our_org_rate:.0} vs {ref_org_rate:.0} sim-cycles/s in \
+                             {reference} ({ratio:.2}x, floor 0.85x)"
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "perf: {label} serial throughput {our_org_rate:.0} vs \
+                             {ref_org_rate:.0} sim-cycles/s ({ratio:.2}x) — within budget"
+                        );
+                    }
+                }
+                _ => eprintln!(
+                    "perf: {reference} has no per-organization rate for {label}; \
+                     skipping the per-org gate for it"
+                ),
+            }
         }
     }
 

@@ -48,6 +48,7 @@ pub fn experiment_config() -> ExperimentConfig {
         _ => base,
     };
     base.with_jobs(jobs())
+        .with_fast_path(fast_path())
         .with_sample_sets(sample_sets())
         .with_time_sample(time_sample())
 }
@@ -72,6 +73,22 @@ pub fn jobs() -> usize {
             .and_then(|s| s.parse::<usize>().ok())
     });
     simcore::parallel::resolve_jobs(requested.unwrap_or(0))
+}
+
+/// Whether the exact core-side hit fast path is enabled:
+/// `--no-fast-path` on the command line or `NUCA_BENCH_FAST_PATH=0`
+/// turns it off, forcing the reference TLB/L1 walks and one-at-a-time
+/// trace decode. Results are bit-identical either way (the CI
+/// fast-path-differential job enforces it); the escape hatch mirrors
+/// `--no-skip`. Shared by every figure binary and `perf`, like [`jobs`].
+pub fn fast_path() -> bool {
+    if std::env::args().skip(1).any(|arg| arg == "--no-fast-path") {
+        return false;
+    }
+    !matches!(
+        std::env::var("NUCA_BENCH_FAST_PATH").ok().as_deref(),
+        Some("0") | Some("off") | Some("false")
+    )
 }
 
 /// Set-sampling shift for simulation grids: `--sample-sets K` on the

@@ -25,6 +25,7 @@ fn tiny() -> ExperimentConfig {
         seed: 2007,
         jobs: 1,
         cycle_skip: true,
+        fast_path: true,
         sample_shift: None,
         time_sample: None,
     }

@@ -101,6 +101,15 @@ pub struct Cache {
     filter: TagFilter,
     /// Whether `find` consults the filter (associativity ≥ 4).
     wide: bool,
+    /// Last-hit-way memo: `way + 1` per set, 0 = empty. A validated memo
+    /// hit answers `find` without walking the set; because a set never
+    /// holds duplicate block addresses (see [`Invariant::audit`]), the
+    /// memo'd way and the walk always agree — pure search-order
+    /// optimization, like the SWAR filter one level down. Maintained
+    /// unconditionally; *read* only when `memo_on`.
+    memo: Vec<u8>,
+    /// Whether `find` consults the last-hit-way memo (the fast path).
+    memo_on: bool,
     stats: HitMiss,
     writebacks: u64,
 }
@@ -120,9 +129,19 @@ impl Cache {
             lru: vec![Recency::for_ways(ways); sets],   // lint:allow(L7): constructor
             filter: TagFilter::new(sets, ways),
             wide: ways >= WIDE_PROBE_MIN_WAYS,
+            memo: vec![0; sets], // lint:allow(L7): constructor
+            memo_on: true,
             stats: HitMiss::new(),
             writebacks: 0,
         }
+    }
+
+    /// Enables or disables the last-hit-way memo read in lookups (the
+    /// `--no-fast-path` escape hatch). The memo keeps being maintained
+    /// either way, so toggling needs no rebuild; results are identical
+    /// in both modes.
+    pub fn set_memo(&mut self, enabled: bool) {
+        self.memo_on = enabled;
     }
 
     /// The cache geometry.
@@ -147,6 +166,15 @@ impl Cache {
     #[inline]
     fn find(&self, set: usize, blk: BlockAddr) -> Option<usize> {
         let base = set * self.ways;
+        if self.memo_on {
+            let m = self.memo[set];
+            if m != 0 {
+                let w = usize::from(m - 1);
+                if self.valid[set] & (1 << w) != 0 && self.tags[base + w] == blk {
+                    return Some(w);
+                }
+            }
+        }
         let mut m = self.valid[set];
         if self.wide {
             m &= self.filter.candidates(set, swar::digest(blk.raw()));
@@ -168,22 +196,58 @@ impl Cache {
         let blk = addr.block(self.geom.offset_bits());
         let set = self.set_index(addr);
         if let Some(w) = self.find(set, blk) {
-            let was_lru = self.lru[set].is_lru(w as u8);
-            self.lru[set].touch(w as u8);
-            if write {
-                self.dirty[set] |= 1 << w;
-            }
-            self.stats.hits += 1;
-            return Lookup::Hit { was_lru };
+            return self.commit_hit(set, w, write);
         }
-        self.stats.misses += 1;
+        self.note_miss();
         Lookup::Miss
+    }
+
+    /// Applies the miss-side update for an address that
+    /// [`peek_hit_way`](Self::peek_hit_way) found absent: exactly what
+    /// [`access`](Self::access) does on a miss — which is only the miss
+    /// count. Recency and residency change at fill time, not lookup time.
+    #[inline]
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
     }
 
     /// Probes for a block without updating recency or statistics.
     pub fn probe(&self, addr: Address) -> bool {
         let blk = addr.block(self.geom.offset_bits());
         self.find(self.set_index(addr), blk).is_some()
+    }
+
+    /// Non-mutating hit probe for the fused TLB+L1 fast path: the way
+    /// holding `addr`, if resident. No recency, dirty, memo or statistic
+    /// update — pair with [`commit_hit_at`](Self::commit_hit_at) once the
+    /// fused probe has decided the whole access goes through.
+    #[inline]
+    pub fn peek_hit_way(&self, addr: Address) -> Option<usize> {
+        let blk = addr.block(self.geom.offset_bits());
+        self.find(self.set_index(addr), blk)
+    }
+
+    /// Applies the hit-side updates for a way returned by
+    /// [`peek_hit_way`](Self::peek_hit_way): exactly what
+    /// [`access`](Self::access) does on a hit.
+    #[inline]
+    pub fn commit_hit_at(&mut self, addr: Address, way: usize, write: bool) -> Lookup {
+        let set = self.set_index(addr);
+        self.commit_hit(set, way, write)
+    }
+
+    /// The shared hit path: MRU promotion, dirty marking, statistics and
+    /// the last-hit-way memo update.
+    #[inline]
+    fn commit_hit(&mut self, set: usize, w: usize, write: bool) -> Lookup {
+        let was_lru = self.lru[set].is_lru(w as u8);
+        self.lru[set].touch(w as u8);
+        if write {
+            self.dirty[set] |= 1 << w;
+        }
+        self.stats.hits += 1;
+        self.memo[set] = w as u8 + 1;
+        Lookup::Hit { was_lru }
     }
 
     /// Installs a block as MRU, evicting the LRU block if the set is full.
@@ -198,6 +262,7 @@ impl Cache {
         if let Some(w) = self.find(set, blk) {
             self.dirty[set] |= u32::from(dirty) << w;
             self.lru[set].touch(w as u8);
+            self.memo[set] = w as u8 + 1;
             return None;
         }
         self.install_absent(set, blk, dirty, owner)
@@ -218,13 +283,7 @@ impl Cache {
         let blk = addr.block(self.geom.offset_bits());
         let set = self.set_index(addr);
         if let Some(w) = self.find(set, blk) {
-            let was_lru = self.lru[set].is_lru(w as u8);
-            self.lru[set].touch(w as u8);
-            if write {
-                self.dirty[set] |= 1 << w;
-            }
-            self.stats.hits += 1;
-            return (Lookup::Hit { was_lru }, None);
+            return (self.commit_hit(set, w, write), None);
         }
         self.stats.misses += 1;
         (Lookup::Miss, self.install_absent(set, blk, write, owner))
@@ -253,6 +312,7 @@ impl Cache {
             self.valid[set] |= 1 << w;
             self.dirty[set] = (self.dirty[set] & !(1 << w)) | (u32::from(dirty) << w);
             self.lru[set].push_mru(w as u8);
+            self.memo[set] = w as u8 + 1;
             debug_assert!(self.lru[set].len() <= self.ways);
             return None;
         }
@@ -274,6 +334,7 @@ impl Cache {
         self.owners[base + w] = owner;
         self.dirty[set] = (self.dirty[set] & !(1 << w)) | (u32::from(dirty) << w);
         self.lru[set].push_mru(w as u8);
+        self.memo[set] = w as u8 + 1;
         Some(victim)
     }
 
@@ -412,6 +473,9 @@ impl Cache {
             rec.load_state(r)?;
         }
         self.filter.load_state(r)?;
+        // The memo is derived, unsnapshotted state; stale entries are
+        // validated before use, but start the restored cache clean.
+        self.memo.fill(0);
         self.stats.hits = r.get_u64()?;
         self.stats.misses = r.get_u64()?;
         self.writebacks = r.get_u64()?;
@@ -661,6 +725,70 @@ mod tests {
             assert_eq!(fused.probe(a), split.probe(a));
             assert_eq!(fused.owner_of(a), split.owner_of(a));
         }
+    }
+
+    #[test]
+    fn way_memo_is_invisible_to_results() {
+        // The last-hit-way memo is a pure search-order optimization: a
+        // random access/fill/invalidate workload must produce identical
+        // lookups, evictions, statistics and snapshots with the memo
+        // read on and off.
+        use simcore::rng::SimRng;
+        let run = |memo: bool| {
+            let mut rng = SimRng::seed_from(7);
+            let mut c = Cache::new(CacheGeometry::new(4096, 4, 64, 1).unwrap());
+            c.set_memo(memo);
+            let mut log = Vec::new();
+            for _ in 0..20_000 {
+                let a = Address::new(rng.below(1 << 13));
+                let write = rng.chance(0.3);
+                match rng.below(10) {
+                    0 => log.push(format!("{:?}", c.invalidate(a))),
+                    1 => log.push(format!("{:?}", c.fill(a, write, c0()))),
+                    _ => {
+                        let l = c.access(a, write, c0());
+                        if !l.is_hit() {
+                            c.fill(a, write, c0());
+                        }
+                        log.push(format!("{l:?}"));
+                    }
+                }
+            }
+            assert!(c.check_invariants());
+            let mut w = simcore::snapshot::SnapshotWriter::new();
+            c.save_state(&mut w);
+            (log, c.stats(), c.writebacks(), w.finish())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn peek_and_commit_match_access_on_hits() {
+        let mut a = Cache::new(CacheGeometry::new(2048, 4, 64, 1).unwrap());
+        let mut b = Cache::new(CacheGeometry::new(2048, 4, 64, 1).unwrap());
+        use simcore::rng::SimRng;
+        let mut rng = SimRng::seed_from(17);
+        for _ in 0..10_000 {
+            let addr = Address::new(rng.below(1 << 12));
+            let write = rng.chance(0.25);
+            let la = a.access(addr, write, c0());
+            let lb = match b.peek_hit_way(addr) {
+                Some(w) => b.commit_hit_at(addr, w, write),
+                None => b.access(addr, write, c0()),
+            };
+            assert_eq!(la, lb);
+            if !la.is_hit() {
+                a.fill(addr, write, c0());
+                b.fill(addr, write, c0());
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        let enc = |c: &Cache| {
+            let mut w = simcore::snapshot::SnapshotWriter::new();
+            c.save_state(&mut w);
+            w.finish()
+        };
+        assert_eq!(enc(&a), enc(&b));
     }
 
     #[test]

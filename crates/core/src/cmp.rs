@@ -298,6 +298,26 @@ impl<S: Sink> Cmp<S> {
         self.cycle_skip
     }
 
+    /// Enables or disables the exact core-side hit fast path (fused
+    /// TLB+L1 probe, memo-served lookups, slab-decoded traces, issue-scan
+    /// hint) on every core. Results are bit-identical either way; this is
+    /// the `--no-fast-path` escape hatch the differential CI job flips.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        for core in &mut self.cores {
+            core.set_fast_path(enabled);
+        }
+    }
+
+    /// Chip-wide fast-path effectiveness counters (perf attribution side
+    /// channel; never part of results, traces or snapshots).
+    pub fn fast_path_stats(&self) -> cpusim::FastPathStats {
+        let mut total = cpusim::FastPathStats::default();
+        for core in &self.cores {
+            total.absorb(core.fast_path_stats());
+        }
+        total
+    }
+
     /// Configures SMARTS-style time sampling: [`run`](Self::run)
     /// alternates `detail` cycle-accurate cycles with `gap` functionally
     /// warmed cycles. A zero `gap` turns sampling off — the run is then
@@ -925,6 +945,45 @@ mod tests {
             let fast = run(true);
             let reference = run(false);
             assert_eq!(fast, reference, "skip diverged under {}", org.label());
+        }
+    }
+
+    #[test]
+    fn hit_fast_path_matches_reference_walk_exactly() {
+        // The core-side hit fast path (fused TLB+L1 probe, memos, slab
+        // decode, issue hint) must be bit-identical to the reference
+        // walks across warm + detailed + reset + detailed, for every
+        // organization, including the chip snapshot encoding.
+        let cfg = MachineConfig::baseline();
+        for org in [
+            Organization::Private,
+            Organization::Shared,
+            Organization::adaptive(),
+            Organization::Cooperative { seed: 7 },
+        ] {
+            let run = |fast: bool| {
+                let mut cmp = Cmp::new(&cfg, org, &quick_mix(), 19).unwrap();
+                cmp.set_fast_path(fast);
+                cmp.warm(5_000);
+                cmp.run(8_000);
+                cmp.reset_stats();
+                cmp.run(12_000);
+                (cmp.snapshot(), cmp.fast_path_stats())
+            };
+            let (fast, counters) = run(true);
+            let (reference, off_counters) = run(false);
+            assert_eq!(fast, reference, "fast path diverged under {}", org.label());
+            assert!(
+                counters.data_fast_hits > 0,
+                "fast path never fired under {}",
+                org.label()
+            );
+            assert_eq!(
+                off_counters.data_fast_hits + off_counters.inst_fast_hits,
+                0,
+                "disabled fast path fired under {}",
+                org.label()
+            );
         }
     }
 

@@ -48,6 +48,13 @@ pub struct ExperimentConfig {
     /// skip-equivalence job); `false` is the `--no-skip` escape hatch
     /// that keeps the reference stepping loop alive.
     pub cycle_skip: bool,
+    /// Whether cores may use the exact hit fast path (fused TLB+L1
+    /// probe, memo-served lookups, slab-decoded traces, issue-scan
+    /// hint). Another execution policy: results are bit-identical
+    /// either way (enforced by the differential tests and the CI
+    /// fast-path-differential job); `false` is the `--no-fast-path`
+    /// escape hatch that keeps the reference walks alive.
+    pub fast_path: bool,
     /// Set-sampled simulation: `Some(k)` simulates `1/2^k` of the
     /// last-level sets in full detail and charges the rest a calibrated
     /// latency estimate (see [`crate::l3::SampledL3`]). Unlike `jobs`
@@ -73,6 +80,7 @@ impl Default for ExperimentConfig {
             seed: 2007,
             jobs: 1,
             cycle_skip: true,
+            fast_path: true,
             sample_shift: None,
             time_sample: None,
         }
@@ -89,6 +97,7 @@ impl ExperimentConfig {
             seed: 2007,
             jobs: 1,
             cycle_skip: true,
+            fast_path: true,
             sample_shift: None,
             time_sample: None,
         }
@@ -138,6 +147,16 @@ impl ExperimentConfig {
     pub fn with_cycle_skip(&self, enabled: bool) -> Self {
         ExperimentConfig {
             cycle_skip: enabled,
+            ..*self
+        }
+    }
+
+    /// Same experiment with the exact core-side hit fast path enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_fast_path(&self, enabled: bool) -> Self {
+        ExperimentConfig {
+            fast_path: enabled,
             ..*self
         }
     }
@@ -198,6 +217,7 @@ fn drive<S: Sink>(
     let machine = &machine;
     let mut cmp = Cmp::new_with_sink(machine, org, mix, exp.seed, sink)?;
     cmp.set_cycle_skip(exp.cycle_skip);
+    cmp.set_fast_path(exp.fast_path);
     if let Some((detail, gap)) = exp.time_sample {
         cmp.set_time_sample(detail, gap);
     }
@@ -276,6 +296,47 @@ pub fn run_mix_traced(
     let final_quotas = result.result.quotas.clone().unwrap_or_default();
     let trace = recorder.finish(meta, final_quotas);
     Ok((result, trace))
+}
+
+/// Like [`run_mix`] (untraced), additionally returning the chip's
+/// fast-path effectiveness counters for the measured window. The
+/// counters are a perf-attribution side channel: the [`MixResult`] is
+/// bit-identical to [`run_mix`]'s for the same experiment, fast path on
+/// or off (off, the fast-hit counters are zero and everything lands in
+/// the slow buckets).
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Cmp::new`].
+pub fn run_mix_instrumented(
+    machine: &MachineConfig,
+    org: Organization,
+    mix: &Mix,
+    exp: &ExperimentConfig,
+) -> Result<(MixResult, cpusim::FastPathStats)> {
+    let mut machine = *machine;
+    if exp.sample_shift.is_some() {
+        machine.l3.sample_shift = exp.sample_shift;
+    }
+    let mut cmp = Cmp::new(&machine, org, mix, exp.seed)?;
+    cmp.set_cycle_skip(exp.cycle_skip);
+    cmp.set_fast_path(exp.fast_path);
+    if let Some((detail, gap)) = exp.time_sample {
+        cmp.set_time_sample(detail, gap);
+    }
+    cmp.warm(exp.warm_instructions);
+    cmp.run(exp.warmup_cycles);
+    cmp.reset_stats();
+    cmp.run(exp.measure_cycles);
+    Ok((
+        MixResult {
+            mix: mix.clone(),
+            organization: org.label(),
+            result: cmp.snapshot(),
+            trace: None,
+        },
+        cmp.fast_path_stats(),
+    ))
 }
 
 /// One independent cell of an experiment grid: a machine, an
@@ -572,6 +633,26 @@ mod tests {
         assert_eq!(app, "gzip");
         assert!((s - 1.0).abs() < 1e-12, "self-speedup is 1.0");
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn instrumented_run_matches_run_mix_in_both_modes() {
+        // The counters are a pure side channel: the MixResult must be
+        // bit-identical to run_mix's with the fast path on AND off, and
+        // the counters must reflect the requested mode.
+        let machine = MachineConfig::baseline();
+        let exp = ExperimentConfig::quick();
+        let mix = WorkloadPool::homogeneous(SpecApp::Gzip, 4, 1);
+        let plain = run_mix(&machine, Organization::Private, &mix, &exp).unwrap();
+        let (on, fast) = run_mix_instrumented(&machine, Organization::Private, &mix, &exp).unwrap();
+        assert_eq!(plain, on);
+        assert!(fast.data_fast_hits > 0, "fast path fired: {fast:?}");
+        let off_exp = exp.with_fast_path(false);
+        let (off, off_fast) =
+            run_mix_instrumented(&machine, Organization::Private, &mix, &off_exp).unwrap();
+        assert_eq!(plain, off, "--no-fast-path changed the result");
+        assert_eq!(off_fast.data_fast_hits + off_fast.inst_fast_hits, 0);
+        assert!(off_fast.data_slow > 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use telemetry::Sink;
 use tracegen::op::OpClass;
 
 use super::Core;
+use crate::fastpath;
 use crate::l3iface::{DirectPort, LastLevel, WarmPort};
 
 impl<S: Sink> Core<S> {
@@ -43,8 +44,20 @@ impl<S: Sink> Core<S> {
         now: Cycle,
         port: &mut impl WarmPort,
     ) {
-        self.dtlb.access(addr);
-        if !self.l1d.access(addr, write, self.id).is_hit() {
+        // Fast path: one probe per structure with the hit or miss side
+        // committed in place — `Tlb::access`/`Cache::access` are exactly
+        // lookup-then-commit, so the walk is the reference sequence minus
+        // the duplicated finds a fallback re-walk would pay.
+        let l1d_hit = if self.fast_path {
+            fastpath::functional_walk(&mut self.dtlb, &mut self.l1d, addr, write)
+        } else {
+            self.dtlb.access(addr);
+            self.l1d.access(addr, write, self.id).is_hit()
+        };
+        if l1d_hit {
+            self.fast.data_fast_hits += u64::from(self.fast_path);
+        } else {
+            self.fast.data_slow += u64::from(self.fast_path);
             let (l2, ev) = self.l2.access_fill(addr, write, self.id);
             if !l2.is_hit() {
                 self.warm_l3_request(addr, write, now, port);
@@ -95,6 +108,7 @@ impl<S: Sink> Core<S> {
         self.waiting_branch = None;
         self.fetch_resume_at = Cycle::ZERO;
         self.ready_ring.fill(0);
+        self.issue_hint = 0;
     }
 }
 

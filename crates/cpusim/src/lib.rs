@@ -35,10 +35,12 @@
 
 pub mod branch;
 pub mod core;
+pub mod fastpath;
 pub mod l3iface;
 pub mod tlb;
 
 pub use crate::core::{Core, CoreStats};
 pub use branch::BranchPredictor;
+pub use fastpath::FastPathStats;
 pub use l3iface::{FixedLatencyL3, L3Outcome, L3Source, LastLevel};
 pub use tlb::Tlb;

@@ -1,10 +1,20 @@
 //! Fully-associative translation lookaside buffers (Table 1: 128 entries,
 //! 30-cycle miss penalty, separate instruction and data TLBs).
-
-use std::collections::BTreeMap;
+//!
+//! Storage is a pair of flat vectors (`pages`/`stamps`) plus a small
+//! direct-mapped *residency memo* that remembers the slot of the last
+//! translation per low-page-bits bucket. The memo is a pure search-order
+//! optimization in the spirit of `cachesim::swar::TagFilter`: a memo hit
+//! skips the linear scan, a memo mismatch falls back to it, and because
+//! pages are unique within the TLB both paths find the same slot. The
+//! memo read is gated by [`Tlb::set_memo`] (the `--no-fast-path` escape
+//! hatch); the memo is *maintained* unconditionally so toggling is free.
 
 use simcore::config::TlbConfig;
 use simcore::types::Address;
+
+/// Direct-mapped memo size; indexed by `page & (MEMO_SLOTS - 1)`.
+const MEMO_SLOTS: usize = 256;
 
 /// A fully-associative, LRU-replaced TLB over 4-KiB pages.
 ///
@@ -22,9 +32,19 @@ use simcore::types::Address;
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    /// page -> last-use stamp. Ordered map keeps iteration (and therefore
-    /// LRU tie-breaking) deterministic across runs.
-    entries: BTreeMap<u64, u64>,
+    /// Resident pages, in insertion order. Pages are unique, so any scan
+    /// order finds the same slot; eviction replaces in place.
+    pages: Vec<u64>,
+    /// Last-use stamp per slot, parallel to `pages`. Stamps are unique
+    /// (one global counter), so the LRU victim is deterministic
+    /// regardless of storage order.
+    stamps: Vec<u64>,
+    /// Direct-mapped slot memo: `slot + 1`, 0 = empty. Validated against
+    /// `pages` before being trusted, so stale entries are harmless.
+    memo: Vec<u32>,
+    /// Whether lookups may consult the memo (the fast path). Off, every
+    /// lookup is the reference linear scan.
+    memo_on: bool,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -39,7 +59,10 @@ impl Tlb {
     pub fn new(cfg: TlbConfig) -> Self {
         assert!(cfg.entries > 0, "TLB needs at least one entry");
         Tlb {
-            entries: BTreeMap::new(),
+            pages: Vec::with_capacity(cfg.entries),
+            stamps: Vec::with_capacity(cfg.entries),
+            memo: vec![0; MEMO_SLOTS],
+            memo_on: true,
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -47,31 +70,95 @@ impl Tlb {
         }
     }
 
+    /// Enables or disables the residency-memo fast path. Disabled, every
+    /// lookup runs the reference linear scan; the memo keeps being
+    /// maintained either way, so re-enabling needs no rebuild. Results
+    /// are identical in both modes.
+    pub fn set_memo(&mut self, enabled: bool) {
+        self.memo_on = enabled;
+    }
+
+    #[inline]
+    fn memo_slot(page: u64) -> usize {
+        (page as usize) & (MEMO_SLOTS - 1)
+    }
+
+    /// Finds the slot holding `page`, memo first when enabled. Pages are
+    /// unique within the TLB, so the memo'd slot and the scan agree.
+    #[inline]
+    fn find(&self, page: u64) -> Option<usize> {
+        if self.memo_on {
+            let m = self.memo[Self::memo_slot(page)];
+            if m != 0 {
+                let slot = (m - 1) as usize;
+                if slot < self.pages.len() && self.pages[slot] == page {
+                    return Some(slot);
+                }
+            }
+        }
+        self.pages.iter().position(|&p| p == page)
+    }
+
+    /// Non-mutating residency probe: the slot translating `addr`, if any.
+    /// No stamp, statistic or memo update — pair with
+    /// [`commit_hit`](Self::commit_hit) once the fused TLB+L1 probe has
+    /// decided the whole access is a hit.
+    #[inline]
+    pub fn lookup(&self, addr: Address) -> Option<usize> {
+        self.find(addr.page())
+    }
+
+    /// Applies the hit-side state updates for a slot returned by
+    /// [`lookup`](Self::lookup): exactly what [`access`](Self::access)
+    /// does on a hit.
+    #[inline]
+    pub fn commit_hit(&mut self, slot: usize) {
+        self.stamp += 1;
+        self.stamps[slot] = self.stamp;
+        self.hits += 1;
+        self.memo[Self::memo_slot(self.pages[slot])] = slot as u32 + 1;
+    }
+
     /// Translates `addr`; returns `true` on a hit. A miss installs the
     /// page, evicting the LRU entry when full.
     pub fn access(&mut self, addr: Address) -> bool {
-        let page = addr.page();
-        self.stamp += 1;
-        if let Some(last) = self.entries.get_mut(&page) {
-            *last = self.stamp;
-            self.hits += 1;
+        if let Some(slot) = self.find(addr.page()) {
+            self.commit_hit(slot);
             return true;
         }
-        self.misses += 1;
-        if self.entries.len() >= self.cfg.entries {
-            // A full TLB always has a victim; `entries > 0` is asserted in
-            // the constructor.
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, last)| **last)
-                .map(|(page, _)| *page);
-            if let Some(v) = victim {
-                self.entries.remove(&v);
-            }
-        }
-        self.entries.insert(page, self.stamp);
+        self.miss_install(addr);
         false
+    }
+
+    /// Applies the miss-side state updates for an address that
+    /// [`lookup`](Self::lookup) found absent: exactly what
+    /// [`access`](Self::access) does on a miss — count it, install the
+    /// page, and evict the LRU entry when full.
+    pub fn miss_install(&mut self, addr: Address) {
+        let page = addr.page();
+        self.stamp += 1;
+        self.misses += 1;
+        let slot = if self.pages.len() >= self.cfg.entries {
+            // A full TLB always has a victim; `entries > 0` is asserted
+            // in the constructor. Stamps are unique, so the minimum is
+            // the same entry the ordered-map implementation evicted.
+            let mut victim = 0;
+            let mut best = u64::MAX;
+            for (i, &s) in self.stamps.iter().enumerate() {
+                if s < best {
+                    best = s;
+                    victim = i;
+                }
+            }
+            victim
+        } else {
+            self.pages.push(0);
+            self.stamps.push(0);
+            self.pages.len() - 1
+        };
+        self.pages[slot] = page;
+        self.stamps[slot] = self.stamp;
+        self.memo[Self::memo_slot(page)] = slot as u32 + 1;
     }
 
     /// The miss penalty in cycles.
@@ -97,10 +184,20 @@ impl Tlb {
     }
 
     /// Writes the translations, LRU stamps and statistics to a snapshot.
-    /// `BTreeMap` iteration is ordered, so the encoding is canonical.
+    /// Entries are emitted in page order — the canonical encoding the
+    /// earlier ordered-map storage produced — so snapshots are
+    /// byte-identical across storage layouts. The memo is derived state
+    /// and is not encoded.
     pub fn save_state(&self, w: &mut simcore::snapshot::SnapshotWriter) {
-        w.put_usize(self.entries.len());
-        for (&page, &last) in &self.entries {
+        let mut entries: Vec<(u64, u64)> = self
+            .pages
+            .iter()
+            .copied()
+            .zip(self.stamps.iter().copied())
+            .collect();
+        entries.sort_unstable_by_key(|&(page, _)| page);
+        w.put_usize(entries.len());
+        for (page, last) in entries {
             w.put_u64(page);
             w.put_u64(last);
         }
@@ -125,11 +222,15 @@ impl Tlb {
                 "TLB entry count exceeds capacity",
             ));
         }
-        self.entries.clear();
+        self.pages.clear();
+        self.stamps.clear();
+        self.memo.fill(0);
         for _ in 0..n {
             let page = r.get_u64()?;
             let last = r.get_u64()?;
-            self.entries.insert(page, last);
+            self.pages.push(page);
+            self.stamps.push(last);
+            self.memo[Self::memo_slot(page)] = self.pages.len() as u32;
         }
         self.stamp = r.get_u64()?;
         self.hits = r.get_u64()?;
@@ -189,5 +290,59 @@ mod tests {
     fn penalty_comes_from_config() {
         let t = small(4);
         assert_eq!(t.miss_penalty(), 30);
+    }
+
+    #[test]
+    fn memo_and_reference_scan_agree() {
+        // The memo is a pure search-order optimization: an aliasing page
+        // stream (memo buckets collide every MEMO_SLOTS pages) must
+        // produce identical verdicts, statistics and snapshots with the
+        // memo read on and off.
+        let run = |memo: bool| {
+            let mut t = small(16);
+            t.set_memo(memo);
+            let mut verdicts = Vec::new();
+            for i in 0..4_000u64 {
+                // Mix of reuse, bucket aliasing (page ± 256) and fresh
+                // pages, so hits, memo mismatches and evictions all fire.
+                let page = match i % 5 {
+                    0 => i % 8,
+                    1 => (i % 8) + 256,
+                    2 => (i % 8) + 512,
+                    3 => i % 24,
+                    _ => i * 7 % 97,
+                };
+                verdicts.push(t.access(Address::new(page << 12)));
+            }
+            let mut w = simcore::snapshot::SnapshotWriter::new();
+            t.save_state(&mut w);
+            (verdicts, t.hits(), t.misses(), w.finish())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn lookup_and_commit_hit_match_access() {
+        let mut a = small(8);
+        let mut b = small(8);
+        for i in 0..2_000u64 {
+            let addr = Address::new((i * 13 % 29) << 12);
+            let via_access = a.access(addr);
+            let via_parts = match b.lookup(addr) {
+                Some(slot) => {
+                    b.commit_hit(slot);
+                    true
+                }
+                None => b.access(addr),
+            };
+            assert_eq!(via_access, via_parts, "op {i}");
+        }
+        assert_eq!((a.hits(), a.misses()), (b.hits(), b.misses()));
+        let enc = |t: &Tlb| {
+            let mut w = simcore::snapshot::SnapshotWriter::new();
+            t.save_state(&mut w);
+            w.finish()
+        };
+        assert_eq!(enc(&a), enc(&b));
     }
 }

@@ -211,7 +211,9 @@ impl Default for Scopes {
                 "crates/cachesim/src/lru.rs".to_string(),
                 "crates/cpusim/src/core.rs".to_string(),
                 "crates/cpusim/src/core/functional.rs".to_string(),
+                "crates/cpusim/src/fastpath.rs".to_string(),
                 "crates/cpusim/src/l3iface.rs".to_string(),
+                "crates/tracegen/src/generator.rs".to_string(),
             ],
             det_prefixes,
             telemetry_prefix: "crates/telemetry/src/".to_string(),

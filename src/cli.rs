@@ -53,6 +53,11 @@ pub struct SimRequest {
     /// Execution policy only: results are bit-identical either way, and
     /// `--no-skip` forces the reference stepping loop.
     pub cycle_skip: bool,
+    /// Use the exact core-side hit fast path (fused TLB+L1 probe,
+    /// memo-served lookups, slab-decoded traces). Execution policy only:
+    /// results are bit-identical either way, and `--no-fast-path` forces
+    /// the reference walks.
+    pub fast_path: bool,
     /// Worker threads for running the organizations (`0` = one per
     /// available core). Results are bit-identical for every value.
     pub jobs: usize,
@@ -144,6 +149,11 @@ OPTIONS:
     --no-skip              disable event-driven cycle skipping and run the
                            reference stepping loop (bit-identical output,
                            slower; exists as a differential check)
+    --no-fast-path         disable the exact core-side hit fast path
+                           (fused TLB+L1 probe, memo-served lookups,
+                           slab-decoded traces) and run the reference
+                           walks (bit-identical output, slower; exists
+                           as a differential check)
     --sample-sets <K>      simulate only 1/2^K of the L3 sets in full
                            detail and charge the rest a calibrated
                            latency estimate (SMARTS-style confidence
@@ -182,6 +192,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
     let mut reeval = 2000u64;
     let mut paranoid = false;
     let mut cycle_skip = true;
+    let mut fast_path = true;
     let mut jobs = 1usize;
     let mut sample_shift: Option<u32> = None;
     let mut time_sample: Option<(u64, u64)> = None;
@@ -250,6 +261,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
             "--tech-scaled" => tech_scaled = true,
             "--paranoid" => paranoid = true,
             "--no-skip" => cycle_skip = false,
+            "--no-fast-path" => fast_path = false,
             "--help" | "-h" => return Err(CliError::new(USAGE)),
             other => return Err(CliError::new(format!("unknown argument: {other}"))),
         }
@@ -328,6 +340,7 @@ pub fn parse_args(args: &[String]) -> Result<SimRequest, CliError> {
         seed,
         paranoid,
         cycle_skip,
+        fast_path,
         jobs,
         sample_shift,
         time_sample,
@@ -433,6 +446,7 @@ fn drive<S: Sink>(
     recorder: Option<&Recorder>,
 ) -> Result<CmpResult, CliError> {
     cmp.set_cycle_skip(req.cycle_skip);
+    cmp.set_fast_path(req.fast_path);
     if let Some((detail, gap)) = req.time_sample {
         cmp.set_time_sample(detail, gap);
     }
@@ -672,6 +686,19 @@ mod tests {
     fn no_skip_selects_the_reference_stepping_loop() {
         let req = parse_args(&argv("--org shared --apps ammp,gzip,crafty,eon --no-skip")).unwrap();
         assert!(!req.cycle_skip);
+        assert!(req.fast_path, "--no-skip leaves the hit fast path alone");
+    }
+
+    #[test]
+    fn no_fast_path_selects_the_reference_walks() {
+        let req = parse_args(&argv(
+            "--org shared --apps ammp,gzip,crafty,eon --no-fast-path",
+        ))
+        .unwrap();
+        assert!(!req.fast_path);
+        assert!(req.cycle_skip, "--no-fast-path leaves cycle skipping alone");
+        let plain = parse_args(&argv("--org shared --apps ammp,gzip,crafty,eon")).unwrap();
+        assert!(plain.fast_path, "fast path defaults on");
     }
 
     #[test]

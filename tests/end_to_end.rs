@@ -385,3 +385,62 @@ fn time_sampling_composes_with_set_sampling() {
     let b = run();
     assert_eq!(a.result, b.result, "composition must stay deterministic");
 }
+
+#[test]
+fn no_fast_path_is_invisible_end_to_end() {
+    // The fused TLB+L1 probe, way/page memos, slab decode and pipeline
+    // bookkeeping bypass are pure search-order optimizations: turning
+    // them off with `--no-fast-path` must change nothing — not the
+    // measured window, not the byte-rendered telemetry stream, not the
+    // CLI report — for every organization kind.
+    let machine = MachineConfig::baseline();
+    for org in [
+        Organization::Private,
+        Organization::Shared,
+        Organization::adaptive(),
+        Organization::Cooperative { seed: 1 },
+    ] {
+        let (fast, fast_trace) = run_mix_traced(&machine, org, &mixed(), &exp(), 4096).unwrap();
+        let (slow, slow_trace) =
+            run_mix_traced(&machine, org, &mixed(), &exp().with_fast_path(false), 4096).unwrap();
+        assert_eq!(fast.result, slow.result, "{} window differs", org.label());
+        assert_eq!(
+            render_jsonl(std::slice::from_ref(&fast_trace)),
+            render_jsonl(std::slice::from_ref(&slow_trace)),
+            "{} telemetry JSONL differs",
+            org.label()
+        );
+    }
+
+    // And the CLI surface: stdout must be byte-identical too.
+    use nuca_repro::cli::{parse_args, render, run};
+    let to_args = |extra: &[&str]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "--org",
+            "adaptive",
+            "--apps",
+            "ammp,gzip,crafty,mcf",
+            "--warm",
+            "200000",
+            "--warmup",
+            "10000",
+            "--measure",
+            "60000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let fast_req = parse_args(&to_args(&[])).unwrap();
+    let slow_req = parse_args(&to_args(&["--no-fast-path"])).unwrap();
+    let fast = run(&fast_req).unwrap();
+    let slow = run(&slow_req).unwrap();
+    assert_eq!(fast, slow);
+    assert_eq!(
+        render(&fast_req, "adaptive", &fast),
+        render(&slow_req, "adaptive", &slow),
+        "rendered reports must be byte-identical without the fast path"
+    );
+}

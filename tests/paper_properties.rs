@@ -18,6 +18,7 @@ fn exp() -> ExperimentConfig {
         seed: 2007,
         jobs: 1,
         cycle_skip: true,
+        fast_path: true,
         sample_shift: None,
         time_sample: None,
     }

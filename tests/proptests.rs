@@ -516,3 +516,112 @@ proptest! {
         prop_assert_eq!(finish(&mut through), finish(&mut forked));
     }
 }
+
+// ---------------------------------------------------------------------
+// The fused TLB+L1 probe vs the sequential reference walk.
+
+use nuca_repro::cpusim::fastpath::fused_hit;
+use nuca_repro::cpusim::tlb::Tlb;
+use nuca_repro::simcore::config::TlbConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn fused_probe_equals_sequential_walk_any_geometry(
+        seed in any::<u64>(),
+        entries in 1usize..24,
+        assoc in 1u32..=32,
+        sets_log in 0u32..3,
+        addr_pages in 2u64..40,
+    ) {
+        // Covers both LRU representations: packed nibbles up to 16 ways
+        // and the wide LruStack facade for 17–32 ways. The fused probe
+        // (with reference fallback on a failed probe) and the plain
+        // sequential TLB-then-L1 walk must produce the same verdicts and
+        // leave bit-identical snapshots behind.
+        let sets = 1u64 << sets_log;
+        let geom = CacheGeometry::new(sets * u64::from(assoc) * 64, assoc, 64, 1).unwrap();
+        let cfg = TlbConfig { entries, miss_penalty: 30 };
+        let (mut ft, mut fc) = (Tlb::new(cfg), Cache::new(geom));
+        let (mut rt, mut rc) = (Tlb::new(cfg), Cache::new(geom));
+        let core = CoreId::from_index(0);
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..2_000u32 {
+            let addr = Address::new(rng.below(addr_pages << 12) & !7);
+            let write = rng.chance(0.3);
+            let fused = fused_hit(&mut ft, &mut fc, addr, write);
+            if !fused {
+                ft.access(addr);
+                if !fc.access(addr, write, core).is_hit() {
+                    fc.fill(addr, write, core);
+                }
+            }
+            let tlb_hit = rt.access(addr);
+            let l1_hit = rc.access(addr, write, core).is_hit();
+            if !l1_hit {
+                rc.fill(addr, write, core);
+            }
+            prop_assert_eq!(fused, tlb_hit && l1_hit, "op {}", i);
+        }
+        prop_assert_eq!((ft.hits(), ft.misses()), (rt.hits(), rt.misses()));
+        prop_assert_eq!(fc.stats(), rc.stats());
+        let enc = |f: &dyn Fn(&mut nuca_repro::simcore::snapshot::SnapshotWriter)| {
+            let mut w = nuca_repro::simcore::snapshot::SnapshotWriter::new();
+            f(&mut w);
+            w.finish()
+        };
+        prop_assert_eq!(enc(&|w| ft.save_state(w)), enc(&|w| rt.save_state(w)));
+        prop_assert_eq!(enc(&|w| fc.save_state(w)), enc(&|w| rc.save_state(w)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block (slab) trace decode vs the one-at-a-time reference decode.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn slab_decode_equals_one_at_a_time(
+        seed in any::<u64>(),
+        loads in 0.05f64..0.35,
+        stores in 0.02f64..0.15,
+        branches in 0.02f64..0.25,
+        hot_kb in 64u64..2048,
+        skew in 1.0f64..3.0,
+        loop_frac in 0.0f64..1.0,
+        ops in 65usize..300,
+        ff in 0u64..200,
+    ) {
+        // The 64-op decoded slab must be invisible: same op stream, same
+        // logical position, same snapshot — for any profile, any seed,
+        // any fast-forward offset, and op counts that cross slab
+        // boundaries.
+        use nuca_repro::tracegen::profile::AppProfileBuilder;
+        use nuca_repro::tracegen::TraceGenerator;
+        let profile = AppProfileBuilder::new("prop-slab")
+            .loads(loads)
+            .stores(stores)
+            .branches(branches)
+            .hot_kb(hot_kb)
+            .hot_skew(skew)
+            .hot_loop(loop_frac)
+            .build()
+            .unwrap();
+        let mut slab = TraceGenerator::new(&profile, SimRng::seed_from(seed));
+        slab.set_slab(true);
+        let mut one = TraceGenerator::new(&profile, SimRng::seed_from(seed));
+        one.set_slab(false);
+        slab.fast_forward(ff);
+        one.fast_forward(ff);
+        for i in 0..ops {
+            prop_assert_eq!(slab.next_op(), one.next_op(), "op {}", i);
+            prop_assert_eq!(slab.ops_generated(), one.ops_generated());
+        }
+        let enc = |g: &TraceGenerator| {
+            let mut w = nuca_repro::simcore::snapshot::SnapshotWriter::new();
+            g.save_state(&mut w);
+            w.finish()
+        };
+        prop_assert_eq!(enc(&slab), enc(&one));
+    }
+}
